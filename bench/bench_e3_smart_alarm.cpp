@@ -1,0 +1,144 @@
+/// \file bench_e3_smart_alarm.cpp
+/// \brief Experiment E3 — context-aware smart alarms cut false alarms
+/// without missing true events (the paper's "decreased false alarms"
+/// claim for intelligent MCPS).
+///
+/// E3a: a STABLE monitored patient with increasing motion-artifact rates
+///      on the pulse oximeter for 6 simulated hours. Every alarm is a
+///      false alarm; we count alarms/hour for the classic per-metric
+///      threshold monitor vs. the fused smart alarm.
+/// E3b: an opioid-sensitive patient under proxy pressing develops a TRUE
+///      overdose (open loop, alarms only). Detection = any alarm fired
+///      within the window from 3 min before to 10 min after the first
+///      true SpO2 < 90 crossing; we also report detection latency.
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/core.hpp"
+#include "sim/table.hpp"
+
+using namespace mcps;
+using namespace mcps::sim::literals;
+
+namespace {
+
+constexpr int kSeeds = 6;
+
+core::PcaScenarioConfig base_cfg(bool overdose, std::uint64_t seed,
+                                 double artifact_prob) {
+    core::PcaScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.duration = 6_h;
+    cfg.patient = physio::nominal_parameters(
+        overdose ? physio::Archetype::kOpioidSensitive
+                 : physio::Archetype::kTypicalAdult);
+    cfg.demand_mode =
+        overdose ? core::DemandMode::kProxy : core::DemandMode::kNormal;
+    cfg.interlock = std::nullopt;  // alarms only
+    cfg.with_monitor = true;
+    cfg.with_smart_alarm = true;
+    cfg.oximeter.artifact_probability = artifact_prob;
+    cfg.oximeter.artifact_magnitude = -20.0;
+    return cfg;
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "E3: threshold alarms vs fused smart alarm\n("
+              << kSeeds << " seeds per cell, 6 simulated hours each)\n\n";
+
+    // ---- E3a: false alarms on a stable patient ----------------------
+    {
+        sim::Table t({"artifact_per_h", "threshold_FA_per_h",
+                      "smart_FA_per_h", "smart_critical_per_h"});
+        for (const double prob : {0.0, 0.001, 0.003, 0.006, 0.012}) {
+            sim::RunningStats mon, smart, crit;
+            for (int s = 0; s < kSeeds; ++s) {
+                const auto r = core::run_pca_scenario(
+                    base_cfg(false, 100 + static_cast<std::uint64_t>(s), prob));
+                mon.add(static_cast<double>(r.monitor_alarm_count) / 6.0);
+                smart.add(static_cast<double>(r.smart_alarm_count) / 6.0);
+                crit.add(static_cast<double>(r.smart_critical_count) / 6.0);
+            }
+            // Artifact bursts begin per 1 s sample => expected rate/h:
+            t.row()
+                .cell(prob * 3600.0, 1)
+                .cell(mon.mean(), 2)
+                .cell(smart.mean(), 2)
+                .cell(crit.mean(), 2);
+        }
+        t.print(std::cout,
+                "E3a: false alarms per hour, stable patient with motion "
+                "artifacts");
+        std::cout << '\n';
+    }
+
+    // ---- E3b: true-event detection -----------------------------------
+    {
+        sim::Table t({"detector", "detected", "missed", "mean_latency_s"});
+        int mon_detected = 0, smart_detected = 0, events = 0;
+        sim::RunningStats mon_latency, smart_latency;
+        for (int s = 0; s < kSeeds; ++s) {
+            auto cfg = base_cfg(true, 200 + static_cast<std::uint64_t>(s),
+                                0.003);
+            core::PcaScenario scenario{cfg};
+            const auto r = scenario.run();
+            if (!r.hypoxia_onset_s) continue;  // no true event this seed
+            ++events;
+            const auto onset =
+                sim::SimTime::origin() +
+                sim::SimDuration::from_seconds(*r.hypoxia_onset_s);
+            const auto win_lo = onset - 3_min;
+            const auto win_hi = onset + 10_min;
+
+            // Threshold monitor detection.
+            bool mon_hit = false;
+            for (const auto& a : scenario.monitor()->alarms()) {
+                if (a.at >= win_lo && a.at <= win_hi) {
+                    mon_hit = true;
+                    mon_latency.add((a.at - onset).to_seconds());
+                    break;
+                }
+            }
+            mon_detected += mon_hit ? 1 : 0;
+
+            // Smart alarm detection (warning or critical).
+            bool smart_hit = false;
+            for (const auto& a : scenario.smart_alarm()->alarms()) {
+                if (a.at >= win_lo && a.at <= win_hi) {
+                    smart_hit = true;
+                    smart_latency.add((a.at - onset).to_seconds());
+                    break;
+                }
+            }
+            smart_detected += smart_hit ? 1 : 0;
+        }
+        t.row()
+            .cell("threshold-monitor")
+            .cell(std::int64_t{mon_detected})
+            .cell(std::int64_t{events - mon_detected})
+            .cell(mon_latency.empty() ? 0.0 : mon_latency.mean(), 1);
+        t.row()
+            .cell("smart-alarm")
+            .cell(std::int64_t{smart_detected})
+            .cell(std::int64_t{events - smart_detected})
+            .cell(smart_latency.empty() ? 0.0 : smart_latency.mean(), 1);
+        t.print(std::cout, "E3b: true overdose detection (" +
+                               std::to_string(events) + " events)");
+        std::cout << '\n';
+    }
+
+    std::cout
+        << "Expected shape: threshold false alarms grow ~linearly with the\n"
+           "artifact rate while the fused engine stays near zero (it needs\n"
+           "corroboration). Both detectors catch every true overdose. The\n"
+           "classic sensitivity/specificity trade is visible in the\n"
+           "latencies: the per-metric thresholds ring at the first noisy\n"
+           "sample (earliest, but that hair trigger IS the false-alarm\n"
+           "flood of E3a); the fused alarm confirms via corroboration +\n"
+           "persistence and still fires well before the SpO2-90 crossing\n"
+           "(negative latency), via capnometry.\n";
+    return 0;
+}

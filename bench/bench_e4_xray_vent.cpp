@@ -1,0 +1,104 @@
+/// \file bench_e4_xray_vent.cpp
+/// \brief Experiment E4 — on-demand device coordination: automated
+/// ICE-app synchronization of ventilator pause and X-ray exposure vs.
+/// the manual human workflow.
+///
+/// E4a: operator-quality sweep. The automated app is compared against
+///      manual coordination at increasing levels of human sloppiness
+///      (premature shots / distraction). 60 procedures per cell.
+/// E4b: network sweep for the automated app: loss on the command path
+///      forces retries and aborts, with the ventilator's device-local
+///      auto-resume as the backstop (no prolonged apnea ever).
+
+#include <iostream>
+
+#include "core/core.hpp"
+#include "sim/table.hpp"
+
+using namespace mcps;
+using namespace mcps::sim::literals;
+
+namespace {
+constexpr std::size_t kProcedures = 60;
+}
+
+int main() {
+    std::cout << "E4: X-ray/ventilator synchronization — automated vs manual\n("
+              << kProcedures << " procedures per cell)\n\n";
+
+    // ---- E4a: automated vs manual at increasing sloppiness -----------
+    {
+        sim::Table t({"coordination", "sharp_rate", "mean_apnea_s",
+                      "max_apnea_s", "auto_resumes", "retries"});
+        auto add = [&t](const std::string& label,
+                        const core::XrayScenarioResult& r) {
+            t.row()
+                .cell(label)
+                .cell(r.sharp_rate, 3)
+                .cell(r.mean_apnea_s, 2)
+                .cell(r.max_apnea_s, 2)
+                .cell(static_cast<std::uint64_t>(r.safety_auto_resumes))
+                .cell(static_cast<std::uint64_t>(r.total_retries));
+        };
+
+        core::XrayScenarioConfig cfg;
+        cfg.seed = 41;
+        cfg.procedures = kProcedures;
+        cfg.mode = core::CoordinationMode::kAutomated;
+        add("automated (ICE app)", core::run_xray_scenario(cfg));
+
+        struct Level {
+            const char* label;
+            double premature, distraction;
+        };
+        for (const auto& lvl :
+             {Level{"manual (careful)", 0.03, 0.02},
+              Level{"manual (typical)", 0.12, 0.08},
+              Level{"manual (rushed)", 0.30, 0.20}}) {
+            core::XrayScenarioConfig m = cfg;
+            m.mode = core::CoordinationMode::kManual;
+            m.manual.premature_shot_probability = lvl.premature;
+            m.manual.distraction_probability = lvl.distraction;
+            add(lvl.label, core::run_xray_scenario(m));
+        }
+        t.print(std::cout, "E4a: coordination quality");
+        std::cout << '\n';
+    }
+
+    // ---- E4b: the automated app under network loss -------------------
+    {
+        sim::Table t({"loss", "sharp_rate", "completed_rate", "mean_apnea_s",
+                      "max_apnea_s", "retries", "auto_resumes"});
+        for (const double loss : {0.0, 0.1, 0.2, 0.4}) {
+            core::XrayScenarioConfig cfg;
+            cfg.seed = 43;
+            cfg.procedures = kProcedures;
+            cfg.mode = core::CoordinationMode::kAutomated;
+            cfg.channel.base_latency = 40_ms;
+            cfg.channel.jitter_sd = 10_ms;
+            cfg.channel.loss_probability = loss;
+            cfg.sync.max_retries = 12;
+            const auto r = core::run_xray_scenario(cfg);
+            t.row()
+                .cell(loss, 2)
+                .cell(r.sharp_rate, 3)
+                .cell(static_cast<double>(r.completed) /
+                          static_cast<double>(r.procedures),
+                      3)
+                .cell(r.mean_apnea_s, 2)
+                .cell(r.max_apnea_s, 2)
+                .cell(static_cast<std::uint64_t>(r.total_retries))
+                .cell(static_cast<std::uint64_t>(r.safety_auto_resumes));
+        }
+        t.print(std::cout, "E4b: automated coordination on a lossy network");
+        std::cout << '\n';
+    }
+
+    std::cout
+        << "Expected shape: the automated app takes ~every film sharp with a\n"
+           "short bounded apnea; manual degrades with operator sloppiness\n"
+           "(blurred repeats, long apneas rescued only by the ventilator's\n"
+           "auto-resume). Under loss the app retries: completion stays high,\n"
+           "apnea stays bounded by the device-local max-pause.\n";
+    return 0;
+}

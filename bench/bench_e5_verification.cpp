@@ -1,0 +1,152 @@
+/// \file bench_e5_verification.cpp
+/// \brief Experiment E5 — model-based verification of pump software is
+/// feasible (the GPCA workflow): property verdicts, counterexamples,
+/// zone-graph sizes and wall-clock cost, including a scaling study.
+
+#include <chrono>
+#include <iostream>
+
+#include "sim/table.hpp"
+#include "ta/ta.hpp"
+
+using namespace mcps;
+
+namespace {
+
+double wall_ms(const std::function<void()>& f) {
+    const auto t0 = std::chrono::steady_clock::now();
+    f();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "E5: model checking the GPCA pump and closed loop\n\n";
+
+    // ---- E5a: the verification suite ---------------------------------
+    {
+        sim::Table t({"property", "model", "verdict", "explored", "stored",
+                      "wall_ms", "counterexample"});
+        auto add = [&t](const std::string& prop, const std::string& model,
+                        bool expect_safe, ta::ReachabilityResult r,
+                        double ms) {
+            std::string cex;
+            for (const auto& step : r.trace) {
+                if (!cex.empty()) cex += " ; ";
+                cex += step;
+            }
+            if (cex.empty()) cex = "-";
+            t.row()
+                .cell(prop)
+                .cell(model)
+                .cell(r.reachable ? "VIOLATED" : "SAFE")
+                .cell(static_cast<std::uint64_t>(r.states_explored))
+                .cell(static_cast<std::uint64_t>(r.states_stored))
+                .cell(ms, 2)
+                .cell(cex);
+            (void)expect_safe;
+        };
+
+        {
+            ta::ReachabilityResult r;
+            const double ms = wall_ms([&] {
+                r = ta::check_reachability(ta::build_pump_lockout_model(),
+                                           "Violation");
+            });
+            add("P1 lockout (R1)", "correct pump", true, r, ms);
+        }
+        {
+            ta::PumpModelParams faulty;
+            faulty.faulty_no_lockout_guard = true;
+            ta::ReachabilityResult r;
+            const double ms = wall_ms([&] {
+                r = ta::check_reachability(ta::build_pump_lockout_model(faulty),
+                                           "Violation");
+            });
+            add("P1 lockout (R1)", "faulty pump", false, r, ms);
+        }
+        {
+            ta::ReachabilityResult r;
+            const double ms = wall_ms([&] {
+                r = ta::check_reachability(ta::build_closed_loop_model(),
+                                           "Overdue");
+            });
+            add("P2 stop deadline", "in-budget loop", true, r, ms);
+        }
+        {
+            ta::InterlockModelParams slow;
+            slow.detect_max_s = 70;
+            ta::ReachabilityResult r;
+            const double ms = wall_ms([&] {
+                r = ta::check_reachability(ta::build_closed_loop_model(slow),
+                                           "Overdue");
+            });
+            add("P2 stop deadline", "slow detection", false, r, ms);
+        }
+        t.print(std::cout, "E5a: GPCA property suite");
+        std::cout << '\n';
+    }
+
+    // ---- E5b: deadline budget boundary --------------------------------
+    {
+        sim::Table t({"detect_max_s", "worst_total_s", "deadline_s",
+                      "verdict", "explored"});
+        for (const int detect : {20, 40, 54, 55, 56, 70}) {
+            ta::InterlockModelParams p;
+            p.detect_max_s = detect;  // + 3 command + 2 react vs 60 deadline
+            const auto r =
+                ta::check_reachability(ta::build_closed_loop_model(p),
+                                       "Overdue");
+            t.row()
+                .cell(std::int64_t{detect})
+                .cell(std::int64_t{detect + 3 + 2})
+                .cell(std::int64_t{60})
+                .cell(r.reachable ? "VIOLATED" : "SAFE")
+                .cell(static_cast<std::uint64_t>(r.states_explored));
+        }
+        t.print(std::cout,
+                "E5b: response-deadline boundary (checker matches the "
+                "arithmetic exactly)");
+        std::cout << '\n';
+    }
+
+    // ---- E5c: scaling study -------------------------------------------
+    {
+        sim::Table t({"pumps", "locations", "clocks", "explored", "stored",
+                      "wall_ms"});
+        for (const std::size_t n : {1u, 2u, 3u, 4u}) {
+            ta::ReachabilityResult r;
+            std::size_t locations = 0, clocks = 0;
+            const double ms = wall_ms([&] {
+                const auto farm = ta::build_pump_farm(n);
+                locations = farm.num_locations();
+                clocks = farm.num_clocks();
+                r = ta::check_reachability(farm, "Violation");
+            });
+            t.row()
+                .cell(static_cast<std::uint64_t>(n))
+                .cell(static_cast<std::uint64_t>(locations))
+                .cell(static_cast<std::uint64_t>(clocks))
+                .cell(static_cast<std::uint64_t>(r.states_explored))
+                .cell(static_cast<std::uint64_t>(r.states_stored))
+                .cell(ms, 1);
+            if (r.reachable) {
+                std::cout << "UNEXPECTED: farm of " << n << " violated!\n";
+            }
+        }
+        t.print(std::cout,
+                "E5c: zone-graph growth with composed pump instances");
+        std::cout << '\n';
+    }
+
+    std::cout
+        << "Expected shape: correct models verify SAFE in milliseconds with\n"
+           "tiny zone graphs; the injected defect yields the classic\n"
+           "double-grant counterexample; the deadline verdict flips exactly\n"
+           "where detect+command+react crosses the deadline; composition\n"
+           "grows the explored state space exponentially (the motivation for\n"
+           "compositional certification the paper raises).\n";
+    return 0;
+}

@@ -1,0 +1,125 @@
+/// \file bench_e7_physio.cpp
+/// \brief Experiment E7 — the virtual patient makes in-silico validation
+/// possible: integrator accuracy against the analytic solution, the
+/// canonical overdose trajectory, and population time-to-event spread.
+
+#include <cmath>
+#include <iostream>
+
+#include "physio/physio.hpp"
+#include "sim/stats.hpp"
+#include "sim/table.hpp"
+
+using namespace mcps;
+using namespace mcps::physio;
+
+int main() {
+    std::cout << "E7: patient-model validation\n\n";
+
+    // ---- E7a: integrator accuracy vs analytic PK ----------------------
+    {
+        sim::Table t({"dt_s", "max_rel_error", "steps_per_sim_hour"});
+        PkParameters one_comp;
+        one_comp.k12_per_min = 0.0;
+        one_comp.k21_per_min = 0.0;
+        for (const double dt : {10.0, 5.0, 1.0, 0.5, 0.1}) {
+            PkTwoCompartment pk{one_comp};
+            pk.bolus(Dose::mg(2.0));
+            double max_rel = 0.0;
+            const int steps = static_cast<int>(3600.0 / dt);
+            for (int i = 0; i < steps; ++i) {
+                pk.step(dt, InfusionRate::zero());
+                const double expect =
+                    one_compartment_bolus_analytic(one_comp, Dose::mg(2.0),
+                                                   (i + 1) * dt)
+                        .as_ng_per_ml();
+                const double got = pk.plasma().as_ng_per_ml();
+                if (expect > 1e-9) {
+                    max_rel = std::max(max_rel,
+                                       std::abs(got - expect) / expect);
+                }
+            }
+            char err[32];
+            std::snprintf(err, sizeof err, "%.2e", max_rel);
+            t.row().cell(dt, 1).cell(std::string{err}).cell(
+                std::int64_t{steps});
+        }
+        t.print(std::cout,
+                "E7a: RK4 plasma-concentration error vs analytic bolus decay "
+                "(1 sim hour)");
+        std::cout << '\n';
+    }
+
+    // ---- E7b: canonical overdose trajectory ----------------------------
+    {
+        sim::Table t({"t_min", "ce_ng_ml", "drive", "rr", "paco2", "spo2",
+                      "apneic"});
+        Patient p{nominal_parameters(Archetype::kOpioidSensitive)};
+        p.set_infusion_rate(InfusionRate::mg_per_hour(6.0));  // runaway pump
+        for (int minute = 0; minute <= 40; minute += 4) {
+            t.row()
+                .cell(std::int64_t{minute})
+                .cell(p.pk().effect_site().as_ng_per_ml(), 1)
+                .cell(p.respiratory_drive(), 2)
+                .cell(p.resp_rate().as_per_minute(), 1)
+                .cell(p.paco2_mmhg(), 1)
+                .cell(p.spo2().as_percent(), 1)
+                .cell(p.is_apneic() ? "YES" : "no");
+            for (int i = 0; i < 480; ++i) p.step(0.5);  // 4 minutes
+        }
+        t.print(std::cout,
+                "E7b: overdose trajectory (sensitive patient, 6 mg/h "
+                "runaway infusion)");
+        std::cout << '\n';
+    }
+
+    // ---- E7c: population time-to-event spread --------------------------
+    {
+        sim::Table t({"archetype", "n", "apnea_rate", "tta_p10_min",
+                      "tta_median_min", "tta_p90_min"});
+        for (const auto arch : all_archetypes()) {
+            sim::RngStream rng{77, "e7.pop." + std::string{to_string(arch)}};
+            const auto pop = sample_population(arch, 30, rng);
+            sim::SampleSet tta;
+            int apneas = 0;
+            for (const auto& params : pop) {
+                Patient p{params};
+                p.set_infusion_rate(InfusionRate::mg_per_hour(6.0));
+                double t_apnea = -1;
+                for (int i = 0; i < 2 * 3600 * 2; ++i) {  // 2 h at 0.5 s
+                    p.step(0.5);
+                    if (p.is_apneic()) {
+                        t_apnea = p.elapsed_seconds() / 60.0;
+                        break;
+                    }
+                }
+                if (t_apnea >= 0) {
+                    ++apneas;
+                    tta.add(t_apnea);
+                }
+            }
+            t.row()
+                .cell(std::string{to_string(arch)})
+                .cell(static_cast<std::uint64_t>(pop.size()))
+                .cell(static_cast<double>(apneas) /
+                          static_cast<double>(pop.size()),
+                      2)
+                .cell(tta.empty() ? -1.0 : tta.quantile(0.1), 1)
+                .cell(tta.empty() ? -1.0 : tta.median(), 1)
+                .cell(tta.empty() ? -1.0 : tta.quantile(0.9), 1);
+        }
+        t.print(std::cout,
+                "E7c: time-to-apnea under a 6 mg/h runaway infusion "
+                "(30 sampled patients each)");
+        std::cout << '\n';
+    }
+
+    std::cout
+        << "Expected shape: RK4 error falls ~dt^4 until double-precision\n"
+           "floor; the overdose trajectory shows the textbook cascade\n"
+           "(effect-site rise -> drive collapse -> CO2 retention -> apnea ->\n"
+           "desaturation over minutes); sensitive/high-risk archetypes reach\n"
+           "apnea earliest with wide biological spread — the reason\n"
+           "population-level in-silico validation is required.\n";
+    return 0;
+}

@@ -1,0 +1,113 @@
+/// \file bench_micro_kernel.cpp
+/// \brief Micro-benchmarks for the substrates: DES kernel event
+/// throughput, RNG sampling, DBM operations and bus publish path.
+///
+/// These justify the substrate design choices called out in DESIGN.md
+/// (binary-heap queue, xoshiro streams, incremental DBM canonicalization).
+
+#include <benchmark/benchmark.h>
+
+#include "net/net.hpp"
+#include "sim/sim.hpp"
+#include "ta/ta.hpp"
+
+namespace {
+
+using namespace mcps;
+using namespace mcps::sim::literals;
+
+void BM_KernelScheduleDispatch(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        sim::Simulation s;
+        for (std::size_t i = 0; i < n; ++i) {
+            s.schedule_after(sim::SimDuration::micros(static_cast<std::int64_t>(i)),
+                             [] { benchmark::DoNotOptimize(0); });
+        }
+        s.run_all();
+        benchmark::DoNotOptimize(s.events_dispatched());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KernelScheduleDispatch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_KernelPeriodicProcesses(benchmark::State& state) {
+    const auto procs = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        sim::Simulation s;
+        for (std::size_t i = 0; i < procs; ++i) {
+            s.schedule_periodic(1_s, [] { benchmark::DoNotOptimize(0); });
+        }
+        s.run_until(sim::SimTime::origin() + 100_s);
+        benchmark::DoNotOptimize(s.events_dispatched());
+    }
+}
+BENCHMARK(BM_KernelPeriodicProcesses)->Arg(10)->Arg(100);
+
+void BM_RngNormal(benchmark::State& state) {
+    sim::RngStream r{42};
+    for (auto _ : state) benchmark::DoNotOptimize(r.normal());
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_RngUniformInt(benchmark::State& state) {
+    sim::RngStream r{42};
+    for (auto _ : state) benchmark::DoNotOptimize(r.uniform_int(0, 999));
+}
+BENCHMARK(BM_RngUniformInt);
+
+void BM_DbmConstrainCanonicalize(benchmark::State& state) {
+    const auto clocks = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        ta::Dbm z{clocks};
+        z.up();
+        for (std::size_t c = 1; c <= clocks; ++c) {
+            z.constrain_upper(c, static_cast<std::int32_t>(10 * c), false);
+            z.constrain_lower(c, static_cast<std::int32_t>(c), false);
+        }
+        benchmark::DoNotOptimize(z.hash());
+    }
+}
+BENCHMARK(BM_DbmConstrainCanonicalize)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DbmInclusion(benchmark::State& state) {
+    ta::Dbm big{4};
+    big.up();
+    ta::Dbm small = ta::Dbm::zero(4);
+    for (auto _ : state) benchmark::DoNotOptimize(big.includes(small));
+}
+BENCHMARK(BM_DbmInclusion);
+
+void BM_BusPublishDeliver(benchmark::State& state) {
+    const auto subs = static_cast<std::size_t>(state.range(0));
+    sim::Simulation s;
+    net::Bus bus{s, net::ChannelParameters::ideal()};
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < subs; ++i) {
+        bus.subscribe("sub" + std::to_string(i), "vitals/*",
+                      [&sink](const net::Message& m) { sink += m.seq; });
+    }
+    for (auto _ : state) {
+        bus.publish("pub", "vitals/bed1/spo2",
+                    net::VitalSignPayload{"spo2", 97.0, true});
+        s.run_all();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(subs));
+}
+BENCHMARK(BM_BusPublishDeliver)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_ZoneReachabilityPumpModel(benchmark::State& state) {
+    for (auto _ : state) {
+        auto model = ta::build_pump_lockout_model();
+        auto r = ta::check_reachability(model, "Violation");
+        benchmark::DoNotOptimize(r.reachable);
+    }
+}
+BENCHMARK(BM_ZoneReachabilityPumpModel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

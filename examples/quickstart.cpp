@@ -1,0 +1,47 @@
+/// \file quickstart.cpp
+/// \brief Minimal end-to-end use of the mcps framework: assemble a
+/// closed-loop PCA system around a virtual patient, run two simulated
+/// hours, and print the safety summary.
+///
+/// Build & run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/core.hpp"
+
+int main() {
+    using namespace mcps;
+    using namespace mcps::sim::literals;
+
+    // 1. Describe the scenario: an opioid-sensitive patient on PCA
+    //    morphine with the default dual-sensor interlock.
+    core::PcaScenarioConfig cfg;
+    cfg.seed = 7;
+    cfg.duration = 2_h;
+    cfg.patient = physio::nominal_parameters(physio::Archetype::kOpioidSensitive);
+    cfg.demand_mode = core::DemandMode::kProxy;  // worst case: PCA by proxy
+    cfg.interlock = core::InterlockConfig{};     // closed loop ON
+
+    // 2. Run it.
+    const core::PcaScenarioResult r = core::run_pca_scenario(cfg);
+
+    // 3. Report.
+    std::printf("== quickstart: closed-loop PCA, opioid-sensitive patient ==\n");
+    std::printf("simulated             : %.1f h\n", cfg.duration.to_seconds() / 3600);
+    std::printf("drug delivered        : %.2f mg\n", r.total_drug_mg);
+    std::printf("boluses (req/deliv)   : %llu / %llu\n",
+                static_cast<unsigned long long>(r.pump.boluses_requested),
+                static_cast<unsigned long long>(r.pump.boluses_delivered));
+    std::printf("min SpO2 (truth)      : %.1f %%\n", r.min_spo2);
+    std::printf("time SpO2 < 90%%       : %.1f s\n", r.time_spo2_below_90_s);
+    std::printf("severe hypoxemia      : %s\n", r.severe_hypoxemia ? "YES" : "no");
+    std::printf("interlock stops       : %llu\n",
+                static_cast<unsigned long long>(r.interlock.stops_issued));
+    if (r.detection_latency_s) {
+        std::printf("detection latency     : %.1f s\n", *r.detection_latency_s);
+    }
+    std::printf("mean pain score       : %.1f / 10\n", r.mean_pain);
+    return 0;
+}

@@ -1,0 +1,66 @@
+/// \file smart_alarm_ward.cpp
+/// \brief Context-aware intelligence: classic threshold alarms vs. the
+/// fused smart alarm on a ward shift full of motion artifacts.
+///
+/// A stable patient is monitored for six hours by a pulse oximeter that
+/// suffers frequent motion artifacts. The classic monitor rings on every
+/// artifact; the smart alarm cross-checks against capnometry and pulse
+/// and stays quiet — yet both engines are also run against a real
+/// overdose to show the smart alarm still catches true events.
+
+#include <iostream>
+
+#include "core/core.hpp"
+#include "sim/table.hpp"
+
+using namespace mcps;
+using namespace mcps::sim::literals;
+
+namespace {
+
+core::PcaScenarioResult run_shift(bool overdose) {
+    core::PcaScenarioConfig cfg;
+    cfg.seed = 2024;
+    cfg.duration = 6_h;
+    cfg.patient = physio::nominal_parameters(
+        overdose ? physio::Archetype::kOpioidSensitive
+                 : physio::Archetype::kTypicalAdult);
+    cfg.demand_mode =
+        overdose ? core::DemandMode::kProxy : core::DemandMode::kNormal;
+    cfg.interlock = std::nullopt;  // alarms only; no automatic stop
+    cfg.oximeter.artifact_probability = 0.004;  // ~14 artifacts/hour
+    cfg.oximeter.artifact_magnitude = -20.0;
+    cfg.with_monitor = true;
+    cfg.with_smart_alarm = true;
+    return core::run_pca_scenario(cfg);
+}
+
+}  // namespace
+
+int main() {
+    sim::Table table({"shift", "true_event", "threshold_alarms",
+                      "smart_alarms", "smart_critical"});
+
+    const auto quiet = run_shift(/*overdose=*/false);
+    table.row()
+        .cell("stable patient")
+        .cell("no")
+        .cell(static_cast<std::uint64_t>(quiet.monitor_alarm_count))
+        .cell(static_cast<std::uint64_t>(quiet.smart_alarm_count))
+        .cell(static_cast<std::uint64_t>(quiet.smart_critical_count));
+
+    const auto od = run_shift(/*overdose=*/true);
+    table.row()
+        .cell("overdose developing")
+        .cell(od.severe_hypoxemia ? "YES" : "mild")
+        .cell(static_cast<std::uint64_t>(od.monitor_alarm_count))
+        .cell(static_cast<std::uint64_t>(od.smart_alarm_count))
+        .cell(static_cast<std::uint64_t>(od.smart_critical_count));
+
+    table.print(std::cout, "Six-hour ward shift with motion artifacts");
+    std::cout << "\nThreshold alarms fire on artifacts (false alarms on the\n"
+                 "stable shift); the fused engine suppresses uncorroborated\n"
+                 "single-channel anomalies but still escalates the real\n"
+                 "overdose to critical.\n";
+    return 0;
+}

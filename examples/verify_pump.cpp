@@ -1,0 +1,61 @@
+/// \file verify_pump.cpp
+/// \brief The model-based development workflow end to end: model-check
+/// the GPCA pump and closed-loop response properties, demonstrate a
+/// counterexample on an injected firmware defect, and assemble the
+/// results into a GSN assurance case.
+
+#include <iostream>
+
+#include "assurance/assurance.hpp"
+#include "ta/ta.hpp"
+
+using namespace mcps;
+
+int main() {
+    // --- 1. Verify the correct models ---------------------------------
+    const auto report = ta::verify_gpca_suite();
+    std::cout << "P1 (lockout, R1):   "
+              << (report.lockout_safe ? "SAFE" : "VIOLATED") << "  ("
+              << report.lockout_details.states_explored << " states)\n";
+    std::cout << "P2 (stop deadline): "
+              << (report.response_safe ? "SAFE" : "VIOLATED") << "  ("
+              << report.response_details.states_explored << " states)\n";
+
+    // --- 2. Counterexample on an injected defect ----------------------
+    ta::PumpModelParams faulty;
+    faulty.faulty_no_lockout_guard = true;
+    const auto cex =
+        ta::check_reachability(ta::build_pump_lockout_model(faulty), "Violation");
+    std::cout << "\nInjected defect (lockout guard missing on remote path):\n";
+    std::cout << "  violation reachable: " << (cex.reachable ? "YES" : "no")
+              << "\n  counterexample:";
+    for (const auto& step : cex.trace) std::cout << ' ' << step;
+    std::cout << '\n';
+
+    // --- 3. Assemble the assurance case --------------------------------
+    auto ac = assurance::build_gpca_case_skeleton();
+    ac.set_evidence("Sn1",
+                    report.lockout_safe ? assurance::EvidenceStatus::kPassed
+                                        : assurance::EvidenceStatus::kFailed);
+    ac.set_evidence("Sn2",
+                    report.response_safe ? assurance::EvidenceStatus::kPassed
+                                         : assurance::EvidenceStatus::kFailed);
+    // Simulation campaign evidence (attached by the E1/E8 benches in a
+    // real pipeline; marked passed here for the walkthrough).
+    ac.set_evidence("Sn3", assurance::EvidenceStatus::kPassed);
+    ac.set_evidence("Sn4", assurance::EvidenceStatus::kPassed);
+
+    const auto audit = ac.audit();
+    std::cout << '\n' << ac.to_text();
+    std::cout << "audit: well_formed=" << audit.well_formed
+              << " coverage=" << audit.evidence_coverage
+              << " certifiable=" << audit.certifiable << '\n';
+    for (const auto& w : audit.warnings) std::cout << "  warning: " << w << '\n';
+
+    // --- 4. Hazard log --------------------------------------------------
+    const auto log = assurance::build_gpca_hazard_log();
+    std::cout << '\n' << log.to_text();
+    std::cout << "all hazards controlled: "
+              << (log.all_controlled() ? "yes" : "NO") << '\n';
+    return 0;
+}

@@ -1,0 +1,41 @@
+/// \file xray_vent_sync.cpp
+/// \brief The on-demand interoperability scenario: coordinated
+/// ventilator pause during portable chest X-ray, automated (ICE app)
+/// vs. the manual human baseline.
+
+#include <iostream>
+
+#include "core/core.hpp"
+#include "sim/table.hpp"
+
+using namespace mcps;
+
+int main() {
+    sim::Table table({"coordination", "procedures", "sharp_images",
+                      "sharp_rate", "mean_apnea_s", "max_apnea_s",
+                      "auto_resumes"});
+
+    for (const auto mode :
+         {core::CoordinationMode::kManual, core::CoordinationMode::kAutomated}) {
+        core::XrayScenarioConfig cfg;
+        cfg.seed = 11;
+        cfg.mode = mode;
+        cfg.procedures = 40;
+        const auto r = core::run_xray_scenario(cfg);
+        table.row()
+            .cell(std::string{core::to_string(mode)})
+            .cell(static_cast<std::uint64_t>(r.procedures))
+            .cell(static_cast<std::uint64_t>(r.sharp_images))
+            .cell(r.sharp_rate, 3)
+            .cell(r.mean_apnea_s, 2)
+            .cell(r.max_apnea_s, 2)
+            .cell(static_cast<std::uint64_t>(r.safety_auto_resumes));
+    }
+
+    table.print(std::cout, "Chest X-ray on a ventilated patient (40 procedures)");
+    std::cout << "\nAutomated ICE coordination takes every film inside the\n"
+                 "pause window (sharp) with a short, tightly bounded apnea;\n"
+                 "manual timing blurs films and occasionally leans on the\n"
+                 "ventilator's safety auto-resume.\n";
+    return 0;
+}

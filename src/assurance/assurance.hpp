@@ -1,0 +1,8 @@
+/// \file assurance.hpp
+/// \brief Umbrella header for the mcps_assurance certification-artifact
+/// library (GSN assurance cases + hazard log).
+
+#pragma once
+
+#include "gsn.hpp"     // IWYU pragma: export
+#include "hazard.hpp"  // IWYU pragma: export

@@ -1,0 +1,329 @@
+#include "gsn.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace mcps::assurance {
+
+std::string_view to_string(NodeKind k) noexcept {
+    switch (k) {
+        case NodeKind::kGoal: return "Goal";
+        case NodeKind::kStrategy: return "Strategy";
+        case NodeKind::kSolution: return "Solution";
+        case NodeKind::kContext: return "Context";
+        case NodeKind::kAssumption: return "Assumption";
+        case NodeKind::kJustification: return "Justification";
+    }
+    return "Unknown";
+}
+
+std::string_view to_string(EvidenceStatus s) noexcept {
+    switch (s) {
+        case EvidenceStatus::kPending: return "pending";
+        case EvidenceStatus::kAttached: return "attached";
+        case EvidenceStatus::kPassed: return "passed";
+        case EvidenceStatus::kFailed: return "FAILED";
+    }
+    return "unknown";
+}
+
+AssuranceCase::AssuranceCase(std::string title) : title_{std::move(title)} {}
+
+void AssuranceCase::add(Node node) {
+    if (node.id.empty()) {
+        throw std::invalid_argument("AssuranceCase: empty node id");
+    }
+    if (nodes_.contains(node.id)) {
+        throw std::invalid_argument("AssuranceCase: duplicate node id '" +
+                                    node.id + "'");
+    }
+    if (node.kind == NodeKind::kGoal && !root_) root_ = node.id;
+    const NodeId id = node.id;
+    nodes_.emplace(id, std::move(node));
+    children_.try_emplace(id);
+    parent_count_.try_emplace(id, 0);
+}
+
+void AssuranceCase::add_goal(NodeId id, std::string statement) {
+    add(Node{std::move(id), NodeKind::kGoal, std::move(statement), {}, {}});
+}
+void AssuranceCase::add_strategy(NodeId id, std::string statement) {
+    add(Node{std::move(id), NodeKind::kStrategy, std::move(statement), {}, {}});
+}
+void AssuranceCase::add_solution(NodeId id, std::string statement,
+                                 std::string artifact, EvidenceStatus status) {
+    add(Node{std::move(id), NodeKind::kSolution, std::move(statement), status,
+             std::move(artifact)});
+}
+void AssuranceCase::add_context(NodeId id, std::string statement) {
+    add(Node{std::move(id), NodeKind::kContext, std::move(statement), {}, {}});
+}
+void AssuranceCase::add_assumption(NodeId id, std::string statement) {
+    add(Node{std::move(id), NodeKind::kAssumption, std::move(statement), {},
+             {}});
+}
+
+void AssuranceCase::link(const NodeId& parent, const NodeId& child) {
+    const auto pit = nodes_.find(parent);
+    const auto cit = nodes_.find(child);
+    if (pit == nodes_.end() || cit == nodes_.end()) {
+        throw std::invalid_argument("AssuranceCase::link: unknown node");
+    }
+    const NodeKind pk = pit->second.kind;
+    const NodeKind ck = cit->second.kind;
+    // GSN legality: goals are supported by strategies/goals/solutions;
+    // strategies by goals/solutions. Context-family nodes may hang off
+    // goals or strategies. Solutions are leaves.
+    const bool ctx_child = ck == NodeKind::kContext ||
+                           ck == NodeKind::kAssumption ||
+                           ck == NodeKind::kJustification;
+    const bool legal =
+        (pk == NodeKind::kGoal &&
+         (ck == NodeKind::kStrategy || ck == NodeKind::kGoal ||
+          ck == NodeKind::kSolution || ctx_child)) ||
+        (pk == NodeKind::kStrategy &&
+         (ck == NodeKind::kGoal || ck == NodeKind::kSolution || ctx_child));
+    if (!legal) {
+        throw std::invalid_argument(
+            std::string{"AssuranceCase::link: illegal "} +
+            std::string{to_string(pk)} + " -> " + std::string{to_string(ck)});
+    }
+    children_[parent].push_back(child);
+    ++parent_count_[child];
+}
+
+void AssuranceCase::set_evidence(const NodeId& solution, EvidenceStatus status,
+                                 const std::string& artifact) {
+    const auto it = nodes_.find(solution);
+    if (it == nodes_.end() || it->second.kind != NodeKind::kSolution) {
+        throw std::invalid_argument("set_evidence: '" + solution +
+                                    "' is not a solution node");
+    }
+    it->second.evidence = status;
+    if (!artifact.empty()) it->second.artifact = artifact;
+}
+
+const Node* AssuranceCase::find(const NodeId& id) const {
+    const auto it = nodes_.find(id);
+    return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const std::vector<NodeId>& AssuranceCase::children(const NodeId& id) const {
+    static const std::vector<NodeId> kEmpty;
+    const auto it = children_.find(id);
+    return it == children_.end() ? kEmpty : it->second;
+}
+
+const Node& AssuranceCase::root() const {
+    if (!root_) throw std::logic_error("AssuranceCase: no root goal");
+    return nodes_.at(*root_);
+}
+
+namespace {
+/// Post-order: does this subtree support its goal with only-passed
+/// evidence? Returns nullopt for nodes that don't bear on support
+/// (context family).
+enum class Support { kSupported, kUnsupported };
+}  // namespace
+
+AuditReport AssuranceCase::audit() const {
+    AuditReport rep;
+    if (!root_) {
+        rep.errors.push_back("no root goal");
+        return rep;
+    }
+
+    // Cycle check (DFS with colors) + reachability from root.
+    std::map<NodeId, int> color;  // 0 white, 1 gray, 2 black
+    bool cyclic = false;
+    auto dfs = [&](auto&& self, const NodeId& id) -> void {
+        color[id] = 1;
+        for (const auto& c : children(id)) {
+            if (color[c] == 1) {
+                cyclic = true;
+                continue;
+            }
+            if (color[c] == 0) self(self, c);
+        }
+        color[id] = 2;
+    };
+    dfs(dfs, *root_);
+    if (cyclic) rep.errors.push_back("argument graph is cyclic");
+
+    // Orphans: nodes not reachable from the root.
+    for (const auto& [id, node] : nodes_) {
+        if (color[id] == 0) {
+            rep.errors.push_back("node '" + id + "' unreachable from root");
+        }
+    }
+
+    // Pure support analysis (no side effects, safe to call repeatedly).
+    auto support = [&](auto&& self, const NodeId& id) -> bool {
+        const Node& n = nodes_.at(id);
+        switch (n.kind) {
+            case NodeKind::kSolution:
+                return n.evidence == EvidenceStatus::kPassed;
+            case NodeKind::kGoal:
+            case NodeKind::kStrategy: {
+                bool any_support_child = false;
+                bool all_ok = true;
+                for (const auto& c : children(id)) {
+                    const NodeKind ck = nodes_.at(c).kind;
+                    if (ck == NodeKind::kContext ||
+                        ck == NodeKind::kAssumption ||
+                        ck == NodeKind::kJustification) {
+                        continue;
+                    }
+                    any_support_child = true;
+                    all_ok = self(self, c) && all_ok;
+                }
+                return any_support_child && all_ok;
+            }
+            default:
+                return true;  // context family does not gate support
+        }
+    };
+
+    // Undeveloped goals: goals with no supporting (non-context) child.
+    for (const auto& [id, node] : nodes_) {
+        if (node.kind != NodeKind::kGoal) continue;
+        bool developed = false;
+        for (const auto& c : children(id)) {
+            const NodeKind ck = nodes_.at(c).kind;
+            if (ck != NodeKind::kContext && ck != NodeKind::kAssumption &&
+                ck != NodeKind::kJustification) {
+                developed = true;
+            }
+        }
+        if (!developed) ++rep.undeveloped_goals;
+    }
+
+    for (const auto& [id, node] : nodes_) {
+        switch (node.kind) {
+            case NodeKind::kGoal:
+                ++rep.goals;
+                break;
+            case NodeKind::kSolution:
+                ++rep.solutions;
+                if (node.evidence == EvidenceStatus::kPending) {
+                    ++rep.pending_evidence;
+                }
+                if (node.evidence == EvidenceStatus::kFailed) {
+                    ++rep.failed_evidence;
+                    rep.errors.push_back("solution '" + id +
+                                         "' carries FAILED evidence");
+                }
+                break;
+            case NodeKind::kAssumption:
+                rep.warnings.push_back("assumption '" + id +
+                                       "' remains unproven");
+                break;
+            default:
+                break;
+        }
+    }
+
+    // Coverage: fraction of goals whose subtree is fully supported.
+    std::size_t supported_goals = 0;
+    for (const auto& [id, node] : nodes_) {
+        if (node.kind != NodeKind::kGoal) continue;
+        if (support(support, id)) ++supported_goals;
+    }
+    rep.evidence_coverage =
+        rep.goals ? static_cast<double>(supported_goals) /
+                        static_cast<double>(rep.goals)
+                  : 0.0;
+
+    rep.well_formed = rep.errors.empty();
+    rep.certifiable = rep.well_formed && rep.failed_evidence == 0 &&
+                      rep.undeveloped_goals == 0 &&
+                      rep.evidence_coverage >= 1.0;
+    return rep;
+}
+
+void AssuranceCase::render_text(const NodeId& id, std::size_t depth,
+                                std::string& out,
+                                std::map<NodeId, bool>& visited) const {
+    const Node& n = nodes_.at(id);
+    out.append(depth * 2, ' ');
+    out += "[" + std::string{to_string(n.kind)} + " " + n.id + "] " +
+           n.statement;
+    if (n.kind == NodeKind::kSolution) {
+        out += " {" + std::string{to_string(n.evidence)};
+        if (!n.artifact.empty()) out += ": " + n.artifact;
+        out += "}";
+    }
+    out += '\n';
+    if (visited[id]) return;  // shared subtree: print head only once more
+    visited[id] = true;
+    for (const auto& c : children(id)) {
+        render_text(c, depth + 1, out, visited);
+    }
+}
+
+std::string AssuranceCase::to_text() const {
+    std::string out = "Assurance case: " + title_ + "\n";
+    if (root_) {
+        std::map<NodeId, bool> visited;
+        render_text(*root_, 0, out, visited);
+    }
+    return out;
+}
+
+std::string AssuranceCase::to_dot() const {
+    std::string out = "digraph gsn {\n  rankdir=TB;\n";
+    for (const auto& [id, n] : nodes_) {
+        std::string shape = "box";
+        switch (n.kind) {
+            case NodeKind::kGoal: shape = "box"; break;
+            case NodeKind::kStrategy: shape = "parallelogram"; break;
+            case NodeKind::kSolution: shape = "circle"; break;
+            default: shape = "ellipse"; break;
+        }
+        out += "  \"" + id + "\" [shape=" + shape + ", label=\"" + id + "\\n" +
+               n.statement + "\"];\n";
+    }
+    for (const auto& [parent, kids] : children_) {
+        for (const auto& c : kids) {
+            out += "  \"" + parent + "\" -> \"" + c + "\";\n";
+        }
+    }
+    out += "}\n";
+    return out;
+}
+
+AssuranceCase build_gpca_case_skeleton() {
+    AssuranceCase ac{"GPCA closed-loop PCA safety"};
+    ac.add_goal("G1", "The closed-loop PCA MCPS is acceptably safe in use");
+    ac.add_context("C1", "Adult postoperative ward, ICE-assembled at bedside");
+    ac.add_strategy("S1", "Argue over identified respiratory-depression hazards");
+    ac.link("G1", "C1");
+    ac.link("G1", "S1");
+
+    ac.add_goal("G2", "The pump never delivers a bolus during lockout (R1)");
+    ac.add_goal("G3", "Overdose progression is arrested within the deadline");
+    ac.add_goal("G4", "Sensor/data loss cannot silently disable protection");
+    ac.link("S1", "G2");
+    ac.link("S1", "G3");
+    ac.link("S1", "G4");
+
+    ac.add_solution("Sn1", "Model checking of pump lockout model (P1)",
+                    "ta::verify_gpca_suite/lockout");
+    ac.add_solution("Sn2", "Model checking of closed-loop response (P2)",
+                    "ta::verify_gpca_suite/response");
+    ac.add_solution("Sn3", "Population simulation campaign (E1)",
+                    "bench_e1_pca_interlock");
+    ac.add_solution("Sn4", "Fault-injection campaign (E8)",
+                    "bench_e8_fault_injection");
+    ac.link("G2", "Sn1");
+    ac.link("G3", "Sn2");
+    ac.link("G3", "Sn3");
+    ac.link("G4", "Sn4");
+
+    ac.add_assumption("A1", "Clinical thresholds follow ward policy");
+    ac.link("G3", "A1");
+    return ac;
+}
+
+}  // namespace mcps::assurance

@@ -1,0 +1,138 @@
+/// \file gsn.hpp
+/// \brief Goal Structuring Notation (GSN) assurance cases.
+///
+/// The DAC'10 paper's certification thread argues that MCPS approval
+/// should rest on explicit assurance cases: structured arguments that
+/// decompose a top-level safety goal (via strategies) into sub-goals
+/// ultimately supported by solutions (evidence: verification results,
+/// test reports, analyses). This library provides the GSN core node
+/// types, well-formedness checking, evidence-coverage analysis and
+/// renderers, so the verification artifacts produced by src/ta and the
+/// test suite can be assembled into a machine-checkable argument.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcps::assurance {
+
+/// GSN node kinds (core standard subset).
+enum class NodeKind {
+    kGoal,        ///< a claim to be supported
+    kStrategy,    ///< how a goal is decomposed
+    kSolution,    ///< an item of evidence
+    kContext,     ///< scoping information
+    kAssumption,  ///< unproven premise (flagged in coverage analysis)
+    kJustification,
+};
+
+[[nodiscard]] std::string_view to_string(NodeKind k) noexcept;
+
+/// Stable node identifier, unique within one case ("G1", "S2.1", ...).
+using NodeId = std::string;
+
+/// The status an evidence item can carry.
+enum class EvidenceStatus {
+    kPending,   ///< evidence promised but not yet produced
+    kAttached,  ///< evidence exists
+    kPassed,    ///< evidence exists and supports the claim
+    kFailed,    ///< evidence exists and CONTRADICTS the claim
+};
+
+[[nodiscard]] std::string_view to_string(EvidenceStatus s) noexcept;
+
+struct Node {
+    NodeId id;
+    NodeKind kind = NodeKind::kGoal;
+    std::string statement;
+    /// For solutions: current evidence status and an optional pointer to
+    /// the artifact (test name, bench id, verification property).
+    EvidenceStatus evidence = EvidenceStatus::kPending;
+    std::string artifact;
+};
+
+/// Result of a structural + evidential audit of a case.
+struct AuditReport {
+    bool well_formed = false;
+    std::vector<std::string> errors;    ///< structural problems
+    std::vector<std::string> warnings;  ///< e.g. assumptions present
+
+    std::size_t goals = 0;
+    std::size_t solutions = 0;
+    std::size_t undeveloped_goals = 0;  ///< goals with no support
+    std::size_t pending_evidence = 0;
+    std::size_t failed_evidence = 0;
+    /// Fraction of leaf goals transitively supported by kPassed
+    /// solutions only.
+    double evidence_coverage = 0.0;
+    /// True iff well-formed, no failed evidence, no undeveloped goals and
+    /// full coverage — the "ready to submit" predicate.
+    bool certifiable = false;
+};
+
+/// A GSN assurance case: a DAG of nodes rooted at one top goal.
+class AssuranceCase {
+public:
+    explicit AssuranceCase(std::string title);
+
+    [[nodiscard]] const std::string& title() const noexcept { return title_; }
+
+    /// Add a node. \throws std::invalid_argument on duplicate id.
+    void add(Node node);
+    /// Convenience builders.
+    void add_goal(NodeId id, std::string statement);
+    void add_strategy(NodeId id, std::string statement);
+    void add_solution(NodeId id, std::string statement,
+                      std::string artifact = "",
+                      EvidenceStatus status = EvidenceStatus::kPending);
+    void add_context(NodeId id, std::string statement);
+    void add_assumption(NodeId id, std::string statement);
+
+    /// Connect parent -> child ("is supported by" for goal/strategy
+    /// children; "in context of" for context-family children).
+    /// \throws std::invalid_argument on unknown ids or illegal pairing.
+    void link(const NodeId& parent, const NodeId& child);
+
+    /// Update a solution's evidence status (e.g. after a test run).
+    /// \throws std::invalid_argument if the node is not a solution.
+    void set_evidence(const NodeId& solution, EvidenceStatus status,
+                      const std::string& artifact = "");
+
+    [[nodiscard]] const Node* find(const NodeId& id) const;
+    [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+    [[nodiscard]] const std::vector<NodeId>& children(const NodeId& id) const;
+
+    /// The root (first goal added). \throws std::logic_error if none.
+    [[nodiscard]] const Node& root() const;
+
+    /// Structural audit: single root, acyclic, kind-legal links, every
+    /// goal developed, evidence statuses aggregated.
+    [[nodiscard]] AuditReport audit() const;
+
+    /// Indented-text rendering of the argument tree.
+    [[nodiscard]] std::string to_text() const;
+    /// Graphviz DOT rendering.
+    [[nodiscard]] std::string to_dot() const;
+
+private:
+    void render_text(const NodeId& id, std::size_t depth, std::string& out,
+                     std::map<NodeId, bool>& visited) const;
+
+    std::string title_;
+    std::map<NodeId, Node> nodes_;
+    std::map<NodeId, std::vector<NodeId>> children_;
+    std::map<NodeId, std::size_t> parent_count_;
+    std::optional<NodeId> root_;
+};
+
+/// Build the GPCA closed-loop assurance case skeleton used by the
+/// example and tests: top goal "PCA MCPS is acceptably safe" decomposed
+/// over hazards, with solution slots for the P1/P2 verification results
+/// and the E1/E8 experiment evidence.
+[[nodiscard]] AssuranceCase build_gpca_case_skeleton();
+
+}  // namespace mcps::assurance

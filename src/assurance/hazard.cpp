@@ -1,0 +1,164 @@
+#include "hazard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcps::assurance {
+
+std::string_view to_string(Severity s) noexcept {
+    switch (s) {
+        case Severity::kNegligible: return "negligible";
+        case Severity::kMinor: return "minor";
+        case Severity::kSerious: return "serious";
+        case Severity::kCritical: return "critical";
+        case Severity::kCatastrophic: return "catastrophic";
+    }
+    return "unknown";
+}
+
+std::string_view to_string(Likelihood l) noexcept {
+    switch (l) {
+        case Likelihood::kIncredible: return "incredible";
+        case Likelihood::kImprobable: return "improbable";
+        case Likelihood::kRemote: return "remote";
+        case Likelihood::kOccasional: return "occasional";
+        case Likelihood::kFrequent: return "frequent";
+    }
+    return "unknown";
+}
+
+std::string_view to_string(RiskClass r) noexcept {
+    switch (r) {
+        case RiskClass::kAcceptable: return "acceptable";
+        case RiskClass::kTolerable: return "tolerable";
+        case RiskClass::kUndesirable: return "undesirable";
+        case RiskClass::kIntolerable: return "intolerable";
+    }
+    return "unknown";
+}
+
+RiskClass classify(Severity s, Likelihood l) noexcept {
+    const int score =
+        static_cast<int>(s) * static_cast<int>(l);  // 1..25
+    if (score >= 15) return RiskClass::kIntolerable;
+    if (score >= 10) return RiskClass::kUndesirable;
+    if (score >= 5) return RiskClass::kTolerable;
+    return RiskClass::kAcceptable;
+}
+
+RiskClass Hazard::residual_risk() const noexcept {
+    Likelihood best = initial_likelihood;
+    for (const auto& m : mitigations) {
+        best = std::min(best, m.residual_likelihood);
+    }
+    return classify(severity, best);
+}
+
+void HazardLog::add(Hazard h) {
+    if (h.id.empty()) throw std::invalid_argument("HazardLog: empty id");
+    if (find(h.id)) {
+        throw std::invalid_argument("HazardLog: duplicate hazard '" + h.id +
+                                    "'");
+    }
+    hazards_.push_back(std::move(h));
+}
+
+const Hazard* HazardLog::find(const std::string& id) const {
+    const auto it = std::find_if(hazards_.begin(), hazards_.end(),
+                                 [&](const Hazard& h) { return h.id == id; });
+    return it == hazards_.end() ? nullptr : &*it;
+}
+
+std::vector<std::string> HazardLog::open_risks() const {
+    std::vector<std::string> out;
+    for (const auto& h : hazards_) {
+        const RiskClass r = h.residual_risk();
+        if (r == RiskClass::kUndesirable || r == RiskClass::kIntolerable) {
+            out.push_back(h.id);
+        }
+    }
+    return out;
+}
+
+bool HazardLog::all_controlled() const { return open_risks().empty(); }
+
+std::string HazardLog::to_text() const {
+    std::string out = "id\tseverity\tinitial\tresidual\tdescription\n";
+    for (const auto& h : hazards_) {
+        out += h.id + "\t" + std::string{to_string(h.severity)} + "\t" +
+               std::string{to_string(h.initial_risk())} + "\t" +
+               std::string{to_string(h.residual_risk())} + "\t" +
+               h.description + "\n";
+    }
+    return out;
+}
+
+HazardLog build_gpca_hazard_log() {
+    HazardLog log;
+
+    Hazard h1;
+    h1.id = "H1";
+    h1.description = "Opioid overdose causes respiratory depression";
+    h1.cause = "Bolus stacking / PCA-by-proxy / patient sensitivity";
+    h1.severity = Severity::kCatastrophic;
+    h1.initial_likelihood = Likelihood::kOccasional;
+    h1.mitigations.push_back(
+        {"Pump-local lockout + hourly cap (R1/R2)", Likelihood::kRemote,
+         "devices::GpcaPump"});
+    h1.mitigations.push_back(
+        {"Closed-loop dual-sensor interlock (defense in depth with the "
+         "pump-local lockout)",
+         Likelihood::kIncredible, "core::PcaInterlock"});
+    log.add(h1);
+
+    Hazard h2;
+    h2.id = "H2";
+    h2.description = "Interlock blinded by sensor dropout or artifact";
+    h2.cause = "Probe-off, motion artifact, cannula displacement";
+    h2.severity = Severity::kCritical;
+    h2.initial_likelihood = Likelihood::kFrequent;
+    h2.mitigations.push_back(
+        {"Fail-safe stop on data staleness", Likelihood::kImprobable,
+         "core::DataLossPolicy::kFailSafe"});
+    log.add(h2);
+
+    Hazard h3;
+    h3.id = "H3";
+    h3.description = "Stop command lost or delayed by the network";
+    h3.cause = "Packet loss, congestion, gateway outage";
+    h3.severity = Severity::kCritical;
+    h3.initial_likelihood = Likelihood::kOccasional;
+    h3.mitigations.push_back(
+        {"Acknowledged commands with retry", Likelihood::kRemote,
+         "core::PcaInterlock command_retry"});
+    h3.mitigations.push_back(
+        {"Supervisor heartbeat liveness monitoring", Likelihood::kImprobable,
+         "ice::Supervisor"});
+    log.add(h3);
+
+    Hazard h4;
+    h4.id = "H4";
+    h4.description = "Ventilator left paused after X-ray procedure";
+    h4.cause = "Operator distraction / coordinator crash mid-procedure";
+    h4.severity = Severity::kCatastrophic;
+    h4.initial_likelihood = Likelihood::kOccasional;
+    h4.mitigations.push_back(
+        {"Device-local max-pause auto-resume (V1)", Likelihood::kIncredible,
+         "devices::Ventilator"});
+    log.add(h4);
+
+    Hazard h5;
+    h5.id = "H5";
+    h5.description = "Alarm fatigue from false threshold alarms";
+    h5.cause = "Single-channel artifacts crossing static thresholds";
+    h5.severity = Severity::kSerious;
+    h5.initial_likelihood = Likelihood::kFrequent;
+    h5.mitigations.push_back(
+        {"Fused multi-parameter smart alarm", Likelihood::kRemote,
+         "core::SmartAlarm"});
+    log.add(h5);
+
+    return log;
+}
+
+}  // namespace mcps::assurance

@@ -1,0 +1,94 @@
+/// \file hazard.hpp
+/// \brief Hazard log with severity×likelihood risk ranking.
+///
+/// The front end of the certification workflow: hazards are identified,
+/// ranked on a standard 5×5 risk matrix, linked to mitigations, and the
+/// residual risk is tracked. The GPCA example hazard log seeds the
+/// assurance-case goals in gsn.hpp.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcps::assurance {
+
+enum class Severity : std::uint8_t {
+    kNegligible = 1,
+    kMinor = 2,
+    kSerious = 3,
+    kCritical = 4,
+    kCatastrophic = 5,
+};
+
+enum class Likelihood : std::uint8_t {
+    kIncredible = 1,
+    kImprobable = 2,
+    kRemote = 3,
+    kOccasional = 4,
+    kFrequent = 5,
+};
+
+[[nodiscard]] std::string_view to_string(Severity s) noexcept;
+[[nodiscard]] std::string_view to_string(Likelihood l) noexcept;
+
+/// Risk class resulting from the 5x5 matrix.
+enum class RiskClass { kAcceptable, kTolerable, kUndesirable, kIntolerable };
+
+[[nodiscard]] std::string_view to_string(RiskClass r) noexcept;
+
+/// Standard matrix mapping: product severity*likelihood banded.
+[[nodiscard]] RiskClass classify(Severity s, Likelihood l) noexcept;
+
+struct Mitigation {
+    std::string description;
+    /// Post-mitigation likelihood.
+    Likelihood residual_likelihood = Likelihood::kRemote;
+    /// Link to the mechanism implementing it (module, app, device rule).
+    std::string implemented_by;
+};
+
+struct Hazard {
+    std::string id;           ///< "H1", "H2", ...
+    std::string description;
+    std::string cause;
+    Severity severity = Severity::kSerious;
+    Likelihood initial_likelihood = Likelihood::kOccasional;
+    std::vector<Mitigation> mitigations;
+
+    [[nodiscard]] RiskClass initial_risk() const noexcept {
+        return classify(severity, initial_likelihood);
+    }
+    /// Risk after the best (lowest-likelihood) mitigation; initial risk
+    /// if unmitigated.
+    [[nodiscard]] RiskClass residual_risk() const noexcept;
+};
+
+class HazardLog {
+public:
+    /// \throws std::invalid_argument on duplicate id.
+    void add(Hazard h);
+    [[nodiscard]] const Hazard* find(const std::string& id) const;
+    [[nodiscard]] const std::vector<Hazard>& hazards() const noexcept {
+        return hazards_;
+    }
+
+    [[nodiscard]] std::size_t count() const noexcept { return hazards_.size(); }
+    /// Hazards whose residual risk is still Undesirable/Intolerable.
+    [[nodiscard]] std::vector<std::string> open_risks() const;
+    /// True iff every hazard's residual risk is Tolerable or better.
+    [[nodiscard]] bool all_controlled() const;
+
+    /// Tab-separated summary table (id, severity, initial, residual).
+    [[nodiscard]] std::string to_text() const;
+
+private:
+    std::vector<Hazard> hazards_;
+};
+
+/// The PCA/ventilator hazard log the paper's scenarios imply; used by
+/// tests and the assurance example.
+[[nodiscard]] HazardLog build_gpca_hazard_log();
+
+}  // namespace mcps::assurance

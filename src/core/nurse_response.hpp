@@ -1,0 +1,122 @@
+/// \file nurse_response.hpp
+/// \brief Human-in-the-loop alarm response with fatigue — the outcome
+/// half of the smart-alarm argument.
+///
+/// The paper's motivation for intelligent alarms is not aesthetic:
+/// alarm floods desensitize staff, and slower responses to the one true
+/// alarm are the harm. This module closes that loop: a NurseResponder
+/// listens to a configured alarm topic, dispatches to the bedside after
+/// a response delay that *grows with the recent alarm burden* (fatigue),
+/// assesses the patient, and administers an opioid antagonist when true
+/// respiratory depression is found. Experiment E9 measures the patient
+/// outcome difference between nursing staff driven by threshold alarms
+/// vs. the fused smart alarm.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "devices/device.hpp"
+#include "physio/patient.hpp"
+
+namespace mcps::core {
+
+struct NurseConfig {
+    /// Alarm topic pattern that summons the nurse (e.g. "alarm/monitor1"
+    /// or "alarm/smart1").
+    std::string alarm_topic = "alarm/*";
+
+    /// Dispatch delay at zero fatigue.
+    mcps::sim::SimDuration base_response = mcps::sim::SimDuration::minutes(2);
+    /// Each alarm heard within the fatigue window multiplies the
+    /// response delay by (1 + fatigue_per_alarm), capped below.
+    double fatigue_per_alarm = 0.10;
+    mcps::sim::SimDuration fatigue_window = mcps::sim::SimDuration::hours(1);
+    double max_response_factor = 6.0;
+    /// Random spread (lognormal sigma) on each dispatch delay.
+    double response_sigma = 0.35;
+    /// Desensitization: probability of IGNORING an alarm outright grows
+    /// with the recent burden (p = min(max_ignore, ignore_per_alarm *
+    /// alarms_in_window)). This is the documented mechanism of alarm
+    /// fatigue — not just slower walking, but alarms written off.
+    double ignore_per_alarm = 0.025;
+    double max_ignore_probability = 0.85;
+
+    /// Time spent assessing at the bedside before acting.
+    mcps::sim::SimDuration assessment = mcps::sim::SimDuration::seconds(45);
+    /// Bedside assessment criteria: intervene when the patient is
+    /// apneic, breathing slower than rescue_rr, visibly desaturated
+    /// below rescue_spo2, or hypercapnic above rescue_etco2 (the signs
+    /// a clinician actually acts on).
+    double rescue_rr = 8.0;
+    double rescue_spo2 = 90.0;
+    double rescue_etco2 = 55.0;
+
+    /// Pump to pause as part of a rescue ("" = no pump to stop). A real
+    /// rescue is "stop the infusion, then antagonize" — without the stop
+    /// the patient renarcotizes as the antagonist wears off.
+    std::string pump_name = "pump1";
+    /// Antagonist parameters passed to Patient::give_antagonist.
+    double antagonist_potency = 6.0;
+    mcps::sim::SimDuration antagonist_half_life =
+        mcps::sim::SimDuration::minutes(25);
+    /// Nurse cannot give another dose within this period.
+    mcps::sim::SimDuration redose_lockout = mcps::sim::SimDuration::minutes(5);
+};
+
+/// Counters + latency stats for the E9 tables.
+struct NurseStats {
+    std::uint64_t alarms_heard = 0;
+    std::uint64_t ignored = 0;  ///< written off due to desensitization
+    std::uint64_t dispatches = 0;
+    std::uint64_t rescues = 0;       ///< antagonist administered
+    std::uint64_t false_trips = 0;   ///< bedside visit, patient fine
+    /// Alarm receipt -> bedside arrival, per dispatch (seconds).
+    std::vector<double> response_times_s;
+    /// Fatigue factor at each dispatch.
+    std::vector<double> fatigue_factors;
+    /// Alarm receipt -> first RESCUE (seconds); the outcome-relevant
+    /// latency (nullopt if no rescue happened).
+    std::optional<double> first_rescue_latency_s;
+};
+
+/// The responder. Event-driven; needs no periodic stepping.
+class NurseResponder {
+public:
+    NurseResponder(devices::DeviceContext ctx, std::string name,
+                   physio::Patient& patient, NurseConfig cfg);
+
+    /// Begin listening for alarms.
+    void start();
+    void stop();
+
+    [[nodiscard]] const NurseStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] const NurseConfig& config() const noexcept { return cfg_; }
+    /// Current fatigue multiplier (for tracing).
+    [[nodiscard]] double current_fatigue_factor() const;
+
+private:
+    void on_alarm(const mcps::net::Message& m);
+    void arrive_at_bedside(mcps::sim::SimTime alarm_at);
+    void prune_fatigue_window() const;
+
+    devices::DeviceContext ctx_;
+    std::string name_;
+    physio::Patient& patient_;
+    NurseConfig cfg_;
+    mcps::sim::RngStream rng_;
+
+    mutable std::deque<mcps::sim::SimTime> recent_alarms_;
+    bool dispatched_ = false;
+    mcps::sim::SimTime last_rescue_ = mcps::sim::SimTime::origin();
+    bool ever_rescued_ = false;
+    NurseStats stats_;
+    mcps::net::SubscriptionId sub_{};
+    bool running_ = false;
+};
+
+}  // namespace mcps::core

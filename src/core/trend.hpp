@@ -1,0 +1,125 @@
+/// \file trend.hpp
+/// \brief Trend estimation and predictive early warning — the paper's
+/// clinical decision-support thread.
+///
+/// Threshold alarms (and even fused alarms) are *reactive*: they fire
+/// when a limit is already crossed. The decision-support idea in the
+/// DAC'10 agenda is *predictive*: estimate where a vital sign is heading
+/// and warn while there is still time to act. TrendEstimator fits a
+/// least-squares line over a sliding window; EarlyWarning watches bus
+/// vitals and raises a predictive alert when the extrapolated crossing
+/// of a clinical threshold falls within the warning horizon.
+
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "devices/device.hpp"
+
+namespace mcps::core {
+
+/// Sliding-window least-squares trend over one scalar signal.
+class TrendEstimator {
+public:
+    /// \param window how much history the fit uses.
+    explicit TrendEstimator(mcps::sim::SimDuration window);
+
+    /// Add a sample; samples older than the window (relative to \p t)
+    /// are dropped. Times must be non-decreasing.
+    void add(mcps::sim::SimTime t, double value);
+
+    [[nodiscard]] std::size_t count() const noexcept {
+        return samples_.size();
+    }
+    /// Latest value, if any.
+    [[nodiscard]] std::optional<double> latest() const;
+    /// Least-squares slope in units per minute; nullopt with < 3 samples
+    /// or a degenerate (zero-time-spread) window.
+    [[nodiscard]] std::optional<double> slope_per_min() const;
+    /// Projected time until the trend line crosses \p threshold, from
+    /// the newest sample. nullopt if the trend is flat, moving away, or
+    /// the threshold is already crossed (that is the reactive alarm's
+    /// job, not the predictor's).
+    [[nodiscard]] std::optional<mcps::sim::SimDuration> time_to_cross(
+        double threshold) const;
+
+private:
+    mcps::sim::SimDuration window_;
+    std::deque<std::pair<mcps::sim::SimTime, double>> samples_;
+};
+
+/// One predictive rule: warn when \p metric is projected to cross
+/// \p threshold (falling if falling==true, else rising) within the
+/// horizon.
+struct PredictionRule {
+    std::string metric;
+    double threshold = 0.0;
+    bool falling = true;
+};
+
+/// A fired predictive alert.
+struct PredictiveAlert {
+    mcps::sim::SimTime at;
+    std::string metric;
+    double current_value = 0.0;
+    double slope_per_min = 0.0;
+    /// Projected seconds until the threshold crossing.
+    double predicted_cross_in_s = 0.0;
+};
+
+struct EarlyWarningConfig {
+    std::string bed = "bed1";
+    mcps::sim::SimDuration trend_window = mcps::sim::SimDuration::minutes(4);
+    /// Warn when the projected crossing is within this horizon.
+    mcps::sim::SimDuration horizon = mcps::sim::SimDuration::minutes(10);
+    mcps::sim::SimDuration check_period = mcps::sim::SimDuration::seconds(5);
+    /// Same-metric alerts re-arm after this interval.
+    mcps::sim::SimDuration rearm = mcps::sim::SimDuration::minutes(5);
+    /// Minimum |slope| (units/min) to consider a trend real (noise gate).
+    double min_slope_per_min = 0.05;
+    std::vector<PredictionRule> rules{
+        {"spo2", 90.0, true},
+        {"resp_rate", 8.0, true},
+        {"etco2", 60.0, false},
+    };
+};
+
+/// The predictive monitor. Consumes bus vitals like SmartAlarm; emits
+/// "predict/<name>" status messages and records alerts.
+class EarlyWarning {
+public:
+    EarlyWarning(devices::DeviceContext ctx, std::string name,
+                 EarlyWarningConfig cfg);
+
+    void start();
+    void stop();
+
+    [[nodiscard]] const std::vector<PredictiveAlert>& alerts() const noexcept {
+        return alerts_;
+    }
+    [[nodiscard]] const EarlyWarningConfig& config() const noexcept {
+        return cfg_;
+    }
+    /// Live trend access (nullptr if the metric was never seen).
+    [[nodiscard]] const TrendEstimator* trend(const std::string& metric) const;
+
+private:
+    void on_vital(const mcps::net::Message& m);
+    void evaluate();
+
+    devices::DeviceContext ctx_;
+    std::string name_;
+    EarlyWarningConfig cfg_;
+    std::map<std::string, TrendEstimator> trends_;
+    std::map<std::string, mcps::sim::SimTime> last_fired_;
+    std::vector<PredictiveAlert> alerts_;
+    mcps::sim::EventHandle check_handle_;
+    mcps::net::SubscriptionId sub_{};
+    bool running_ = false;
+};
+
+}  // namespace mcps::core

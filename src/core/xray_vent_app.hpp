@@ -1,0 +1,152 @@
+/// \file xray_vent_app.hpp
+/// \brief X-ray / ventilator synchronization — the paper's on-demand
+/// interoperability scenario (E4).
+///
+/// Clinical story: a ventilated ICU patient needs a portable chest X-ray.
+/// Today a clinician manually pauses the ventilator, shouts "shoot", and
+/// resumes — sometimes late (prolonged apnea), sometimes early (blurred
+/// film, repeat exposure, extra dose). The VMD app automates the
+/// sequence over the ICE bus:
+///
+///   request -> cmd vent pause(window) -> await paused ack ->
+///   cmd x-ray expose -> await image result -> cmd vent resume
+///
+/// Every hop rides the lossy network; the ventilator's own max-pause
+/// auto-resume remains the backstop if the coordinator or network dies
+/// mid-procedure. The ManualCoordinator models the human baseline with
+/// log-normal reaction times for the same steps.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "devices/device.hpp"
+#include "devices/ventilator.hpp"
+#include "devices/xray.hpp"
+#include "ice/app.hpp"
+
+namespace mcps::core {
+
+/// Phases of one synchronized exposure.
+enum class SyncPhase {
+    kIdle,
+    kPausing,    ///< pause command sent, awaiting ack
+    kExposing,   ///< expose command sent, awaiting image
+    kResuming,   ///< resume command sent
+    kDone,
+};
+
+[[nodiscard]] std::string_view to_string(SyncPhase p) noexcept;
+
+/// Result of one procedure run.
+struct SyncOutcome {
+    bool image_sharp = false;
+    bool completed = false;       ///< full sequence ran (vs abort/timeout)
+    double apnea_s = 0.0;         ///< pause duration imposed on the patient
+    std::uint64_t command_retries = 0;
+};
+
+struct XrayVentConfig {
+    /// Ventilator pause window requested for the whole exposure sequence
+    /// (must cover x-ray prep + exposure + network slack; the
+    /// ventilator's max-pause clamp still applies on top).
+    mcps::sim::SimDuration pause_window = mcps::sim::SimDuration::seconds(6);
+    /// Ack timeout before retrying the pause/resume commands.
+    mcps::sim::SimDuration retry_period = mcps::sim::SimDuration::millis(700);
+    /// How long to wait for the image result before re-commanding the
+    /// exposure (must exceed x-ray prep + exposure time).
+    mcps::sim::SimDuration image_timeout = mcps::sim::SimDuration::seconds(4);
+    /// Give up (and resume) after this many retries of any one command.
+    int max_retries = 5;
+};
+
+/// The automated coordination app. Binding order: ventilator, x-ray.
+class XrayVentSync : public ice::VmdApp {
+public:
+    XrayVentSync(devices::DeviceContext ctx, std::string name,
+                 XrayVentConfig cfg = {});
+
+    [[nodiscard]] std::vector<ice::Requirement> requirements() const override;
+    void bind(const std::vector<ice::DeviceDescriptor>& devices) override;
+    void on_app_start() override;
+    void on_app_stop() override;
+
+    /// Begin one synchronized exposure. Returns false if busy/not started.
+    bool request_exposure();
+
+    [[nodiscard]] SyncPhase phase() const noexcept { return phase_; }
+    [[nodiscard]] const std::vector<SyncOutcome>& outcomes() const noexcept {
+        return outcomes_;
+    }
+
+private:
+    void advance_to(SyncPhase p);
+    void send_command(const std::string& device, const std::string& action,
+                      std::map<std::string, double> args = {});
+    void on_ack(const mcps::net::Message& m);
+    void on_image(const mcps::net::Message& m);
+    void on_retry_timer();
+    void finish(bool completed, bool sharp);
+
+    devices::DeviceContext ctx_;
+    XrayVentConfig cfg_;
+    std::string vent_name_;
+    std::string xray_name_;
+
+    SyncPhase phase_ = SyncPhase::kIdle;
+    mcps::sim::SimTime phase_entered_;
+    bool expose_acked_ = false;
+    std::uint64_t pending_seq_ = 0;
+    std::uint64_t next_seq_ = 1;
+    int retries_ = 0;
+    SyncOutcome current_;
+    mcps::sim::SimTime pause_started_;
+    std::vector<SyncOutcome> outcomes_;
+    mcps::sim::EventHandle retry_handle_;
+    std::vector<mcps::net::SubscriptionId> subs_;
+    bool started_ = false;
+};
+
+/// The human baseline: same three steps, but each separated by a sampled
+/// human reaction delay, no acks, no retries, and a chance of forgetting
+/// to resume promptly. Drives the devices *directly* (the human stands at
+/// the bedside), so only the devices' own behaviour protects the patient.
+struct ManualCoordinatorConfig {
+    /// Log-normal median human step delay and dispersion (sigma of log).
+    double median_reaction_s = 2.2;
+    double reaction_sigma = 0.6;
+    /// Probability the operator resumes very late (distraction).
+    double distraction_probability = 0.08;
+    double distraction_extra_s = 15.0;
+    /// Probability the operator shoots without pausing first (the
+    /// documented "patient was breathing" retake cause).
+    double premature_shot_probability = 0.12;
+    /// The operator waits this long after pausing before shooting.
+    double shoot_delay_s = 1.0;
+};
+
+class ManualCoordinator {
+public:
+    ManualCoordinator(devices::DeviceContext ctx, ManualCoordinatorConfig cfg,
+                      mcps::sim::RngStream rng);
+
+    /// Run one manual procedure against the given devices. Schedules all
+    /// steps on the simulation; the outcome lands in outcomes() once the
+    /// image completes.
+    void run_procedure(devices::Ventilator& vent, devices::XRayMachine& xray);
+
+    [[nodiscard]] const std::vector<SyncOutcome>& outcomes() const noexcept {
+        return outcomes_;
+    }
+
+private:
+    devices::DeviceContext ctx_;
+    ManualCoordinatorConfig cfg_;
+    mcps::sim::RngStream rng_;
+    std::vector<SyncOutcome> outcomes_;
+};
+
+}  // namespace mcps::core

@@ -1,0 +1,165 @@
+#include "drug_library.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcps::devices {
+
+void DrugEntry::validate() const {
+    if (name.empty()) throw std::invalid_argument("DrugEntry: empty name");
+    if (soft_max_basal > hard_max_basal) {
+        throw std::invalid_argument("DrugEntry: soft basal above hard basal");
+    }
+    if (soft_max_bolus > hard_max_bolus) {
+        throw std::invalid_argument("DrugEntry: soft bolus above hard bolus");
+    }
+    if (soft_max_hourly > hard_max_hourly) {
+        throw std::invalid_argument("DrugEntry: soft hourly above hard hourly");
+    }
+    if (soft_min_lockout < hard_min_lockout) {
+        throw std::invalid_argument(
+            "DrugEntry: soft lockout below hard lockout (soft must be the "
+            "stricter, i.e. longer, minimum)");
+    }
+}
+
+namespace {
+
+void check_limit(std::vector<LimitViolation>& out, LimitViolation::Kind kind,
+                 const std::string& field, bool violated,
+                 const std::string& detail) {
+    if (violated) out.push_back(LimitViolation{kind, field, detail});
+}
+
+std::string mg(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2fmg", v);
+    return buf;
+}
+
+}  // namespace
+
+PrescriptionCheck check_prescription(const Prescription& rx,
+                                     const DrugEntry& entry) {
+    rx.validate();
+    entry.validate();
+    PrescriptionCheck c;
+    using K = LimitViolation::Kind;
+
+    check_limit(c.hard, K::kHard, "basal", rx.basal > entry.hard_max_basal,
+                std::to_string(rx.basal.as_mg_per_hour()) + "mg/h > hard " +
+                    std::to_string(entry.hard_max_basal.as_mg_per_hour()) +
+                    "mg/h");
+    check_limit(c.hard, K::kHard, "bolus_dose",
+                rx.bolus_dose > entry.hard_max_bolus,
+                mg(rx.bolus_dose.as_mg()) + " > hard " +
+                    mg(entry.hard_max_bolus.as_mg()));
+    check_limit(c.hard, K::kHard, "max_hourly",
+                rx.max_hourly > entry.hard_max_hourly,
+                mg(rx.max_hourly.as_mg()) + " > hard " +
+                    mg(entry.hard_max_hourly.as_mg()));
+    check_limit(c.hard, K::kHard, "lockout",
+                rx.lockout < entry.hard_min_lockout,
+                rx.lockout.to_string() + " < hard min " +
+                    entry.hard_min_lockout.to_string());
+
+    check_limit(c.soft, K::kSoft, "basal", rx.basal > entry.soft_max_basal,
+                std::to_string(rx.basal.as_mg_per_hour()) + "mg/h > soft " +
+                    std::to_string(entry.soft_max_basal.as_mg_per_hour()) +
+                    "mg/h");
+    check_limit(c.soft, K::kSoft, "bolus_dose",
+                rx.bolus_dose > entry.soft_max_bolus,
+                mg(rx.bolus_dose.as_mg()) + " > soft " +
+                    mg(entry.soft_max_bolus.as_mg()));
+    check_limit(c.soft, K::kSoft, "max_hourly",
+                rx.max_hourly > entry.soft_max_hourly,
+                mg(rx.max_hourly.as_mg()) + " > soft " +
+                    mg(entry.soft_max_hourly.as_mg()));
+    check_limit(c.soft, K::kSoft, "lockout",
+                rx.lockout < entry.soft_min_lockout,
+                rx.lockout.to_string() + " < soft min " +
+                    entry.soft_min_lockout.to_string());
+    return c;
+}
+
+void DrugLibrary::add(DrugEntry entry) {
+    entry.validate();
+    if (find(entry.name)) {
+        throw std::invalid_argument("DrugLibrary: duplicate drug '" +
+                                    entry.name + "'");
+    }
+    entries_.push_back(std::move(entry));
+}
+
+const DrugEntry* DrugLibrary::find(const std::string& name) const {
+    const auto it =
+        std::find_if(entries_.begin(), entries_.end(),
+                     [&](const DrugEntry& e) { return e.name == name; });
+    return it == entries_.end() ? nullptr : &*it;
+}
+
+ProgrammingSession::ProgrammingSession(const DrugLibrary& library,
+                                       mcps::sim::Simulation& sim)
+    : library_{library}, sim_{sim} {}
+
+PrescriptionCheck ProgrammingSession::program(GpcaPump& pump,
+                                              const std::string& drug_name,
+                                              const Prescription& rx,
+                                              bool clinician_override) {
+    PrescriptionCheck check;
+    ProgrammingRecord rec;
+    rec.at = sim_.now();
+    rec.drug = drug_name;
+
+    const DrugEntry* entry = library_.find(drug_name);
+    if (!entry) {
+        check.hard.push_back(LimitViolation{LimitViolation::Kind::kHard,
+                                            "drug",
+                                            "'" + drug_name +
+                                                "' not in library"});
+    } else {
+        check = check_prescription(rx, *entry);
+    }
+
+    // The pump must be programmable (R6-adjacent: never reprogram a
+    // running infusion).
+    const auto st = pump.state();
+    if (st != PumpState::kIdle && st != PumpState::kPaused &&
+        st != PumpState::kOff) {
+        check.hard.push_back(
+            LimitViolation{LimitViolation::Kind::kHard, "pump-state",
+                           "pump is " + std::string{to_string(st)}});
+    }
+
+    rec.hard_violations = check.hard.size();
+    rec.soft_violations = check.soft.size();
+    rec.overridden = clinician_override && !check.soft.empty();
+    if (check.acceptable(clinician_override)) {
+        pump.set_prescription(rx);
+        rec.accepted = true;
+    }
+    records_.push_back(rec);
+    return check;
+}
+
+DrugLibrary build_default_opioid_library() {
+    DrugLibrary lib;
+    DrugEntry opioid;  // defaults match the simulated agent
+    opioid.name = "synthetic-opioid";
+    lib.add(opioid);
+
+    DrugEntry conservative;
+    conservative.name = "synthetic-opioid-elderly";
+    conservative.hard_max_basal = physio::InfusionRate::mg_per_hour(1.0);
+    conservative.hard_max_bolus = physio::Dose::mg(0.6);
+    conservative.hard_max_hourly = physio::Dose::mg(5.0);
+    conservative.hard_min_lockout = mcps::sim::SimDuration::minutes(8);
+    conservative.soft_max_basal = physio::InfusionRate::mg_per_hour(0.5);
+    conservative.soft_max_bolus = physio::Dose::mg(0.4);
+    conservative.soft_max_hourly = physio::Dose::mg(3.0);
+    conservative.soft_min_lockout = mcps::sim::SimDuration::minutes(10);
+    lib.add(conservative);
+    return lib;
+}
+
+}  // namespace mcps::devices

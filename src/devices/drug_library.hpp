@@ -1,0 +1,121 @@
+/// \file drug_library.hpp
+/// \brief Drug library with hard and soft dose limits — the GPCA
+/// prescription-safety layer.
+///
+/// Real smart pumps refuse prescriptions outside a hospital-curated
+/// drug library: *hard* limits can never be exceeded; *soft* limits
+/// can be overridden by a clinician but are recorded. This module
+/// provides the library, the checker, and the audit trail, and
+/// GpcaPump::set_prescription_checked() wires it into the pump
+/// (requirement R7: no prescription outside hard limits is ever
+/// programmed).
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpca_pump.hpp"
+
+namespace mcps::devices {
+
+/// Limits for one drug at one care-area concentration.
+struct DrugEntry {
+    std::string name;  ///< e.g. "fentanyl-like (synthetic opioid)"
+
+    // Hard limits: violations are rejected outright.
+    physio::InfusionRate hard_max_basal = physio::InfusionRate::mg_per_hour(2.0);
+    physio::Dose hard_max_bolus = physio::Dose::mg(1.0);
+    physio::Dose hard_max_hourly = physio::Dose::mg(8.0);
+    mcps::sim::SimDuration hard_min_lockout = mcps::sim::SimDuration::minutes(5);
+
+    // Soft limits: violations need an explicit clinician override.
+    physio::InfusionRate soft_max_basal = physio::InfusionRate::mg_per_hour(1.0);
+    physio::Dose soft_max_bolus = physio::Dose::mg(0.6);
+    physio::Dose soft_max_hourly = physio::Dose::mg(6.0);
+    mcps::sim::SimDuration soft_min_lockout = mcps::sim::SimDuration::minutes(8);
+
+    /// \throws std::invalid_argument if soft limits exceed hard limits.
+    void validate() const;
+};
+
+/// One rule violation found by the checker.
+struct LimitViolation {
+    enum class Kind { kHard, kSoft };
+    Kind kind = Kind::kHard;
+    std::string field;   ///< "basal", "bolus_dose", "max_hourly", "lockout"
+    std::string detail;  ///< human-readable comparison
+};
+
+/// Result of checking a prescription against a drug entry.
+struct PrescriptionCheck {
+    std::vector<LimitViolation> hard;  ///< must be empty to program
+    std::vector<LimitViolation> soft;  ///< need clinician override
+    [[nodiscard]] bool acceptable(bool clinician_override) const noexcept {
+        return hard.empty() && (soft.empty() || clinician_override);
+    }
+};
+
+/// Check \p rx against \p entry. Never throws on violations — callers
+/// decide; throws only on invalid inputs.
+[[nodiscard]] PrescriptionCheck check_prescription(const Prescription& rx,
+                                                   const DrugEntry& entry);
+
+/// The hospital-curated set of programmable drugs.
+class DrugLibrary {
+public:
+    /// \throws std::invalid_argument on duplicate or invalid entries.
+    void add(DrugEntry entry);
+    [[nodiscard]] const DrugEntry* find(const std::string& name) const;
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+    [[nodiscard]] const std::vector<DrugEntry>& entries() const noexcept {
+        return entries_;
+    }
+
+private:
+    std::vector<DrugEntry> entries_;
+};
+
+/// An audited programming attempt (kept by the ProgrammingSession).
+struct ProgrammingRecord {
+    mcps::sim::SimTime at;
+    std::string drug;
+    bool accepted = false;
+    bool overridden = false;  ///< soft limits were overridden
+    std::size_t hard_violations = 0;
+    std::size_t soft_violations = 0;
+};
+
+/// Mediates prescription programming on a pump against a drug library,
+/// keeping the audit trail regulators expect.
+class ProgrammingSession {
+public:
+    /// \param library must outlive the session.
+    ProgrammingSession(const DrugLibrary& library, mcps::sim::Simulation& sim);
+
+    /// Attempt to program \p pump with \p rx for drug \p drug_name.
+    /// Hard violations always reject; soft violations reject unless
+    /// \p clinician_override. The pump must be in a programmable state
+    /// (idle/paused) or the attempt is rejected with a hard violation
+    /// marked "pump-state".
+    /// \returns the detailed check plus whether programming happened.
+    PrescriptionCheck program(GpcaPump& pump, const std::string& drug_name,
+                              const Prescription& rx, bool clinician_override);
+
+    [[nodiscard]] const std::vector<ProgrammingRecord>& records()
+        const noexcept {
+        return records_;
+    }
+
+private:
+    const DrugLibrary& library_;
+    mcps::sim::Simulation& sim_;
+    std::vector<ProgrammingRecord> records_;
+};
+
+/// The default opioid library used by examples/tests (matches the
+/// defaults of the simulated fentanyl-like agent).
+[[nodiscard]] DrugLibrary build_default_opioid_library();
+
+}  // namespace mcps::devices

@@ -1,0 +1,66 @@
+#include "sensor.hpp"
+
+#include <algorithm>
+
+namespace mcps::devices {
+
+using mcps::sim::SimDuration;
+using mcps::sim::SimTime;
+
+SensorChannel::SensorChannel(SensorChannelConfig cfg, GroundTruth truth,
+                             std::string topic, mcps::sim::RngStream rng)
+    : cfg_{std::move(cfg)},
+      truth_{std::move(truth)},
+      topic_{std::move(topic)},
+      rng_{rng} {
+    if (!truth_) throw std::invalid_argument("SensorChannel: null ground truth");
+    if (cfg_.sample_period <= SimDuration::zero()) {
+        throw std::invalid_argument("SensorChannel: sample period must be > 0");
+    }
+    if (cfg_.metric.empty()) {
+        throw std::invalid_argument("SensorChannel: empty metric name");
+    }
+}
+
+std::optional<mcps::net::VitalSignPayload> SensorChannel::sample(SimTime now) {
+    // Dropout state machine.
+    if (now < dropout_until_) return std::nullopt;
+    if (rng_.bernoulli(cfg_.dropout_probability)) {
+        dropout_until_ = now + cfg_.dropout_duration;
+        return std::nullopt;
+    }
+
+    // Ground truth through the averaging window.
+    const double raw = truth_();
+    double value = raw;
+    if (cfg_.averaging_window > SimDuration::zero()) {
+        window_.emplace_back(now, raw);
+        window_sum_ += raw;
+        const SimTime cutoff = now - cfg_.averaging_window;
+        while (!window_.empty() && window_.front().first < cutoff) {
+            window_sum_ -= window_.front().second;
+            window_.pop_front();
+        }
+        value = window_sum_ / static_cast<double>(window_.size());
+    }
+
+    // Artifact burst.
+    bool artifact_active = now < artifact_until_;
+    if (!artifact_active && rng_.bernoulli(cfg_.artifact_probability)) {
+        artifact_until_ = now + cfg_.artifact_duration;
+        artifact_active = true;
+    }
+    if (artifact_active) value += cfg_.artifact_magnitude;
+
+    // Measurement noise + physical clamp.
+    if (cfg_.noise_sd > 0) value += rng_.normal(0.0, cfg_.noise_sd);
+    value = std::clamp(value, cfg_.clamp_lo, cfg_.clamp_hi);
+
+    mcps::net::VitalSignPayload p;
+    p.metric = cfg_.metric;
+    p.value = value;
+    p.valid = !(artifact_active && cfg_.artifact_flagged);
+    return p;
+}
+
+}  // namespace mcps::devices

@@ -1,0 +1,89 @@
+/// \file sensor.hpp
+/// \brief Shared machinery for vital-sign sensor devices.
+///
+/// Real bedside sensors are imperfect in ways that matter enormously for
+/// interlock design (the paper's "context awareness" and certification
+/// challenges): they average, they lag, they drop out (probe-off), and
+/// they produce motion artifacts that look like clinical events. The
+/// SensorChannel models all four so experiments E3/E8 can sweep them.
+
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "device.hpp"
+#include "sim/rng.hpp"
+
+namespace mcps::devices {
+
+/// Imperfection parameters for one measured metric.
+struct SensorChannelConfig {
+    std::string metric;  ///< e.g. "spo2"
+    mcps::sim::SimDuration sample_period = mcps::sim::SimDuration::seconds(1);
+    /// Moving-average window applied to the ground truth (pulse oximeters
+    /// average over ~8 s, which delays desaturation detection).
+    mcps::sim::SimDuration averaging_window = mcps::sim::SimDuration::zero();
+    double noise_sd = 0.0;  ///< additive white measurement noise
+    /// Per-sample probability that a motion artifact burst begins.
+    double artifact_probability = 0.0;
+    double artifact_magnitude = 0.0;  ///< additive bias during the burst
+    mcps::sim::SimDuration artifact_duration = mcps::sim::SimDuration::seconds(5);
+    /// Whether artifact samples carry valid=false (a high-quality sensor
+    /// flags low signal quality; a cheap one does not).
+    bool artifact_flagged = false;
+    /// Per-sample probability that a dropout (probe-off) begins; during a
+    /// dropout nothing is published at all.
+    double dropout_probability = 0.0;
+    mcps::sim::SimDuration dropout_duration = mcps::sim::SimDuration::seconds(20);
+    /// Clamp range for published values.
+    double clamp_lo = 0.0;
+    double clamp_hi = 1e9;
+};
+
+/// One metric pipeline: ground truth -> average -> artifact -> noise ->
+/// clamp -> publish. Owned by a sensor Device; not a Device itself.
+class SensorChannel {
+public:
+    using GroundTruth = std::function<double()>;
+
+    /// \param truth called at each sample instant for the true value.
+    /// \param topic full topic to publish on (e.g. "vitals/bed1/spo2").
+    SensorChannel(SensorChannelConfig cfg, GroundTruth truth, std::string topic,
+                  mcps::sim::RngStream rng);
+
+    /// Take one sample at time \p now. Returns the payload to publish, or
+    /// nullopt during a dropout.
+    [[nodiscard]] std::optional<mcps::net::VitalSignPayload> sample(
+        mcps::sim::SimTime now);
+
+    [[nodiscard]] const std::string& topic() const noexcept { return topic_; }
+    [[nodiscard]] const SensorChannelConfig& config() const noexcept {
+        return cfg_;
+    }
+    /// True while a dropout window is active.
+    [[nodiscard]] bool in_dropout(mcps::sim::SimTime now) const noexcept {
+        return now < dropout_until_;
+    }
+    /// Force a dropout window (fault-injection hook, E8).
+    void force_dropout(mcps::sim::SimTime now, mcps::sim::SimDuration d) {
+        dropout_until_ = now + d;
+    }
+    /// Force an artifact window (fault-injection hook, E8).
+    void force_artifact(mcps::sim::SimTime now, mcps::sim::SimDuration d) {
+        artifact_until_ = now + d;
+    }
+
+private:
+    SensorChannelConfig cfg_;
+    GroundTruth truth_;
+    std::string topic_;
+    mcps::sim::RngStream rng_;
+    std::deque<std::pair<mcps::sim::SimTime, double>> window_;
+    double window_sum_ = 0.0;
+    mcps::sim::SimTime artifact_until_ = mcps::sim::SimTime::origin();
+    mcps::sim::SimTime dropout_until_ = mcps::sim::SimTime::origin();
+};
+
+}  // namespace mcps::devices

@@ -1,0 +1,77 @@
+/// \file ventilator.hpp
+/// \brief Mechanical ventilator with remotely commandable safe pause.
+///
+/// Half of the paper's on-demand coordination scenario: during a chest
+/// X-ray the ventilator must hold breathing briefly so the image is not
+/// motion-blurred, then resume — automatically, even if the coordinator
+/// dies mid-pause. The built-in safety timeout (auto-resume) is the
+/// device-local guarantee that makes the distributed scenario acceptable
+/// to a regulator: no remote failure can leave the patient apneic.
+
+#pragma once
+
+#include "device.hpp"
+#include "physio/patient.hpp"
+
+namespace mcps::devices {
+
+enum class VentMode {
+    kStandby,      ///< not ventilating (patient breathes spontaneously)
+    kVentilating,  ///< delivering breaths
+    kPaused,       ///< inspiratory hold (no chest motion)
+};
+
+[[nodiscard]] std::string_view to_string(VentMode m) noexcept;
+
+struct VentilatorConfig {
+    physio::RespRate rate{physio::RespRate::per_minute(12.0)};
+    double tidal_ml = 500.0;
+    /// Hard ceiling on any pause; the ventilator auto-resumes at this
+    /// point regardless of commands (safety requirement V1).
+    mcps::sim::SimDuration max_pause = mcps::sim::SimDuration::seconds(30);
+    mcps::sim::SimDuration status_period = mcps::sim::SimDuration::seconds(5);
+};
+
+/// Counters for the E4 experiment.
+struct VentStats {
+    std::uint64_t pauses = 0;
+    std::uint64_t command_resumes = 0;
+    std::uint64_t safety_auto_resumes = 0;  ///< pauses ended by the timeout
+};
+
+class Ventilator : public Device {
+public:
+    Ventilator(DeviceContext ctx, std::string name, physio::Patient& patient,
+               VentilatorConfig cfg = {});
+
+    /// Local/remote pause for at most min(requested, max_pause).
+    /// Returns false (and stays ventilating) if not currently ventilating.
+    bool pause(mcps::sim::SimDuration requested);
+    /// End a pause early. No-op when not paused.
+    void resume();
+
+    [[nodiscard]] VentMode mode() const noexcept { return mode_; }
+    /// True while the chest is moving (ventilation in progress or the
+    /// patient is breathing spontaneously off the ventilator).
+    [[nodiscard]] bool chest_moving() const noexcept;
+    [[nodiscard]] const VentStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] const VentilatorConfig& config() const noexcept { return cfg_; }
+
+protected:
+    void on_start() override;
+    void on_stop() override;
+
+private:
+    void enter_mode(VentMode m, const std::string& why);
+    void handle_command(const mcps::net::Message& m);
+
+    physio::Patient& patient_;
+    VentilatorConfig cfg_;
+    VentMode mode_ = VentMode::kStandby;
+    VentStats stats_;
+    mcps::sim::EventHandle safety_timer_;
+    mcps::sim::EventHandle status_handle_;
+    mcps::net::SubscriptionId cmd_sub_;
+};
+
+}  // namespace mcps::devices

@@ -1,0 +1,76 @@
+/// \file xray.hpp
+/// \brief Portable X-ray machine for the ventilator-sync scenario (E4).
+///
+/// An exposure takes a fixed window; if the chest moves during more than
+/// a small fraction of that window the film is motion-blurred and must be
+/// retaken (extra radiation dose — the clinical cost the coordination
+/// scenario eliminates). The machine itself knows nothing about
+/// ventilators: it samples a motion probe wired up by the scenario,
+/// mirroring the real separation of vendors the paper highlights.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "device.hpp"
+
+namespace mcps::devices {
+
+struct XRayConfig {
+    /// Time from the expose command to the start of the exposure window
+    /// (generator charge + positioning confirmation).
+    mcps::sim::SimDuration prep_time = mcps::sim::SimDuration::millis(1500);
+    mcps::sim::SimDuration exposure = mcps::sim::SimDuration::millis(600);
+    /// Motion during more than this fraction of the window blurs the film.
+    double blur_fraction_threshold = 0.15;
+    /// Motion sampling resolution within the exposure window.
+    mcps::sim::SimDuration motion_sample = mcps::sim::SimDuration::millis(50);
+};
+
+/// Outcome of one exposure.
+struct ImageResult {
+    mcps::sim::SimTime exposed_at;
+    double motion_fraction = 0.0;
+    bool sharp = false;
+};
+
+class XRayMachine : public Device {
+public:
+    /// \param motion_probe returns true when the chest is currently moving.
+    using MotionProbe = std::function<bool()>;
+
+    XRayMachine(DeviceContext ctx, std::string name, MotionProbe motion_probe,
+                XRayConfig cfg = {});
+
+    /// Begin an exposure sequence (prep, then the exposure window).
+    /// Also triggered remotely by command action "expose".
+    /// Returns false if an exposure is already in progress.
+    bool expose();
+
+    [[nodiscard]] bool busy() const noexcept { return busy_; }
+    [[nodiscard]] const std::vector<ImageResult>& results() const noexcept {
+        return results_;
+    }
+    [[nodiscard]] const XRayConfig& config() const noexcept { return cfg_; }
+
+protected:
+    void on_start() override;
+    void on_stop() override;
+
+private:
+    void begin_window();
+    void finish_window();
+    void handle_command(const mcps::net::Message& m);
+
+    MotionProbe motion_probe_;
+    XRayConfig cfg_;
+    bool busy_ = false;
+    std::uint64_t motion_hits_ = 0;
+    std::uint64_t motion_samples_ = 0;
+    mcps::sim::EventHandle sampler_;
+    mcps::net::SubscriptionId cmd_sub_;
+    std::vector<ImageResult> results_;
+};
+
+}  // namespace mcps::devices

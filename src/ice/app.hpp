@@ -1,0 +1,60 @@
+/// \file app.hpp
+/// \brief Virtual Medical Device (VMD) application interface.
+///
+/// In the ICE architecture a clinical scenario is *an app*: a piece of
+/// supervisory software that declares which devices it needs, gets bound
+/// to concrete instances by the supervisor, and then coordinates them
+/// over the bus. The PCA interlock and the X-ray/ventilator sync in
+/// src/core are the two flagship implementations.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "registry.hpp"
+
+namespace mcps::ice {
+
+/// Base class for VMD apps. Lifecycle, driven by the Supervisor:
+///
+///   requirements() -> resolve against registry -> bind(devices)
+///   -> on_app_start() -> [running; device-lost callbacks] -> on_app_stop()
+class VmdApp {
+public:
+    explicit VmdApp(std::string name) : name_{std::move(name)} {}
+    virtual ~VmdApp() = default;
+
+    VmdApp(const VmdApp&) = delete;
+    VmdApp& operator=(const VmdApp&) = delete;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Device slots this app needs, in binding order.
+    [[nodiscard]] virtual std::vector<Requirement> requirements() const = 0;
+
+    /// Receive the resolved devices (same order as requirements()).
+    /// Called exactly once before on_app_start().
+    virtual void bind(const std::vector<DeviceDescriptor>& devices) = 0;
+
+    /// Begin operation (set up subscriptions, periodic logic).
+    virtual void on_app_start() = 0;
+    /// Cease operation (tear down everything started in on_app_start()).
+    virtual void on_app_stop() = 0;
+
+    /// A bound device stopped heartbeating or reported offline. Apps
+    /// implement their fail-safe reaction here (e.g. the PCA interlock
+    /// stops the pump when it loses the oximeter).
+    virtual void on_device_lost(const std::string& device_name) {
+        (void)device_name;
+    }
+    /// A lost device resumed heartbeating.
+    virtual void on_device_recovered(const std::string& device_name) {
+        (void)device_name;
+    }
+
+private:
+    std::string name_;
+};
+
+}  // namespace mcps::ice

@@ -1,0 +1,102 @@
+#include "assembly.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace mcps::ice {
+
+std::size_t AssemblyReport::redundant_slots() const {
+    std::size_t n = 0;
+    for (const auto& s : slots) {
+        if (s.chosen && !s.alternatives.empty()) ++n;
+    }
+    return n;
+}
+
+AssemblyReport check_assembly(const VmdApp& app,
+                              const DeviceRegistry& registry) {
+    AssemblyReport report;
+    report.app_name = app.name();
+    const auto reqs = app.requirements();
+
+    std::set<std::string> used;
+    bool all_filled = true;
+    for (const auto& req : reqs) {
+        SlotReport slot;
+        slot.requirement = req;
+        // Same greedy order as DeviceRegistry::resolve: first unused
+        // matching device wins; the rest are alternatives.
+        for (const auto& d : registry.match(req)) {
+            if (used.contains(d.name)) continue;
+            if (!slot.chosen) {
+                slot.chosen = d;
+                used.insert(d.name);
+            } else {
+                slot.alternatives.push_back(d.name);
+            }
+        }
+        if (!slot.chosen) {
+            all_filled = false;
+            report.warnings.push_back("slot '" + req.label +
+                                      "' cannot be filled");
+        } else {
+            if (slot.alternatives.empty()) {
+                report.warnings.push_back(
+                    "slot '" + req.label + "' has no redundancy (single " +
+                    "point of failure: " + slot.chosen->name + ")");
+            }
+            if (slot.chosen->device && !slot.chosen->device->running()) {
+                report.warnings.push_back("device '" + slot.chosen->name +
+                                          "' is registered but not running");
+            }
+        }
+        report.slots.push_back(std::move(slot));
+    }
+    report.satisfiable = all_filled;
+    return report;
+}
+
+assurance::AssuranceCase build_assembly_case(const AssemblyReport& report) {
+    using assurance::AssuranceCase;
+    using assurance::EvidenceStatus;
+
+    AssuranceCase ac{"Assembly certification: " + report.app_name};
+    ac.add_goal("G-asm", "The assembled configuration for '" +
+                             report.app_name + "' is deployable");
+    ac.add_strategy("S-slots", "Argue over each device requirement slot");
+    ac.link("G-asm", "S-slots");
+
+    std::size_t idx = 0;
+    for (const auto& slot : report.slots) {
+        const std::string suffix = std::to_string(idx++);
+        const std::string label = slot.requirement.label.empty()
+                                      ? std::string{devices::to_string(
+                                            slot.requirement.kind)}
+                                      : slot.requirement.label;
+        const std::string goal_id = "G-slot" + suffix;
+        const std::string sol_id = "Sn-slot" + suffix;
+        ac.add_goal(goal_id, "Slot '" + label +
+                                 "' is filled by a suitable certified device");
+        ac.link("S-slots", goal_id);
+        if (slot.chosen) {
+            ac.add_solution(sol_id,
+                            "Registry match: " + slot.chosen->name,
+                            "registry/" + slot.chosen->name,
+                            EvidenceStatus::kPassed);
+        } else {
+            ac.add_solution(sol_id, "No matching device available", "",
+                            EvidenceStatus::kFailed);
+        }
+        ac.link(goal_id, sol_id);
+    }
+
+    std::size_t widx = 0;
+    for (const auto& w : report.warnings) {
+        const std::string aid = "A-warn" + std::to_string(widx++);
+        ac.add_assumption(aid, w + " — accepted by the deploying clinician");
+        ac.link("G-asm", aid);
+    }
+    return ac;
+}
+
+}  // namespace mcps::ice

@@ -1,0 +1,66 @@
+/// \file assembly.hpp
+/// \brief Assembly-time certification of an on-demand MCPS.
+///
+/// The DAC'10 certification challenge in one sentence: a virtual medical
+/// device is assembled at the bedside, so its safety argument must be
+/// (re-)established *at assembly time*, not at manufacture time. This
+/// module produces that artifact: given an app and the live registry it
+/// computes an AssemblyReport — which devices satisfy which requirement
+/// slots, what redundancy exists, what is missing — and renders it as a
+/// GSN assurance case whose audit() answers "may this configuration be
+/// deployed?". Re-run after any configuration change, exactly as the
+/// re-certification loop prescribes.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app.hpp"
+#include "assurance/gsn.hpp"
+#include "registry.hpp"
+
+namespace mcps::ice {
+
+/// One requirement slot's resolution.
+struct SlotReport {
+    Requirement requirement;
+    /// The device greedily chosen for this slot (nullopt: unsatisfied).
+    std::optional<DeviceDescriptor> chosen;
+    /// Names of OTHER registry devices that could also fill the slot
+    /// (redundancy; excludes devices consumed by earlier slots).
+    std::vector<std::string> alternatives;
+};
+
+/// The assembly-time certification artifact.
+struct AssemblyReport {
+    std::string app_name;
+    std::vector<SlotReport> slots;
+    /// Non-fatal concerns: single-point-of-failure slots (no
+    /// alternative), devices that are registered but not running, ...
+    std::vector<std::string> warnings;
+    bool satisfiable = false;
+
+    /// Count of slots with at least one alternative besides the chosen
+    /// device.
+    [[nodiscard]] std::size_t redundant_slots() const;
+};
+
+/// Evaluate \p app's requirements against \p registry without deploying
+/// anything (pure analysis; greedy assignment identical to
+/// DeviceRegistry::resolve so the report matches what deploy() will do).
+[[nodiscard]] AssemblyReport check_assembly(const VmdApp& app,
+                                            const DeviceRegistry& registry);
+
+/// Render the report as a GSN case:
+///   G-asm "configuration is deployable"
+///     S-slots "argue per requirement slot"
+///       G-slot<i> "slot X is filled by a suitable device"
+///         Sn-slot<i> evidence: the chosen descriptor (passed iff filled)
+/// Warnings become assumptions. audit().certifiable answers the deploy
+/// question; re-run after any configuration change (re-certification).
+[[nodiscard]] assurance::AssuranceCase build_assembly_case(
+    const AssemblyReport& report);
+
+}  // namespace mcps::ice

@@ -1,0 +1,78 @@
+#include "registry.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace mcps::ice {
+
+void DeviceRegistry::add(devices::Device& device) {
+    const auto& name = device.name();
+    if (entries_.contains(name)) {
+        throw std::invalid_argument("DeviceRegistry: duplicate device name '" +
+                                    name + "'");
+    }
+    entries_.emplace(name, DeviceDescriptor{name, device.kind(),
+                                            device.capabilities(), &device});
+}
+
+bool DeviceRegistry::remove(const std::string& name) {
+    return entries_.erase(name) > 0;
+}
+
+const DeviceDescriptor* DeviceRegistry::find(const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<DeviceDescriptor> DeviceRegistry::all() const {
+    std::vector<DeviceDescriptor> out;
+    out.reserve(entries_.size());
+    for (const auto& [_, d] : entries_) out.push_back(d);
+    return out;
+}
+
+bool DeviceRegistry::satisfies(const DeviceDescriptor& d, const Requirement& r) {
+    if (d.kind != r.kind) return false;
+    return std::all_of(r.capabilities.begin(), r.capabilities.end(),
+                       [&](const std::string& cap) {
+                           return std::find(d.capabilities.begin(),
+                                            d.capabilities.end(),
+                                            cap) != d.capabilities.end();
+                       });
+}
+
+std::vector<DeviceDescriptor> DeviceRegistry::match(
+    const Requirement& req) const {
+    std::vector<DeviceDescriptor> out;
+    for (const auto& [_, d] : entries_) {
+        if (satisfies(d, req)) out.push_back(d);
+    }
+    return out;
+}
+
+std::vector<DeviceDescriptor> DeviceRegistry::resolve(
+    const std::vector<Requirement>& reqs, std::string& missing) const {
+    std::vector<DeviceDescriptor> chosen;
+    std::set<std::string> used;
+    for (const auto& r : reqs) {
+        bool found = false;
+        for (const auto& [_, d] : entries_) {
+            if (used.contains(d.name)) continue;
+            if (!satisfies(d, r)) continue;
+            chosen.push_back(d);
+            used.insert(d.name);
+            found = true;
+            break;
+        }
+        if (!found) {
+            missing = r.label.empty()
+                          ? std::string{devices::to_string(r.kind)}
+                          : r.label;
+            return {};
+        }
+    }
+    return chosen;
+}
+
+}  // namespace mcps::ice

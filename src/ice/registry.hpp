@@ -1,0 +1,63 @@
+/// \file registry.hpp
+/// \brief Device registry for on-demand MCPS assembly.
+///
+/// The paper's interoperability vision (MD PnP / ICE, ASTM F2761) is
+/// that a clinical system is *assembled at the bedside* from whatever
+/// certified devices are present. The registry is the inventory the ICE
+/// supervisor consults: devices register with their kind and capability
+/// tags, and apps express requirements that are matched against it.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "devices/device.hpp"
+
+namespace mcps::ice {
+
+/// Registry entry describing one available device.
+struct DeviceDescriptor {
+    std::string name;
+    devices::DeviceKind kind;
+    std::vector<std::string> capabilities;
+    devices::Device* device = nullptr;  ///< non-owning
+};
+
+/// A requirement one app slot must satisfy.
+struct Requirement {
+    devices::DeviceKind kind;
+    std::vector<std::string> capabilities;  ///< all must be present
+    std::string label;  ///< slot name for diagnostics, e.g. "oximeter"
+};
+
+class DeviceRegistry {
+public:
+    /// Register a device. \throws std::invalid_argument on duplicate name.
+    void add(devices::Device& device);
+    /// Remove by name; returns false if absent.
+    bool remove(const std::string& name);
+
+    [[nodiscard]] const DeviceDescriptor* find(const std::string& name) const;
+    [[nodiscard]] std::vector<DeviceDescriptor> all() const;
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+    /// All devices of a kind carrying every listed capability.
+    [[nodiscard]] std::vector<DeviceDescriptor> match(
+        const Requirement& req) const;
+
+    /// Greedy assignment of one distinct device per requirement.
+    /// On success, result.size() == reqs.size() (ordered as given).
+    /// On failure returns an empty vector and sets \p missing to the
+    /// label of the first unsatisfiable requirement.
+    [[nodiscard]] std::vector<DeviceDescriptor> resolve(
+        const std::vector<Requirement>& reqs, std::string& missing) const;
+
+private:
+    [[nodiscard]] static bool satisfies(const DeviceDescriptor& d,
+                                        const Requirement& r);
+    std::map<std::string, DeviceDescriptor> entries_;
+};
+
+}  // namespace mcps::ice

@@ -1,0 +1,94 @@
+#include "bus.hpp"
+
+#include <algorithm>
+
+namespace mcps::net {
+
+using mcps::sim::SimTime;
+
+Bus::Bus(mcps::sim::Simulation& sim, ChannelParameters default_channel)
+    : sim_{sim}, default_params_{default_channel} {
+    default_params_.validate();
+}
+
+SubscriptionId Bus::subscribe(const std::string& endpoint,
+                              const std::string& pattern, Handler handler) {
+    if (!handler) throw std::invalid_argument("subscribe: empty handler");
+    const SubscriptionId id{next_sub_++};
+    subs_.push_back(Subscription{id, endpoint, pattern, std::move(handler)});
+    return id;
+}
+
+bool Bus::unsubscribe(SubscriptionId id) {
+    const auto it = std::find_if(
+        subs_.begin(), subs_.end(),
+        [id](const Subscription& s) { return s.id.value == id.value; });
+    if (it == subs_.end()) return false;
+    subs_.erase(it);
+    return true;
+}
+
+Channel& Bus::channel_for(const std::string& endpoint) {
+    auto it = channels_.find(endpoint);
+    if (it == channels_.end()) {
+        it = channels_
+                 .emplace(endpoint, std::make_unique<Channel>(
+                                        default_params_,
+                                        sim_.rng("bus.channel." + endpoint)))
+                 .first;
+    }
+    return *it->second;
+}
+
+Channel& Bus::endpoint_channel(const std::string& endpoint) {
+    return channel_for(endpoint);
+}
+
+void Bus::set_endpoint_channel(const std::string& endpoint,
+                               const ChannelParameters& params) {
+    channel_for(endpoint).set_parameters(params);
+}
+
+std::uint64_t Bus::publish(const std::string& sender, const std::string& topic,
+                           Payload payload) {
+    const std::uint64_t seq = next_seq_++;
+    ++stats_.published;
+    const SimTime now = sim_.now();
+
+    auto msg = std::make_shared<Message>(
+        Message{seq, topic, sender, now, std::move(payload)});
+
+    // Snapshot matching subscriptions now; a subscriber added after
+    // publication must not receive an in-flight message.
+    for (const auto& sub : subs_) {
+        if (!topic_matches(sub.pattern, topic)) continue;
+        Channel& ch = channel_for(sub.endpoint);
+        DeliveryPlan plan = ch.plan_delivery(now);
+        if (plan.dropped) {
+            ++stats_.dropped;
+            continue;
+        }
+        const SubscriptionId sub_id = sub.id;
+        auto deliver = [this, msg, sub_id]() {
+            // Re-check liveness at delivery time: unsubscribing cancels
+            // in-flight deliveries, as a real middleware detach would.
+            const auto it = std::find_if(subs_.begin(), subs_.end(),
+                                         [sub_id](const Subscription& s) {
+                                             return s.id.value == sub_id.value;
+                                         });
+            if (it == subs_.end()) return;
+            ++stats_.delivered;
+            stats_.delivery_latency_ms.add(
+                (sim_.now() - msg->sent_at).to_millis());
+            it->handler(*msg);
+        };
+        sim_.schedule_after(plan.delay, deliver);
+        if (plan.duplicated) {
+            ++stats_.duplicated;
+            sim_.schedule_after(plan.dup_delay, deliver);
+        }
+    }
+    return seq;
+}
+
+}  // namespace mcps::net

@@ -1,0 +1,54 @@
+#include "channel.hpp"
+
+#include <algorithm>
+
+namespace mcps::net {
+
+using mcps::sim::SimDuration;
+using mcps::sim::SimTime;
+
+Channel::Channel(ChannelParameters params, mcps::sim::RngStream rng)
+    : params_{params}, rng_{rng} {
+    params_.validate();
+}
+
+void Channel::set_parameters(const ChannelParameters& p) {
+    p.validate();
+    params_ = p;
+}
+
+void Channel::add_outage(SimTime from, SimTime to) {
+    if (to <= from) {
+        throw std::invalid_argument("add_outage: empty/negative window");
+    }
+    outages_.emplace_back(from, to);
+}
+
+bool Channel::in_outage(SimTime t) const noexcept {
+    return std::any_of(outages_.begin(), outages_.end(), [t](const auto& w) {
+        return t >= w.first && t < w.second;
+    });
+}
+
+DeliveryPlan Channel::plan_delivery(SimTime now) {
+    DeliveryPlan plan;
+    if (in_outage(now) || rng_.bernoulli(params_.loss_probability)) {
+        plan.dropped = true;
+        return plan;
+    }
+    auto sample_delay = [&]() -> SimDuration {
+        const double jit =
+            rng_.normal(0.0, static_cast<double>(params_.jitter_sd.ticks()));
+        const auto d = params_.base_latency +
+                       SimDuration::micros(static_cast<std::int64_t>(jit));
+        return std::max(SimDuration::zero(), d);
+    };
+    plan.delay = sample_delay();
+    if (rng_.bernoulli(params_.duplicate_probability)) {
+        plan.duplicated = true;
+        plan.dup_delay = sample_delay();
+    }
+    return plan;
+}
+
+}  // namespace mcps::net

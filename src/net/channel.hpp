@@ -1,0 +1,84 @@
+/// \file channel.hpp
+/// \brief Link-quality models: latency, jitter, loss, and outage windows.
+///
+/// The DAC'10 paper flags network failure as a first-class hazard for
+/// closed-loop MCPS ("communication within a MCPS introduces network
+/// failure concerns"). The E2 experiment sweeps these parameters to show
+/// how interlock efficacy degrades; the fault-injection experiment (E8)
+/// uses scheduled outages.
+
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace mcps::net {
+
+/// Stochastic link parameters.
+struct ChannelParameters {
+    mcps::sim::SimDuration base_latency = mcps::sim::SimDuration::millis(5);
+    mcps::sim::SimDuration jitter_sd = mcps::sim::SimDuration::millis(1);
+    double loss_probability = 0.0;       ///< independent per message
+    double duplicate_probability = 0.0;  ///< message delivered twice
+
+    void validate() const {
+        if (base_latency < mcps::sim::SimDuration::zero()) {
+            throw std::invalid_argument("ChannelParameters: negative latency");
+        }
+        if (jitter_sd < mcps::sim::SimDuration::zero()) {
+            throw std::invalid_argument("ChannelParameters: negative jitter");
+        }
+        if (loss_probability < 0 || loss_probability > 1) {
+            throw std::invalid_argument("ChannelParameters: loss outside [0,1]");
+        }
+        if (duplicate_probability < 0 || duplicate_probability > 1) {
+            throw std::invalid_argument(
+                "ChannelParameters: duplicate outside [0,1]");
+        }
+    }
+
+    /// An ideal channel: zero latency, no loss. Useful in unit tests.
+    [[nodiscard]] static ChannelParameters ideal() {
+        return ChannelParameters{mcps::sim::SimDuration::zero(),
+                                 mcps::sim::SimDuration::zero(), 0.0, 0.0};
+    }
+};
+
+/// Per-delivery outcome decided by a Channel.
+struct DeliveryPlan {
+    bool dropped = false;
+    bool duplicated = false;
+    mcps::sim::SimDuration delay;        ///< first copy
+    mcps::sim::SimDuration dup_delay;    ///< second copy, if duplicated
+};
+
+/// A stochastic link with optional scheduled outage windows. During an
+/// outage every message is dropped (models gateway reboot, WiFi roam,
+/// cable pull — the bedside realities the paper worries about).
+class Channel {
+public:
+    Channel(ChannelParameters params, mcps::sim::RngStream rng);
+
+    /// Decide fate and timing of a message sent at \p now.
+    [[nodiscard]] DeliveryPlan plan_delivery(mcps::sim::SimTime now);
+
+    /// Replace the link parameters (e.g. degradation mid-scenario).
+    void set_parameters(const ChannelParameters& p);
+    [[nodiscard]] const ChannelParameters& parameters() const noexcept {
+        return params_;
+    }
+
+    /// Schedule a total outage during [from, to).
+    void add_outage(mcps::sim::SimTime from, mcps::sim::SimTime to);
+    [[nodiscard]] bool in_outage(mcps::sim::SimTime t) const noexcept;
+
+private:
+    ChannelParameters params_;
+    mcps::sim::RngStream rng_;
+    std::vector<std::pair<mcps::sim::SimTime, mcps::sim::SimTime>> outages_;
+};
+
+}  // namespace mcps::net

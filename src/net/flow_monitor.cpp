@@ -1,0 +1,67 @@
+#include "flow_monitor.hpp"
+
+#include <stdexcept>
+
+namespace mcps::net {
+
+using mcps::sim::SimDuration;
+using mcps::sim::SimTime;
+
+FlowMonitor::FlowMonitor(mcps::sim::Simulation& sim, Bus& bus, FlowConfig cfg)
+    : sim_{sim}, bus_{bus}, cfg_{std::move(cfg)} {
+    if (cfg_.deadline <= SimDuration::zero() ||
+        cfg_.check_period <= SimDuration::zero()) {
+        throw std::invalid_argument("FlowConfig: non-positive duration");
+    }
+}
+
+void FlowMonitor::start() {
+    if (running_) return;
+    running_ = true;
+    // The monitor's own subscription rides an ideal dedicated endpoint
+    // so it observes the flow as delivered, not additionally degraded.
+    bus_.set_endpoint_channel("flow_monitor", ChannelParameters::ideal());
+    sub_ = bus_.subscribe("flow_monitor", cfg_.topic_pattern,
+                          [this](const Message& m) { on_message(m); });
+    check_handle_ =
+        sim_.schedule_periodic(cfg_.check_period, [this] { check(); });
+}
+
+void FlowMonitor::stop() {
+    if (!running_) return;
+    running_ = false;
+    check_handle_.cancel();
+    bus_.unsubscribe(sub_);
+}
+
+bool FlowMonitor::currently_late() const {
+    if (last_arrival_.is_never()) return false;
+    return sim_.now() - last_arrival_ > cfg_.deadline;
+}
+
+void FlowMonitor::on_message(const Message& m) {
+    ++stats_.messages;
+    const SimTime now = sim_.now();
+    if (!last_arrival_.is_never()) {
+        stats_.gaps_ms.add((now - last_arrival_).to_millis());
+    }
+    last_arrival_ = now;
+    miss_flagged_ = false;
+
+    // Reordering detection per sender (bus seq is global & increasing).
+    auto [it, inserted] = last_seq_.try_emplace(m.sender, m.seq);
+    if (!inserted) {
+        if (m.seq < it->second) ++stats_.reordered;
+        it->second = std::max(it->second, m.seq);
+    }
+}
+
+void FlowMonitor::check() {
+    if (last_arrival_.is_never() || miss_flagged_) return;
+    if (sim_.now() - last_arrival_ > cfg_.deadline) {
+        ++stats_.deadline_misses;
+        miss_flagged_ = true;  // one miss per silent window
+    }
+}
+
+}  // namespace mcps::net

@@ -1,0 +1,66 @@
+/// \file flow_monitor.hpp
+/// \brief Per-topic QoS monitoring: inter-arrival gaps, deadline misses,
+/// reordering.
+///
+/// Clinical data flows have implicit QoS contracts ("SpO2 every second").
+/// A consumer that silently tolerates gaps is how data-loss hazards hide;
+/// the FlowMonitor makes the contract explicit and observable — the same
+/// information the interlock's staleness logic acts on, but exposed as a
+/// reusable network-health instrument for experiments and dashboards.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "bus.hpp"
+#include "sim/stats.hpp"
+
+namespace mcps::net {
+
+struct FlowConfig {
+    /// Topic pattern to watch (topic_matches syntax).
+    std::string topic_pattern = "vitals/*";
+    /// The flow's contract: a gap longer than this is a deadline miss.
+    mcps::sim::SimDuration deadline = mcps::sim::SimDuration::seconds(3);
+    /// How often ongoing silence is checked for a miss.
+    mcps::sim::SimDuration check_period = mcps::sim::SimDuration::seconds(1);
+};
+
+struct FlowStats {
+    std::uint64_t messages = 0;
+    std::uint64_t deadline_misses = 0;  ///< distinct silent windows
+    std::uint64_t reordered = 0;        ///< seq went backwards per sender
+    mcps::sim::SampleSet gaps_ms;       ///< inter-arrival gaps
+};
+
+/// Watches one flow on the bus. Not a Device; infrastructure telemetry.
+class FlowMonitor {
+public:
+    FlowMonitor(mcps::sim::Simulation& sim, Bus& bus, FlowConfig cfg);
+
+    void start();
+    void stop();
+
+    [[nodiscard]] const FlowStats& stats() const noexcept { return stats_; }
+    /// True while the flow is currently past its deadline.
+    [[nodiscard]] bool currently_late() const;
+    [[nodiscard]] const FlowConfig& config() const noexcept { return cfg_; }
+
+private:
+    void on_message(const Message& m);
+    void check();
+
+    mcps::sim::Simulation& sim_;
+    Bus& bus_;
+    FlowConfig cfg_;
+    FlowStats stats_;
+    mcps::sim::SimTime last_arrival_ = mcps::sim::SimTime::never();
+    bool miss_flagged_ = false;
+    std::map<std::string, std::uint64_t> last_seq_;
+    mcps::sim::EventHandle check_handle_;
+    SubscriptionId sub_{};
+    bool running_ = false;
+};
+
+}  // namespace mcps::net

@@ -1,0 +1,33 @@
+#include "message.hpp"
+
+namespace mcps::net {
+
+std::string_view payload_kind(const Message& m) noexcept {
+    struct Visitor {
+        std::string_view operator()(const VitalSignPayload&) const {
+            return "vital";
+        }
+        std::string_view operator()(const CommandPayload&) const {
+            return "command";
+        }
+        std::string_view operator()(const AckPayload&) const { return "ack"; }
+        std::string_view operator()(const HeartbeatPayload&) const {
+            return "heartbeat";
+        }
+        std::string_view operator()(const StatusPayload&) const {
+            return "status";
+        }
+    };
+    return std::visit(Visitor{}, m.payload);
+}
+
+bool topic_matches(std::string_view pattern, std::string_view topic) noexcept {
+    if (pattern == "*") return true;
+    if (pattern.size() >= 2 && pattern.ends_with("/*")) {
+        const auto prefix = pattern.substr(0, pattern.size() - 1);  // keep '/'
+        return topic.size() > prefix.size() && topic.starts_with(prefix);
+    }
+    return pattern == topic;
+}
+
+}  // namespace mcps::net

@@ -1,0 +1,82 @@
+/// \file message.hpp
+/// \brief Typed messages exchanged over the simulated ICE data bus.
+///
+/// The DAC'10 interoperability challenge is about devices from different
+/// vendors exchanging clinical data and control commands over a shared
+/// network. We model that traffic with a small closed set of payload
+/// kinds — vitals, commands, acks, heartbeats, status — carried by a
+/// common envelope. A closed std::variant keeps dispatch exhaustive at
+/// compile time (Core Guidelines ES.tip: prefer variant over class
+/// hierarchies for closed sets).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+#include "sim/time.hpp"
+
+namespace mcps::net {
+
+/// A periodic vital-sign sample from a sensor device.
+struct VitalSignPayload {
+    std::string metric;  ///< e.g. "spo2", "etco2", "resp_rate", "heart_rate"
+    double value = 0.0;
+    bool valid = true;  ///< false => sensor reports a degraded/artifact value
+};
+
+/// A control command to an actuator device ("stop_infusion", "pause", ...).
+struct CommandPayload {
+    std::string action;
+    std::map<std::string, double> args;
+    std::uint64_t command_seq = 0;  ///< for ack correlation
+};
+
+/// Acknowledgement of a command.
+struct AckPayload {
+    std::uint64_t command_seq = 0;
+    bool success = true;
+    std::string detail;
+};
+
+/// Liveness heartbeat from a device or supervisor.
+struct HeartbeatPayload {
+    std::uint64_t count = 0;
+};
+
+/// Coarse device status broadcast ("infusing", "alarm", "paused", ...).
+struct StatusPayload {
+    std::string state;
+    std::string detail;
+};
+
+using Payload = std::variant<VitalSignPayload, CommandPayload, AckPayload,
+                             HeartbeatPayload, StatusPayload>;
+
+/// The message envelope delivered to subscribers.
+struct Message {
+    std::uint64_t seq = 0;        ///< bus-assigned, globally unique
+    std::string topic;            ///< e.g. "vitals/bed1/spo2"
+    std::string sender;           ///< publishing endpoint name
+    mcps::sim::SimTime sent_at;   ///< publication instant
+    Payload payload;
+};
+
+/// Payload accessors returning nullptr when the alternative doesn't match.
+template <typename T>
+[[nodiscard]] const T* payload_as(const Message& m) noexcept {
+    return std::get_if<T>(&m.payload);
+}
+
+/// Human-readable payload kind ("vital", "command", ...), for logs/tests.
+[[nodiscard]] std::string_view payload_kind(const Message& m) noexcept;
+
+/// True if \p topic matches \p pattern. Patterns are exact strings or a
+/// prefix followed by "/*" which matches any suffix (one level or more):
+/// "vitals/*" matches "vitals/bed1/spo2". A lone "*" matches everything.
+[[nodiscard]] bool topic_matches(std::string_view pattern,
+                                 std::string_view topic) noexcept;
+
+}  // namespace mcps::net

@@ -1,0 +1,9 @@
+/// \file net.hpp
+/// \brief Umbrella header for the mcps_net simulated-network library.
+
+#pragma once
+
+#include "bus.hpp"      // IWYU pragma: export
+#include "channel.hpp"       // IWYU pragma: export
+#include "flow_monitor.hpp"  // IWYU pragma: export
+#include "message.hpp"  // IWYU pragma: export

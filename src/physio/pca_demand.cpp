@@ -1,0 +1,38 @@
+#include "pca_demand.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcps::physio {
+
+DemandModel::DemandModel(DemandParameters params, mcps::sim::RngStream rng)
+    : params_{params}, rng_{rng} {}
+
+double DemandModel::pain(Concentration effect_site) const noexcept {
+    const double c = effect_site.as_ng_per_ml();
+    const double relief = c / (c + params_.analgesia_ec50_ng_ml);
+    return std::clamp(params_.baseline_pain * (1.0 - relief), 0.0, 10.0);
+}
+
+bool DemandModel::poll_press(double dt_seconds, Concentration effect_site,
+                             double drive_suppression) {
+    double rate_per_hour = 0.0;
+
+    if (params_.proxy_presses) {
+        // A proxy presser ignores both pain relief and sedation.
+        rate_per_hour = params_.proxy_rate_per_hour;
+    } else {
+        if (drive_suppression >= params_.sedation_cutoff) {
+            return false;  // too sedated to press: intrinsic PCA safety
+        }
+        const double p = pain(effect_site);
+        if (p < params_.pain_press_threshold) return false;
+        rate_per_hour = params_.max_press_rate_per_hour * (p / 10.0);
+    }
+
+    if (rate_per_hour <= 0.0) return false;
+    const double p_press = 1.0 - std::exp(-rate_per_hour * dt_seconds / 3600.0);
+    return rng_.bernoulli(p_press);
+}
+
+}  // namespace mcps::physio

@@ -1,0 +1,62 @@
+/// \file pca_demand.hpp
+/// \brief Stochastic model of patient bolus-demand behaviour during PCA.
+///
+/// PCA safety analysis needs a realistic *demand process*: how often the
+/// patient presses the bolus button given their current pain relief. We
+/// model pain as a slowly varying baseline plus the analgesic effect of
+/// the current effect-site concentration; button presses form a
+/// non-homogeneous Poisson process whose intensity grows with unrelieved
+/// pain. A "proxy press" mode models the well-documented hazard of
+/// PCA-by-proxy (family members pressing the button for a sedated
+/// patient), which defeats PCA's intrinsic safety feedback and is a key
+/// motivating failure for the interlock.
+
+#pragma once
+
+#include "pk_model.hpp"
+#include "sim/rng.hpp"
+#include "units.hpp"
+
+namespace mcps::physio {
+
+/// Demand-process parameters.
+struct DemandParameters {
+    double baseline_pain = 6.5;       ///< 0-10 scale at zero analgesia
+    double analgesia_ec50_ng_ml = 20.0;  ///< concentration halving pain
+    double max_press_rate_per_hour = 18.0;  ///< at pain 10
+    double pain_press_threshold = 2.0;  ///< below this pain, no presses
+    double sedation_cutoff = 0.45;  ///< drive suppression above which the
+                                    ///< patient is too sedated to press
+    bool proxy_presses = false;  ///< PCA-by-proxy: presses continue
+                                 ///< regardless of sedation
+    double proxy_rate_per_hour = 10.0;
+};
+
+/// Generates button presses. Sample next-press gaps with exponential
+/// inter-arrival at the current intensity; callers re-evaluate the
+/// intensity every tick (thinning is unnecessary at our tick rates).
+class DemandModel {
+public:
+    DemandModel(DemandParameters params, mcps::sim::RngStream rng);
+
+    /// Current pain score [0,10] given analgesic effect-site concentration.
+    [[nodiscard]] double pain(Concentration effect_site) const noexcept;
+
+    /// Whether a press occurs within the next \p dt_seconds, given the
+    /// patient's current analgesic state and sedation level.
+    /// \param drive_suppression fractional respiratory-drive suppression
+    ///        (used as a sedation proxy — a deeply sedated patient cannot
+    ///        press the button, which is PCA's intrinsic safety feature).
+    [[nodiscard]] bool poll_press(double dt_seconds, Concentration effect_site,
+                                  double drive_suppression);
+
+    [[nodiscard]] const DemandParameters& parameters() const noexcept {
+        return params_;
+    }
+
+private:
+    DemandParameters params_;
+    mcps::sim::RngStream rng_;
+};
+
+}  // namespace mcps::physio

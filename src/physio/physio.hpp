@@ -1,0 +1,10 @@
+/// \file physio.hpp
+/// \brief Umbrella header for the mcps_physio patient-model library.
+
+#pragma once
+
+#include "patient.hpp"     // IWYU pragma: export
+#include "pca_demand.hpp"  // IWYU pragma: export
+#include "pk_model.hpp"    // IWYU pragma: export
+#include "population.hpp"  // IWYU pragma: export
+#include "units.hpp"       // IWYU pragma: export

@@ -1,0 +1,95 @@
+/// \file pk_model.hpp
+/// \brief Two-compartment pharmacokinetic model with an effect-site
+/// compartment, used to simulate opioid disposition during PCA therapy.
+///
+/// This reproduces the standard mammillary two-compartment structure used
+/// throughout the infusion-pump verification literature (the patient-model
+/// side of the GPCA safety work the DAC'10 paper describes):
+///
+///   dA1/dt = u(t) - (k10 + k12) A1 + k21 A2      (central, mg)
+///   dA2/dt = k12 A1 - k21 A2                      (peripheral, mg)
+///   dCe/dt = ke0 (C1 - Ce)                        (effect site, ng/ml)
+///
+/// where C1 = A1 / V1 is the plasma concentration and u(t) the drug input
+/// (infusion + boluses). Integration is classical RK4 with a caller-chosen
+/// step; for the stiffness range of clinical opioid parameters, 100 ms
+/// steps give ~1e-9 relative error (verified in tests against the analytic
+/// one-compartment solution and conservation properties).
+
+#pragma once
+
+#include <stdexcept>
+
+#include "units.hpp"
+
+namespace mcps::physio {
+
+/// Rate constants (1/min) and central volume (L) for the two-compartment
+/// model. Defaults model a fentanyl-like synthetic opioid (fast
+/// effect-site equilibration, minutes-scale redistribution): the agent
+/// class for which closed-loop rescue is meaningful — stop the pump and
+/// the effect recedes within tens of minutes. (Morphine's hours-scale
+/// effect-site lag would make any interlock look useless and any
+/// overdose irreversible within a shift; see DESIGN.md.)
+struct PkParameters {
+    double v1_liters = 16.0;  ///< central compartment volume
+    double k10_per_min = 0.10;  ///< elimination from central
+    double k12_per_min = 0.25;  ///< central -> peripheral
+    double k21_per_min = 0.09;  ///< peripheral -> central
+    double ke0_per_min = 0.35;  ///< plasma <-> effect-site equilibration
+
+    /// \throws std::invalid_argument if any constant is non-positive.
+    void validate() const;
+};
+
+/// The PK state integrator. A value type: copy it to branch trajectories.
+class PkTwoCompartment {
+public:
+    explicit PkTwoCompartment(const PkParameters& params);
+
+    /// Instantaneous IV bolus into the central compartment.
+    void bolus(Dose d);
+
+    /// Advance by \p dt_seconds (> 0) under a constant infusion \p rate.
+    /// One RK4 step; call repeatedly with small dt for accuracy.
+    void step(double dt_seconds, InfusionRate rate);
+
+    /// Plasma (central) concentration, ng/ml.
+    [[nodiscard]] Concentration plasma() const noexcept;
+    /// Effect-site concentration, ng/ml — what the PD model consumes.
+    [[nodiscard]] Concentration effect_site() const noexcept {
+        return Concentration::ng_per_ml(ce_ng_ml_);
+    }
+    /// Total drug currently in the body (central + peripheral), mg.
+    [[nodiscard]] Dose body_burden() const noexcept {
+        return Dose::mg(a1_mg_ + a2_mg_);
+    }
+    /// Cumulative drug delivered (boluses + infusion), mg.
+    [[nodiscard]] Dose total_delivered() const noexcept {
+        return Dose::mg(delivered_mg_);
+    }
+    /// Cumulative drug eliminated, mg (for mass-balance checking).
+    [[nodiscard]] Dose total_eliminated() const noexcept {
+        return Dose::mg(eliminated_mg_);
+    }
+
+    [[nodiscard]] const PkParameters& parameters() const noexcept {
+        return params_;
+    }
+
+private:
+    PkParameters params_;
+    double a1_mg_{0};
+    double a2_mg_{0};
+    double ce_ng_ml_{0};
+    double delivered_mg_{0};
+    double eliminated_mg_{0};
+};
+
+/// Analytic plasma concentration for a single bolus into a ONE-compartment
+/// model (k12 = k21 = 0): C(t) = (D/V1) * exp(-k10 t). Used by tests and
+/// the E7 bench to quantify integrator error.
+[[nodiscard]] Concentration one_compartment_bolus_analytic(
+    const PkParameters& params, Dose bolus, double t_seconds);
+
+}  // namespace mcps::physio

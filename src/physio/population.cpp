@@ -1,0 +1,99 @@
+#include "population.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mcps::physio {
+
+std::string_view to_string(Archetype a) noexcept {
+    switch (a) {
+        case Archetype::kTypicalAdult: return "typical-adult";
+        case Archetype::kOpioidSensitive: return "opioid-sensitive";
+        case Archetype::kOpioidTolerant: return "opioid-tolerant";
+        case Archetype::kElderly: return "elderly";
+        case Archetype::kHighRisk: return "high-risk";
+    }
+    return "unknown";
+}
+
+const std::vector<Archetype>& all_archetypes() {
+    static const std::vector<Archetype> kAll{
+        Archetype::kTypicalAdult, Archetype::kOpioidSensitive,
+        Archetype::kOpioidTolerant, Archetype::kElderly, Archetype::kHighRisk,
+    };
+    return kAll;
+}
+
+PatientParameters nominal_parameters(Archetype a) {
+    PatientParameters p;  // defaults == typical adult
+    p.label = std::string{to_string(a)};
+    switch (a) {
+        case Archetype::kTypicalAdult:
+            break;
+        case Archetype::kOpioidSensitive:
+            p.pd.ec50_ng_ml = 28.0;
+            p.pk.k10_per_min = 0.07;
+            break;
+        case Archetype::kOpioidTolerant:
+            p.pd.ec50_ng_ml = 90.0;
+            break;
+        case Archetype::kElderly:
+            p.weight_kg = 62.0;
+            p.pk.k10_per_min = 0.065;
+            p.pk.v1_liters = 13.0;
+            p.resp.baseline_rr_per_min = 13.0;
+            p.resp.baseline_tidal_ml = 420.0;
+            p.pd.ec50_ng_ml = 38.0;
+            break;
+        case Archetype::kHighRisk:
+            p.weight_kg = 98.0;
+            p.pd.ec50_ng_ml = 32.0;
+            p.pd.gamma = 3.0;
+            p.resp.apnea_drive_threshold = 0.24;
+            p.resp.aa_gradient_mmhg = 14.0;
+            break;
+    }
+    p.validate();
+    return p;
+}
+
+namespace {
+/// Log-normal multiplier with unit median and coefficient of variation cv.
+double ln_mult(mcps::sim::RngStream& rng, double cv) {
+    if (cv <= 0) return 1.0;
+    const double sigma = std::sqrt(std::log(1.0 + cv * cv));
+    return rng.lognormal(0.0, sigma);
+}
+}  // namespace
+
+PatientParameters sample_patient(Archetype a, mcps::sim::RngStream& rng,
+                                 const VariabilitySpec& var) {
+    PatientParameters p = nominal_parameters(a);
+    p.weight_kg *= ln_mult(rng, 0.15);
+    p.pk.v1_liters *= ln_mult(rng, var.cv_pk);
+    p.pk.k10_per_min *= ln_mult(rng, var.cv_pk);
+    p.pk.k12_per_min *= ln_mult(rng, var.cv_pk);
+    p.pk.k21_per_min *= ln_mult(rng, var.cv_pk);
+    p.pk.ke0_per_min *= ln_mult(rng, var.cv_pk);
+    p.pd.ec50_ng_ml *= ln_mult(rng, var.cv_pd);
+    p.pd.gamma *= ln_mult(rng, var.cv_pd * 0.5);
+    p.resp.baseline_rr_per_min *= ln_mult(rng, var.cv_resp);
+    p.resp.baseline_tidal_ml *= ln_mult(rng, var.cv_resp);
+    // Keep anatomically required orderings intact after perturbation.
+    if (p.resp.baseline_tidal_ml <= p.resp.deadspace_ml + 50.0) {
+        p.resp.baseline_tidal_ml = p.resp.deadspace_ml + 50.0;
+    }
+    p.validate();
+    return p;
+}
+
+std::vector<PatientParameters> sample_population(Archetype a, std::size_t n,
+                                                 mcps::sim::RngStream& rng,
+                                                 const VariabilitySpec& var) {
+    std::vector<PatientParameters> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(sample_patient(a, rng, var));
+    return out;
+}
+
+}  // namespace mcps::physio

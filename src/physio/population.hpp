@@ -1,0 +1,54 @@
+/// \file population.hpp
+/// \brief Patient archetypes and population sampling for validation sweeps.
+///
+/// Closed-loop MCPS validation (per the DAC'10 "patient modeling"
+/// challenge) must cover inter-patient variability: the same PCA regimen
+/// that is safe for an opioid-tolerant adult can kill an opioid-naive
+/// elderly patient. Archetypes fix the systematic component; the sampler
+/// adds log-normal biological variability on top.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "patient.hpp"
+#include "sim/rng.hpp"
+
+namespace mcps::physio {
+
+/// Systematic patient classes used across experiments.
+enum class Archetype {
+    kTypicalAdult,
+    kOpioidSensitive,  ///< low EC50, slow clearance (e.g. opioid-naive elderly)
+    kOpioidTolerant,   ///< high EC50 (chronic opioid exposure)
+    kElderly,          ///< reduced clearance & respiratory reserve
+    kHighRisk,         ///< sleep apnea phenotype: low reserve + sensitivity
+};
+
+[[nodiscard]] std::string_view to_string(Archetype a) noexcept;
+/// All archetypes in declaration order, for sweep loops.
+[[nodiscard]] const std::vector<Archetype>& all_archetypes();
+
+/// Deterministic nominal parameters for an archetype (no random spread).
+[[nodiscard]] PatientParameters nominal_parameters(Archetype a);
+
+/// Controls how much biological variability the sampler injects.
+struct VariabilitySpec {
+    double cv_pk = 0.25;  ///< coefficient of variation on PK constants
+    double cv_pd = 0.30;  ///< on EC50/gamma
+    double cv_resp = 0.12;  ///< on respiratory baselines
+};
+
+/// Sample one patient from an archetype with log-normal variability.
+/// Deterministic given the stream state.
+[[nodiscard]] PatientParameters sample_patient(Archetype a,
+                                               mcps::sim::RngStream& rng,
+                                               const VariabilitySpec& var = {});
+
+/// Sample \p n patients (convenience for population sweeps).
+[[nodiscard]] std::vector<PatientParameters> sample_population(
+    Archetype a, std::size_t n, mcps::sim::RngStream& rng,
+    const VariabilitySpec& var = {});
+
+}  // namespace mcps::physio

@@ -1,0 +1,158 @@
+/// \file units.hpp
+/// \brief Strong types for the physical/clinical quantities exchanged
+/// between the patient model, devices and clinical apps.
+///
+/// Per Core Guideline I.4, values with units never travel as raw doubles
+/// across public interfaces: a Dose cannot be accidentally passed where a
+/// Concentration is expected.
+
+#pragma once
+
+#include <compare>
+#include <stdexcept>
+
+namespace mcps::physio {
+
+/// Drug mass in milligrams.
+class Dose {
+public:
+    constexpr Dose() = default;
+    [[nodiscard]] static constexpr Dose mg(double v) { return Dose{v}; }
+    [[nodiscard]] constexpr double as_mg() const noexcept { return mg_; }
+
+    constexpr auto operator<=>(const Dose&) const = default;
+    friend constexpr Dose operator+(Dose a, Dose b) { return Dose{a.mg_ + b.mg_}; }
+    friend constexpr Dose operator-(Dose a, Dose b) { return Dose{a.mg_ - b.mg_}; }
+    friend constexpr Dose operator*(Dose a, double k) { return Dose{a.mg_ * k}; }
+    friend constexpr Dose operator*(double k, Dose a) { return Dose{a.mg_ * k}; }
+    constexpr Dose& operator+=(Dose o) {
+        mg_ += o.mg_;
+        return *this;
+    }
+    constexpr Dose& operator-=(Dose o) {
+        mg_ -= o.mg_;
+        return *this;
+    }
+    [[nodiscard]] static constexpr Dose zero() { return {}; }
+
+private:
+    explicit constexpr Dose(double v) : mg_{v} {}
+    double mg_{0};
+};
+
+/// Drug infusion rate in milligrams per hour.
+class InfusionRate {
+public:
+    constexpr InfusionRate() = default;
+    [[nodiscard]] static constexpr InfusionRate mg_per_hour(double v) {
+        return InfusionRate{v};
+    }
+    [[nodiscard]] constexpr double as_mg_per_hour() const noexcept { return v_; }
+    [[nodiscard]] constexpr double as_mg_per_second() const noexcept {
+        return v_ / 3600.0;
+    }
+    constexpr auto operator<=>(const InfusionRate&) const = default;
+    [[nodiscard]] static constexpr InfusionRate zero() { return {}; }
+
+private:
+    explicit constexpr InfusionRate(double v) : v_{v} {}
+    double v_{0};
+};
+
+/// Blood plasma drug concentration in nanograms per milliliter.
+class Concentration {
+public:
+    constexpr Concentration() = default;
+    [[nodiscard]] static constexpr Concentration ng_per_ml(double v) {
+        return Concentration{v};
+    }
+    [[nodiscard]] constexpr double as_ng_per_ml() const noexcept { return v_; }
+    constexpr auto operator<=>(const Concentration&) const = default;
+    [[nodiscard]] static constexpr Concentration zero() { return {}; }
+
+private:
+    explicit constexpr Concentration(double v) : v_{v} {}
+    double v_{0};
+};
+
+/// Peripheral oxygen saturation, percent [0, 100].
+class SpO2 {
+public:
+    constexpr SpO2() = default;
+    /// \throws std::out_of_range outside [0, 100].
+    [[nodiscard]] static constexpr SpO2 percent(double v) {
+        if (v < 0.0 || v > 100.0) {
+            throw std::out_of_range("SpO2 must be within [0, 100] percent");
+        }
+        return SpO2{v};
+    }
+    /// Clamping constructor for noisy sensor paths.
+    [[nodiscard]] static constexpr SpO2 percent_clamped(double v) noexcept {
+        return SpO2{v < 0.0 ? 0.0 : (v > 100.0 ? 100.0 : v)};
+    }
+    [[nodiscard]] constexpr double as_percent() const noexcept { return v_; }
+    constexpr auto operator<=>(const SpO2&) const = default;
+
+private:
+    explicit constexpr SpO2(double v) : v_{v} {}
+    double v_{100.0};
+};
+
+/// Respiratory rate in breaths per minute.
+class RespRate {
+public:
+    constexpr RespRate() = default;
+    [[nodiscard]] static constexpr RespRate per_minute(double v) {
+        if (v < 0.0) throw std::out_of_range("RespRate cannot be negative");
+        return RespRate{v};
+    }
+    [[nodiscard]] static constexpr RespRate per_minute_clamped(double v) noexcept {
+        return RespRate{v < 0.0 ? 0.0 : v};
+    }
+    [[nodiscard]] constexpr double as_per_minute() const noexcept { return v_; }
+    constexpr auto operator<=>(const RespRate&) const = default;
+
+private:
+    explicit constexpr RespRate(double v) : v_{v} {}
+    double v_{12.0};
+};
+
+/// End-tidal CO2 partial pressure in mmHg.
+class EtCO2 {
+public:
+    constexpr EtCO2() = default;
+    [[nodiscard]] static constexpr EtCO2 mmhg(double v) {
+        if (v < 0.0) throw std::out_of_range("EtCO2 cannot be negative");
+        return EtCO2{v};
+    }
+    [[nodiscard]] static constexpr EtCO2 mmhg_clamped(double v) noexcept {
+        return EtCO2{v < 0.0 ? 0.0 : v};
+    }
+    [[nodiscard]] constexpr double as_mmhg() const noexcept { return v_; }
+    constexpr auto operator<=>(const EtCO2&) const = default;
+
+private:
+    explicit constexpr EtCO2(double v) : v_{v} {}
+    double v_{38.0};
+};
+
+/// Heart rate in beats per minute.
+class HeartRate {
+public:
+    constexpr HeartRate() = default;
+    [[nodiscard]] static constexpr HeartRate bpm(double v) {
+        if (v < 0.0) throw std::out_of_range("HeartRate cannot be negative");
+        return HeartRate{v};
+    }
+    [[nodiscard]] static constexpr HeartRate bpm_clamped(double v) noexcept {
+        return HeartRate{v < 0.0 ? 0.0 : v};
+    }
+    [[nodiscard]] constexpr double as_bpm() const noexcept { return v_; }
+    constexpr auto operator<=>(const HeartRate&) const = default;
+
+private:
+    explicit constexpr HeartRate(double v) : v_{v} {}
+    double v_{72.0};
+};
+
+}  // namespace mcps::physio

@@ -1,0 +1,117 @@
+#include "rng.hpp"
+
+#include <cmath>
+
+namespace mcps::sim {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+RngStream::RngStream(std::uint64_t master_seed, std::string_view name) noexcept {
+    // Mix the name hash into the master seed so distinct names give
+    // statistically independent substreams.
+    std::uint64_t mixed = master_seed ^ rotl(fnv1a64(name), 17);
+    seed_from(mixed);
+}
+
+RngStream::RngStream(std::uint64_t seed) noexcept { seed_from(seed); }
+
+void RngStream::seed_from(std::uint64_t seed) noexcept {
+    // Expand via splitmix64 per the xoshiro authors' recommendation; a
+    // zero-everywhere state is impossible because splitmix64 is a bijection
+    // sequence over distinct increments.
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9E3779B97F4A7C15ULL;
+}
+
+RngStream::result_type RngStream::next() noexcept {
+    // xoshiro256** reference algorithm (Blackman & Vigna).
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double RngStream::uniform() noexcept {
+    // 53 random mantissa bits -> double in [0,1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double RngStream::uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+    std::uint64_t r = next();
+    while (r >= limit) r = next();
+    return lo + static_cast<std::int64_t>(r % span);
+}
+
+bool RngStream::bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+}
+
+double RngStream::normal() noexcept {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Marsaglia polar method.
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_normal_ = v * factor;
+    has_cached_normal_ = true;
+    return u * factor;
+}
+
+double RngStream::normal(double mean, double sd) noexcept {
+    return mean + sd * normal();
+}
+
+double RngStream::normal_truncated(double mean, double sd, double lo,
+                                   double hi) noexcept {
+    if (lo > hi) return mean;
+    if (sd <= 0.0) return std::min(std::max(mean, lo), hi);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = normal(mean, sd);
+        if (x >= lo && x <= hi) return x;
+    }
+    // Pathological bounds far in the tail: clamp rather than loop forever.
+    return std::min(std::max(mean, lo), hi);
+}
+
+double RngStream::exponential(double mean) noexcept {
+    // Inverse CDF; 1-uniform() is in (0,1] so log() is finite.
+    return -mean * std::log(1.0 - uniform());
+}
+
+double RngStream::lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+}
+
+std::size_t RngStream::pick(std::size_t n) noexcept {
+    return static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+}  // namespace mcps::sim

@@ -1,0 +1,120 @@
+#include "simulation.hpp"
+
+#include <utility>
+
+namespace mcps::sim {
+
+bool EventHandle::cancel() noexcept {
+    if (!state_ || state_->cancelled) return false;
+    if (state_->fired && !state_->periodic) return false;
+    state_->cancelled = true;
+    return true;
+}
+
+bool EventHandle::pending() const noexcept {
+    if (!state_ || state_->cancelled) return false;
+    return state_->periodic || !state_->fired;
+}
+
+Simulation::Simulation(std::uint64_t master_seed) : master_seed_{master_seed} {}
+
+EventHandle Simulation::push(SimTime when, EventPriority prio, Callback cb) {
+    auto state = std::make_shared<EventHandle::State>();
+    queue_.push(QueuedEvent{when, prio, next_seq_++, std::move(cb), state});
+    return EventHandle{std::move(state)};
+}
+
+EventHandle Simulation::schedule_at(SimTime when, Callback cb,
+                                    EventPriority prio) {
+    if (when < now_) {
+        throw SimulationError("schedule_at: " + when.to_string() +
+                              " is before now (" + now_.to_string() + ")");
+    }
+    if (!cb) throw SimulationError("schedule_at: empty callback");
+    return push(when, prio, std::move(cb));
+}
+
+EventHandle Simulation::schedule_after(SimDuration delay, Callback cb,
+                                       EventPriority prio) {
+    if (delay < SimDuration::zero()) {
+        throw SimulationError("schedule_after: negative delay " +
+                              delay.to_string());
+    }
+    if (!cb) throw SimulationError("schedule_after: empty callback");
+    return push(now_ + delay, prio, std::move(cb));
+}
+
+EventHandle Simulation::schedule_periodic(SimDuration period, Callback cb,
+                                          EventPriority prio) {
+    if (period <= SimDuration::zero()) {
+        throw SimulationError("schedule_periodic: period must be positive, got " +
+                              period.to_string());
+    }
+    if (!cb) throw SimulationError("schedule_periodic: empty callback");
+
+    // The chain of firings shares one handle state so a single cancel()
+    // silences every future repetition.
+    auto state = std::make_shared<EventHandle::State>();
+    state->periodic = true;
+    // Self-rescheduling closure. It captures `this`, which is safe because
+    // the queue lives inside *this and cannot outlive it. The repeater
+    // holds only a weak reference to itself; the strong references live in
+    // the queued events, so a cancelled chain is freed once its pending
+    // event drains (no shared_ptr cycle, P.8).
+    auto repeater = std::make_shared<std::function<void()>>();
+    std::weak_ptr<std::function<void()>> weak_self = repeater;
+    *repeater = [this, period, prio, cb = std::move(cb), state, weak_self]() {
+        cb();
+        if (state->cancelled) return;
+        auto self = weak_self.lock();
+        if (!self) return;
+        queue_.push(QueuedEvent{now_ + period, prio, next_seq_++,
+                                [self] { (*self)(); }, state});
+    };
+    queue_.push(QueuedEvent{now_ + period, prio, next_seq_++,
+                            [repeater] { (*repeater)(); }, state});
+    return EventHandle{std::move(state)};
+}
+
+void Simulation::dispatch(QueuedEvent& ev) {
+    if (ev.state->cancelled) return;
+    ev.state->fired = true;
+    ++events_dispatched_;
+    ev.cb();
+}
+
+void Simulation::run_until(SimTime until) {
+    if (running_) throw SimulationError("run_until: kernel is already running");
+    if (until < now_) {
+        throw SimulationError("run_until: target " + until.to_string() +
+                              " is before now (" + now_.to_string() + ")");
+    }
+    running_ = true;
+    stop_requested_ = false;
+    while (!queue_.empty() && !stop_requested_) {
+        // Note: top() is const&; we must copy out before pop because the
+        // callback may push new events and invalidate references.
+        QueuedEvent ev = queue_.top();
+        if (ev.when > until) break;
+        queue_.pop();
+        now_ = ev.when;
+        dispatch(ev);
+    }
+    if (!stop_requested_ && now_ < until) now_ = until;
+    running_ = false;
+}
+
+void Simulation::run_all() {
+    if (running_) throw SimulationError("run_all: kernel is already running");
+    running_ = true;
+    stop_requested_ = false;
+    while (!queue_.empty() && !stop_requested_) {
+        QueuedEvent ev = queue_.top();
+        queue_.pop();
+        now_ = ev.when;
+        dispatch(ev);
+    }
+    running_ = false;
+}
+
+}  // namespace mcps::sim

@@ -1,0 +1,165 @@
+/// \file simulation.hpp
+/// \brief Discrete-event simulation kernel.
+///
+/// A Simulation owns a simulated clock and an event queue. Components
+/// schedule callbacks at absolute instants or after delays; the kernel
+/// dispatches them in (time, priority, insertion-order) order, which makes
+/// runs fully deterministic. Handles returned by schedule() support
+/// cancellation (e.g. a watchdog disarmed by a heartbeat).
+///
+/// The kernel is deliberately single-threaded: MCPS scenario runs must be
+/// reproducible bit-for-bit, and the simulated entities (devices, patient,
+/// network) are logically concurrent but execute under the event queue's
+/// total order.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rng.hpp"
+#include "time.hpp"
+
+namespace mcps::sim {
+
+/// Error thrown on kernel contract violations (scheduling in the past,
+/// running a finished simulation, ...).
+class SimulationError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Dispatch priority for events that share a timestamp. Lower value runs
+/// first. Most components use Default; infrastructure that must observe a
+/// consistent pre-state (e.g. trace sampling) uses Early/Late.
+enum class EventPriority : std::int8_t {
+    kEarly = -1,
+    kDefault = 0,
+    kLate = 1,
+};
+
+/// Cancellation handle for a scheduled event. Cheap to copy; cancelling an
+/// already-fired or already-cancelled event is a harmless no-op.
+class EventHandle {
+public:
+    EventHandle() = default;
+
+    /// Prevents the event from firing. Returns true if the event was still
+    /// pending (i.e. this call actually cancelled something).
+    bool cancel() noexcept;
+
+    /// True while the event has neither fired nor been cancelled.
+    [[nodiscard]] bool pending() const noexcept;
+
+    /// True if this handle refers to some event (fired or not).
+    [[nodiscard]] bool valid() const noexcept { return static_cast<bool>(state_); }
+
+private:
+    friend class Simulation;
+    struct State {
+        bool cancelled = false;
+        bool fired = false;
+        bool periodic = false;  ///< periodic chains stay cancellable forever
+    };
+    explicit EventHandle(std::shared_ptr<State> s) : state_{std::move(s)} {}
+    std::shared_ptr<State> state_;
+};
+
+/// The discrete-event kernel. Non-copyable; one per scenario run.
+class Simulation {
+public:
+    using Callback = std::function<void()>;
+
+    /// \param master_seed seed from which all named RNG streams derive.
+    explicit Simulation(std::uint64_t master_seed = 1);
+
+    Simulation(const Simulation&) = delete;
+    Simulation& operator=(const Simulation&) = delete;
+
+    /// Current simulated instant.
+    [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+    /// Master seed this run was constructed with.
+    [[nodiscard]] std::uint64_t master_seed() const noexcept { return master_seed_; }
+
+    /// A named deterministic RNG stream derived from the master seed.
+    /// Calling twice with the same name returns streams with identical
+    /// output, so components should create their stream once and keep it.
+    [[nodiscard]] RngStream rng(std::string_view stream_name) const {
+        return RngStream{master_seed_, stream_name};
+    }
+
+    /// Schedule \p cb at absolute time \p when (>= now()).
+    /// \throws SimulationError if \p when is in the past.
+    EventHandle schedule_at(SimTime when, Callback cb,
+                            EventPriority prio = EventPriority::kDefault);
+
+    /// Schedule \p cb after \p delay (>= 0) from now.
+    EventHandle schedule_after(SimDuration delay, Callback cb,
+                               EventPriority prio = EventPriority::kDefault);
+
+    /// Schedule \p cb every \p period, first firing at now() + period.
+    /// Cancel via the returned handle (cancels all future firings).
+    EventHandle schedule_periodic(SimDuration period, Callback cb,
+                                  EventPriority prio = EventPriority::kDefault);
+
+    /// Run until the event queue is empty or \p until is reached (whichever
+    /// first). On return now() == min(until, time-of-last-event). Events at
+    /// exactly \p until are executed.
+    void run_until(SimTime until);
+
+    /// Convenience: run for a span from the current instant.
+    void run_for(SimDuration span) { run_until(now_ + span); }
+
+    /// Run until the queue drains completely (use with care: periodic
+    /// processes never drain).
+    void run_all();
+
+    /// Request the kernel to stop after the current event returns; the
+    /// clock stays at the stopping event's timestamp.
+    void stop() noexcept { stop_requested_ = true; }
+
+    /// Number of events dispatched so far (for benchmarks/diagnostics).
+    [[nodiscard]] std::uint64_t events_dispatched() const noexcept {
+        return events_dispatched_;
+    }
+
+    /// Number of events currently pending (counting cancelled-but-queued).
+    [[nodiscard]] std::size_t events_pending() const noexcept {
+        return queue_.size();
+    }
+
+private:
+    struct QueuedEvent {
+        SimTime when;
+        EventPriority prio;
+        std::uint64_t seq;  ///< tie-breaker: insertion order
+        Callback cb;
+        std::shared_ptr<EventHandle::State> state;
+    };
+    struct Later {
+        bool operator()(const QueuedEvent& a, const QueuedEvent& b) const noexcept {
+            if (a.when != b.when) return a.when > b.when;
+            if (a.prio != b.prio) return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    EventHandle push(SimTime when, EventPriority prio, Callback cb);
+    void dispatch(QueuedEvent& ev);
+
+    SimTime now_{};
+    std::uint64_t master_seed_;
+    std::uint64_t next_seq_{0};
+    std::uint64_t events_dispatched_{0};
+    bool running_{false};
+    bool stop_requested_{false};
+    std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
+};
+
+}  // namespace mcps::sim

@@ -1,0 +1,68 @@
+#include "stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mcps::sim {
+
+double SampleSet::quantile(double q) const {
+    if (samples_.empty()) throw std::out_of_range("quantile: empty sample set");
+    if (q < 0.0 || q > 1.0) throw std::out_of_range("quantile: q outside [0,1]");
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= samples_.size()) return samples_.back();
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, width_{(hi - lo) / static_cast<double>(bins)} {
+    if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+    if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+    counts_.resize(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size()) {
+        ++overflow_;
+        return;
+    }
+    ++counts_[idx];
+}
+
+std::string Histogram::to_string(std::size_t max_bar_width) const {
+    std::uint64_t peak = 1;
+    for (auto c : counts_) peak = std::max(peak, c);
+    std::string out;
+    char line[160];
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar_len = static_cast<std::size_t>(
+            (static_cast<double>(counts_[i]) / static_cast<double>(peak)) *
+            static_cast<double>(max_bar_width));
+        std::snprintf(line, sizeof line, "[%10.3f, %10.3f) %8llu ",
+                      bin_low(i), bin_high(i),
+                      static_cast<unsigned long long>(counts_[i]));
+        out += line;
+        out.append(bar_len, '#');
+        out += '\n';
+    }
+    if (underflow_ || overflow_) {
+        std::snprintf(line, sizeof line, "underflow=%llu overflow=%llu\n",
+                      static_cast<unsigned long long>(underflow_),
+                      static_cast<unsigned long long>(overflow_));
+        out += line;
+    }
+    return out;
+}
+
+}  // namespace mcps::sim

@@ -1,0 +1,90 @@
+#include "table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mcps::sim {
+
+Table::Table(std::vector<std::string> headers) : headers_{std::move(headers)} {
+    if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+Table& Table::row() {
+    if (!rows_.empty() && rows_.back().size() != headers_.size()) {
+        throw std::logic_error("Table: previous row has " +
+                               std::to_string(rows_.back().size()) +
+                               " cells, expected " +
+                               std::to_string(headers_.size()));
+    }
+    rows_.emplace_back();
+    rows_.back().reserve(headers_.size());
+    return *this;
+}
+
+Table& Table::cell(std::string value) {
+    if (rows_.empty()) throw std::logic_error("Table: cell() before row()");
+    if (rows_.back().size() >= headers_.size()) {
+        throw std::logic_error("Table: too many cells in row");
+    }
+    rows_.back().push_back(std::move(value));
+    return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+    return cell(std::string{buf});
+}
+
+Table& Table::cell(std::int64_t value) {
+    return cell(std::to_string(value));
+}
+
+Table& Table::cell(std::uint64_t value) {
+    return cell(std::to_string(value));
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            widths[c] = std::max(widths[c], r[c].size());
+        }
+    }
+    if (!title.empty()) os << "== " << title << " ==\n";
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string& v = c < cells.size() ? cells[c] : std::string{};
+            os << v;
+            if (c + 1 < headers_.size()) {
+                os << std::string(widths[c] - v.size() + 2, ' ');
+            }
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << std::string(widths[c], '-');
+        if (c + 1 < headers_.size()) os << "  ";
+    }
+    os << '\n';
+    for (const auto& r : rows_) emit_row(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c) os << ',';
+            os << cells[c];
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace mcps::sim

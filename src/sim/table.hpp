@@ -1,0 +1,51 @@
+/// \file table.hpp
+/// \brief Aligned text tables for benchmark/experiment output.
+///
+/// Every experiment binary prints its results as one or more of these
+/// tables so EXPERIMENTS.md can quote them directly.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcps::sim {
+
+/// A simple column-aligned table. Cells are strings; numeric helpers
+/// format with fixed precision. Rendering pads every column to its
+/// widest cell.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Begin a new row; subsequent cell() calls fill it left to right.
+    Table& row();
+    /// Append a string cell to the current row.
+    Table& cell(std::string value);
+    /// Append a formatted double (fixed, \p precision decimals).
+    Table& cell(double value, int precision = 3);
+    /// Append an integer cell.
+    Table& cell(std::int64_t value);
+    Table& cell(std::uint64_t value);
+    Table& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+    /// Render with a header rule, e.g.
+    ///   col_a  col_b
+    ///   -----  -----
+    ///   1      2.00
+    void print(std::ostream& os, const std::string& title = "") const;
+
+    /// Render as CSV (headers + rows).
+    void print_csv(std::ostream& os) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mcps::sim

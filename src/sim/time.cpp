@@ -1,0 +1,57 @@
+#include "time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mcps::sim {
+
+SimDuration SimDuration::from_seconds(double s) noexcept {
+    return SimDuration::micros(static_cast<std::int64_t>(std::llround(s * 1e6)));
+}
+
+SimDuration operator*(SimDuration a, double k) noexcept {
+    return SimDuration::micros(
+        static_cast<std::int64_t>(std::llround(static_cast<double>(a.ticks()) * k)));
+}
+
+std::string SimDuration::to_string() const {
+    char buf[64];
+    const std::int64_t abs_us = us_ < 0 ? -us_ : us_;
+    const char* sign = us_ < 0 ? "-" : "";
+    if (abs_us >= 1'000'000) {
+        std::snprintf(buf, sizeof buf, "%s%.3fs", sign,
+                      static_cast<double>(abs_us) / 1e6);
+    } else if (abs_us >= 1'000) {
+        std::snprintf(buf, sizeof buf, "%s%.3fms", sign,
+                      static_cast<double>(abs_us) / 1e3);
+    } else {
+        std::snprintf(buf, sizeof buf, "%s%lldus", sign,
+                      static_cast<long long>(abs_us));
+    }
+    return buf;
+}
+
+std::string SimTime::to_string() const {
+    if (is_never()) return "never";
+    const std::int64_t total_ms = us_ / 1000;
+    const std::int64_t ms = total_ms % 1000;
+    const std::int64_t total_s = total_ms / 1000;
+    const std::int64_t s = total_s % 60;
+    const std::int64_t m = (total_s / 60) % 60;
+    const std::int64_t h = total_s / 3600;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%02lld:%02lld:%02lld.%03lld",
+                  static_cast<long long>(h), static_cast<long long>(m),
+                  static_cast<long long>(s), static_cast<long long>(ms));
+    return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, SimDuration d) {
+    return os << d.to_string();
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.to_string();
+}
+
+}  // namespace mcps::sim

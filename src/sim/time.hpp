@@ -1,0 +1,200 @@
+/// \file time.hpp
+/// \brief Strongly-typed simulated time for the MCPS discrete-event kernel.
+///
+/// All timing in the framework flows through SimTime (an absolute instant)
+/// and SimDuration (a signed span). Both count integer microseconds, which
+/// is fine-grained enough for network latencies and coarse enough that a
+/// 64-bit tick counter lasts ~292k years of simulated time.
+///
+/// Following C++ Core Guidelines P.1/I.4 ("make interfaces precisely and
+/// strongly typed"), raw integers never cross module boundaries as times;
+/// use the user-defined literals in mcps::sim::literals instead.
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace mcps::sim {
+
+/// A signed span of simulated time, in integer microseconds.
+///
+/// SimDuration is a regular value type (C.11): copyable, comparable,
+/// hashable via ticks(). Arithmetic saturates nowhere — overflow is a
+/// programming error at ~292k simulated years.
+class SimDuration {
+public:
+    constexpr SimDuration() noexcept = default;
+
+    /// Named constructors; prefer these (or literals) over raw ticks.
+    [[nodiscard]] static constexpr SimDuration micros(std::int64_t v) noexcept {
+        return SimDuration{v};
+    }
+    [[nodiscard]] static constexpr SimDuration millis(std::int64_t v) noexcept {
+        return SimDuration{v * 1000};
+    }
+    [[nodiscard]] static constexpr SimDuration seconds(std::int64_t v) noexcept {
+        return SimDuration{v * 1'000'000};
+    }
+    [[nodiscard]] static constexpr SimDuration minutes(std::int64_t v) noexcept {
+        return SimDuration{v * 60'000'000};
+    }
+    [[nodiscard]] static constexpr SimDuration hours(std::int64_t v) noexcept {
+        return SimDuration{v * 3'600'000'000LL};
+    }
+    /// Fractional seconds, rounded to the nearest microsecond.
+    [[nodiscard]] static SimDuration from_seconds(double s) noexcept;
+
+    [[nodiscard]] constexpr std::int64_t ticks() const noexcept { return us_; }
+    [[nodiscard]] constexpr double to_seconds() const noexcept {
+        return static_cast<double>(us_) / 1e6;
+    }
+    [[nodiscard]] constexpr double to_millis() const noexcept {
+        return static_cast<double>(us_) / 1e3;
+    }
+    [[nodiscard]] constexpr double to_minutes() const noexcept {
+        return static_cast<double>(us_) / 60e6;
+    }
+
+    [[nodiscard]] static constexpr SimDuration zero() noexcept { return {}; }
+    [[nodiscard]] static constexpr SimDuration max() noexcept {
+        return SimDuration{std::numeric_limits<std::int64_t>::max()};
+    }
+
+    constexpr auto operator<=>(const SimDuration&) const noexcept = default;
+
+    constexpr SimDuration& operator+=(SimDuration o) noexcept {
+        us_ += o.us_;
+        return *this;
+    }
+    constexpr SimDuration& operator-=(SimDuration o) noexcept {
+        us_ -= o.us_;
+        return *this;
+    }
+    constexpr SimDuration& operator*=(std::int64_t k) noexcept {
+        us_ *= k;
+        return *this;
+    }
+
+    friend constexpr SimDuration operator+(SimDuration a, SimDuration b) noexcept {
+        return SimDuration{a.us_ + b.us_};
+    }
+    friend constexpr SimDuration operator-(SimDuration a, SimDuration b) noexcept {
+        return SimDuration{a.us_ - b.us_};
+    }
+    friend constexpr SimDuration operator-(SimDuration a) noexcept {
+        return SimDuration{-a.us_};
+    }
+    friend constexpr SimDuration operator*(SimDuration a, std::int64_t k) noexcept {
+        return SimDuration{a.us_ * k};
+    }
+    friend constexpr SimDuration operator*(std::int64_t k, SimDuration a) noexcept {
+        return SimDuration{a.us_ * k};
+    }
+    // Exact-match int overloads; without them `d * 3` is ambiguous
+    // between the int64 and double forms.
+    friend constexpr SimDuration operator*(SimDuration a, int k) noexcept {
+        return a * static_cast<std::int64_t>(k);
+    }
+    friend constexpr SimDuration operator*(int k, SimDuration a) noexcept {
+        return a * static_cast<std::int64_t>(k);
+    }
+    friend SimDuration operator*(SimDuration a, double k) noexcept;
+    /// Integer division yielding how many times \p b fits in \p a.
+    friend constexpr std::int64_t operator/(SimDuration a, SimDuration b) noexcept {
+        return a.us_ / b.us_;
+    }
+    friend constexpr SimDuration operator/(SimDuration a, std::int64_t k) noexcept {
+        return SimDuration{a.us_ / k};
+    }
+    friend constexpr SimDuration operator%(SimDuration a, SimDuration b) noexcept {
+        return SimDuration{a.us_ % b.us_};
+    }
+
+    /// Human-readable rendering, e.g. "2.500s", "750ms", "12us".
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    explicit constexpr SimDuration(std::int64_t us) noexcept : us_{us} {}
+    std::int64_t us_{0};
+};
+
+/// An absolute instant on the simulation clock. Time zero is scenario start.
+class SimTime {
+public:
+    constexpr SimTime() noexcept = default;
+
+    [[nodiscard]] static constexpr SimTime at(SimDuration since_start) noexcept {
+        return SimTime{since_start.ticks()};
+    }
+    [[nodiscard]] static constexpr SimTime origin() noexcept { return {}; }
+    /// A sentinel later than any reachable instant ("never").
+    [[nodiscard]] static constexpr SimTime never() noexcept {
+        return SimTime{std::numeric_limits<std::int64_t>::max()};
+    }
+
+    [[nodiscard]] constexpr std::int64_t ticks() const noexcept { return us_; }
+    [[nodiscard]] constexpr SimDuration since_origin() const noexcept {
+        return SimDuration::micros(us_);
+    }
+    [[nodiscard]] constexpr double to_seconds() const noexcept {
+        return static_cast<double>(us_) / 1e6;
+    }
+    [[nodiscard]] constexpr bool is_never() const noexcept {
+        return us_ == std::numeric_limits<std::int64_t>::max();
+    }
+
+    constexpr auto operator<=>(const SimTime&) const noexcept = default;
+
+    friend constexpr SimTime operator+(SimTime t, SimDuration d) noexcept {
+        return SimTime{t.us_ + d.ticks()};
+    }
+    friend constexpr SimTime operator+(SimDuration d, SimTime t) noexcept {
+        return t + d;
+    }
+    friend constexpr SimTime operator-(SimTime t, SimDuration d) noexcept {
+        return SimTime{t.us_ - d.ticks()};
+    }
+    friend constexpr SimDuration operator-(SimTime a, SimTime b) noexcept {
+        return SimDuration::micros(a.us_ - b.us_);
+    }
+    constexpr SimTime& operator+=(SimDuration d) noexcept {
+        us_ += d.ticks();
+        return *this;
+    }
+
+    /// Renders as "hh:mm:ss.mmm" of simulated time.
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    explicit constexpr SimTime(std::int64_t us) noexcept : us_{us} {}
+    std::int64_t us_{0};
+};
+
+std::ostream& operator<<(std::ostream& os, SimDuration d);
+std::ostream& operator<<(std::ostream& os, SimTime t);
+
+namespace literals {
+
+constexpr SimDuration operator""_us(unsigned long long v) {
+    return SimDuration::micros(static_cast<std::int64_t>(v));
+}
+constexpr SimDuration operator""_ms(unsigned long long v) {
+    return SimDuration::millis(static_cast<std::int64_t>(v));
+}
+constexpr SimDuration operator""_s(unsigned long long v) {
+    return SimDuration::seconds(static_cast<std::int64_t>(v));
+}
+constexpr SimDuration operator""_min(unsigned long long v) {
+    return SimDuration::minutes(static_cast<std::int64_t>(v));
+}
+constexpr SimDuration operator""_h(unsigned long long v) {
+    return SimDuration::hours(static_cast<std::int64_t>(v));
+}
+
+}  // namespace literals
+
+}  // namespace mcps::sim

@@ -1,0 +1,115 @@
+#include "trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcps::sim {
+
+void Signal::record(SimTime t, double value) {
+    if (!samples_.empty() && t < samples_.back().time) {
+        throw std::invalid_argument("Signal '" + name_ +
+                                    "': sample time going backwards (" +
+                                    t.to_string() + " < " +
+                                    samples_.back().time.to_string() + ")");
+    }
+    samples_.push_back(TraceSample{t, value});
+}
+
+std::optional<double> Signal::last() const noexcept {
+    if (samples_.empty()) return std::nullopt;
+    return samples_.back().value;
+}
+
+std::optional<double> Signal::value_at(SimTime t) const noexcept {
+    // upper_bound of t, then step back: most recent sample at or before t.
+    auto it = std::upper_bound(
+        samples_.begin(), samples_.end(), t,
+        [](SimTime lhs, const TraceSample& s) { return lhs < s.time; });
+    if (it == samples_.begin()) return std::nullopt;
+    return std::prev(it)->value;
+}
+
+std::optional<double> Signal::min_in(SimTime from, SimTime to) const {
+    std::optional<double> best;
+    for (const auto& s : samples_) {
+        if (s.time < from) continue;
+        if (s.time > to) break;
+        if (!best || s.value < *best) best = s.value;
+    }
+    return best;
+}
+
+std::optional<double> Signal::max_in(SimTime from, SimTime to) const {
+    std::optional<double> best;
+    for (const auto& s : samples_) {
+        if (s.time < from) continue;
+        if (s.time > to) break;
+        if (!best || s.value > *best) best = s.value;
+    }
+    return best;
+}
+
+RunningStats Signal::stats() const {
+    RunningStats st;
+    for (const auto& s : samples_) st.add(s.value);
+    return st;
+}
+
+Signal& TraceRecorder::signal(const std::string& name) {
+    auto it = signals_.find(name);
+    if (it == signals_.end()) {
+        it = signals_.emplace(name, Signal{name}).first;
+    }
+    return it->second;
+}
+
+const Signal* TraceRecorder::find(const std::string& name) const noexcept {
+    auto it = signals_.find(name);
+    return it == signals_.end() ? nullptr : &it->second;
+}
+
+void TraceRecorder::mark(SimTime t, std::string label) {
+    marks_.push_back(TraceMark{t, std::move(label)});
+}
+
+std::vector<TraceMark> TraceRecorder::marks_with(const std::string& label) const {
+    std::vector<TraceMark> out;
+    for (const auto& m : marks_) {
+        if (m.label == label) out.push_back(m);
+    }
+    return out;
+}
+
+std::optional<SimTime> TraceRecorder::first_mark(const std::string& label,
+                                                 SimTime from) const {
+    for (const auto& m : marks_) {
+        if (m.time >= from && m.label == label) return m.time;
+    }
+    return std::nullopt;
+}
+
+std::size_t TraceRecorder::count_marks(const std::string& label) const {
+    std::size_t n = 0;
+    for (const auto& m : marks_) {
+        if (m.label == label) ++n;
+    }
+    return n;
+}
+
+std::vector<std::string> TraceRecorder::signal_names() const {
+    std::vector<std::string> names;
+    names.reserve(signals_.size());
+    for (const auto& [name, sig] : signals_) names.push_back(name);
+    return names;
+}
+
+void TraceRecorder::write_csv(std::ostream& os) const {
+    os << "time_s,signal,value\n";
+    for (const auto& [name, sig] : signals_) {
+        for (const auto& s : sig.samples()) {
+            os << s.time.to_seconds() << ',' << name << ',' << s.value << '\n';
+        }
+    }
+}
+
+}  // namespace mcps::sim

@@ -1,0 +1,226 @@
+#include "automaton.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mcps::ta {
+
+TimedAutomaton::TimedAutomaton(std::string name) : name_{std::move(name)} {}
+
+ClockId TimedAutomaton::add_clock(std::string clock_name) {
+    clock_names_.push_back(std::move(clock_name));
+    return clock_names_.size();  // ids start at 1 (0 = reference)
+}
+
+std::size_t TimedAutomaton::add_location(std::string location_name,
+                                         Guard invariant) {
+    check_guard(invariant);
+    location_names_.push_back(std::move(location_name));
+    invariants_.push_back(std::move(invariant));
+    return location_names_.size() - 1;
+}
+
+std::size_t TimedAutomaton::location(const std::string& location_name) const {
+    const auto it = std::find(location_names_.begin(), location_names_.end(),
+                              location_name);
+    if (it == location_names_.end()) {
+        throw std::out_of_range("TimedAutomaton '" + name_ +
+                                "': no location named '" + location_name + "'");
+    }
+    return static_cast<std::size_t>(it - location_names_.begin());
+}
+
+void TimedAutomaton::set_initial(std::size_t loc) {
+    if (loc >= num_locations()) {
+        throw std::out_of_range("set_initial: bad location index");
+    }
+    initial_ = loc;
+}
+
+void TimedAutomaton::check_guard(const Guard& g) const {
+    for (const auto& c : g) {
+        if (c.i > num_clocks() || c.j > num_clocks()) {
+            throw std::out_of_range("guard references unknown clock");
+        }
+    }
+}
+
+void TimedAutomaton::add_edge(std::size_t src, std::size_t dst, Guard guard,
+                              std::vector<ClockId> resets, std::string label) {
+    add_sync_edge(src, dst, std::move(guard), std::move(resets), "",
+                  SyncKind::kInternal);
+    edges_.back().label = std::move(label);
+}
+
+void TimedAutomaton::add_sync_edge(std::size_t src, std::size_t dst,
+                                   Guard guard, std::vector<ClockId> resets,
+                                   std::string channel, SyncKind kind) {
+    if (src >= num_locations() || dst >= num_locations()) {
+        throw std::out_of_range("add_edge: bad location index");
+    }
+    check_guard(guard);
+    for (ClockId r : resets) {
+        if (r == 0 || r > num_clocks()) {
+            throw std::out_of_range("add_edge: bad reset clock");
+        }
+    }
+    if (kind != SyncKind::kInternal && channel.empty()) {
+        throw std::invalid_argument("add_sync_edge: sync edge needs a channel");
+    }
+    Edge e;
+    e.src = src;
+    e.dst = dst;
+    e.guard = std::move(guard);
+    e.resets = std::move(resets);
+    e.sync = kind;
+    e.channel = channel;
+    e.label = channel.empty()
+                  ? "tau"
+                  : channel + (kind == SyncKind::kSend ? "!" : "?");
+    edges_.push_back(std::move(e));
+}
+
+std::int32_t TimedAutomaton::max_constant() const {
+    std::int32_t m = 0;
+    auto scan = [&m](const Guard& g) {
+        for (const auto& c : g) {
+            if (!c.bound.is_infinite()) {
+                m = std::max(m, std::abs(c.bound.value()));
+            }
+        }
+    };
+    for (const auto& inv : invariants_) scan(inv);
+    for (const auto& e : edges_) scan(e.guard);
+    return m;
+}
+
+void TimedAutomaton::validate() const {
+    if (num_locations() == 0) {
+        throw std::logic_error("TimedAutomaton '" + name_ + "': no locations");
+    }
+    if (num_clocks() == 0) {
+        throw std::logic_error("TimedAutomaton '" + name_ +
+                               "': no clocks (add at least one)");
+    }
+    if (initial_ >= num_locations()) {
+        throw std::logic_error("TimedAutomaton '" + name_ + "': bad initial");
+    }
+    for (const auto& e : edges_) {
+        if (e.src >= num_locations() || e.dst >= num_locations()) {
+            throw std::logic_error("TimedAutomaton '" + name_ +
+                                   "': dangling edge");
+        }
+    }
+}
+
+namespace {
+
+/// Shift all clock references in a guard by \p offset (reference clock 0
+/// stays fixed).
+Guard shift_guard(const Guard& g, std::size_t offset) {
+    Guard out = g;
+    for (auto& c : out) {
+        if (c.i != 0) c.i += offset;
+        if (c.j != 0) c.j += offset;
+    }
+    return out;
+}
+
+std::vector<ClockId> shift_resets(const std::vector<ClockId>& r,
+                                  std::size_t offset) {
+    std::vector<ClockId> out = r;
+    for (auto& x : out) x += offset;
+    return out;
+}
+
+Guard concat(Guard a, const Guard& b) {
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
+}
+
+}  // namespace
+
+TimedAutomaton parallel_compose(const TimedAutomaton& a,
+                                const TimedAutomaton& b) {
+    a.validate();
+    b.validate();
+    TimedAutomaton p{a.name() + "||" + b.name()};
+
+    for (const auto& cn : a.clock_names()) p.add_clock(a.name() + "." + cn);
+    for (const auto& cn : b.clock_names()) p.add_clock(b.name() + "." + cn);
+    const std::size_t shift = a.num_clocks();
+
+    const std::size_t nb = b.num_locations();
+    auto prod = [nb](std::size_t la, std::size_t lb) { return la * nb + lb; };
+
+    for (std::size_t la = 0; la < a.num_locations(); ++la) {
+        for (std::size_t lb = 0; lb < nb; ++lb) {
+            Guard inv = concat(a.invariant(la), shift_guard(b.invariant(lb), shift));
+            p.add_location(a.location_name(la) + "|" + b.location_name(lb),
+                           std::move(inv));
+        }
+    }
+    p.set_initial(prod(a.initial(), b.initial()));
+
+    // Interleaved edges. Internal edges interleave as internal; sync
+    // edges are also interleaved *keeping their sync annotation* so they
+    // remain available for fusion in a later composition (open-system
+    // composition — the reachability checker ignores any sync edge left
+    // unfused, which closes the system at verification time).
+    for (const auto& e : a.edges()) {
+        for (std::size_t lb = 0; lb < nb; ++lb) {
+            if (e.sync == SyncKind::kInternal) {
+                p.add_edge(prod(e.src, lb), prod(e.dst, lb), e.guard, e.resets,
+                           a.name() + "." + e.label);
+            } else {
+                p.add_sync_edge(prod(e.src, lb), prod(e.dst, lb), e.guard,
+                                e.resets, e.channel, e.sync);
+            }
+        }
+    }
+    for (const auto& e : b.edges()) {
+        for (std::size_t la = 0; la < a.num_locations(); ++la) {
+            if (e.sync == SyncKind::kInternal) {
+                p.add_edge(prod(la, e.src), prod(la, e.dst),
+                           shift_guard(e.guard, shift),
+                           shift_resets(e.resets, shift),
+                           b.name() + "." + e.label);
+            } else {
+                p.add_sync_edge(prod(la, e.src), prod(la, e.dst),
+                                shift_guard(e.guard, shift),
+                                shift_resets(e.resets, shift), e.channel,
+                                e.sync);
+            }
+        }
+    }
+
+    // Handshake pairs: a sends / b receives and vice versa.
+    auto fuse = [&](const Edge& send, const Edge& recv, bool send_is_a) {
+        const Edge& ea = send_is_a ? send : recv;
+        const Edge& eb = send_is_a ? recv : send;
+        Guard g = concat(ea.guard, shift_guard(eb.guard, shift));
+        std::vector<ClockId> resets = ea.resets;
+        const auto shifted = shift_resets(eb.resets, shift);
+        resets.insert(resets.end(), shifted.begin(), shifted.end());
+        p.add_edge(prod(ea.src, eb.src), prod(ea.dst, eb.dst), std::move(g),
+                   std::move(resets),
+                   send.channel + "!?(" + ea.label + "," + eb.label + ")");
+    };
+    for (const auto& ea : a.edges()) {
+        if (ea.sync == SyncKind::kInternal) continue;
+        for (const auto& eb : b.edges()) {
+            if (eb.sync == SyncKind::kInternal) continue;
+            if (ea.channel != eb.channel) continue;
+            if (ea.sync == SyncKind::kSend && eb.sync == SyncKind::kReceive) {
+                fuse(ea, eb, /*send_is_a=*/true);
+            } else if (ea.sync == SyncKind::kReceive &&
+                       eb.sync == SyncKind::kSend) {
+                fuse(eb, ea, /*send_is_a=*/false);
+            }
+        }
+    }
+    return p;
+}
+
+}  // namespace mcps::ta

@@ -1,0 +1,137 @@
+/// \file automaton.hpp
+/// \brief Timed automata with invariants, guards, resets and binary
+/// channel synchronization, plus parallel composition.
+///
+/// This is the modeling front-end for the verification workflow the
+/// DAC'10 paper prescribes for pump software: build a network of timed
+/// automata (pump, supervisor, hazard model), compose, and check safety
+/// by zone-graph reachability (reachability.hpp). Composition is by
+/// explicit product construction: send edges ("c!") pair with receive
+/// edges ("c?") on the same channel; internal edges interleave.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dbm.hpp"
+
+namespace mcps::ta {
+
+/// An atomic clock constraint xi - xj ≺ c (j = 0 for absolute bounds).
+struct Constraint {
+    ClockId i = 0;
+    ClockId j = 0;
+    Bound bound;
+
+    // Convenience factories for the common absolute forms.
+    [[nodiscard]] static Constraint le(ClockId x, std::int32_t c) {
+        return {x, 0, Bound::weak(c)};
+    }
+    [[nodiscard]] static Constraint lt(ClockId x, std::int32_t c) {
+        return {x, 0, Bound::strict(c)};
+    }
+    [[nodiscard]] static Constraint ge(ClockId x, std::int32_t c) {
+        return {0, x, Bound::weak(-c)};
+    }
+    [[nodiscard]] static Constraint gt(ClockId x, std::int32_t c) {
+        return {0, x, Bound::strict(-c)};
+    }
+    /// xi - xj <= c.
+    [[nodiscard]] static Constraint diff_le(ClockId x, ClockId y,
+                                            std::int32_t c) {
+        return {x, y, Bound::weak(c)};
+    }
+};
+
+/// A conjunction of atomic constraints.
+using Guard = std::vector<Constraint>;
+
+/// Edge synchronization kind.
+enum class SyncKind : std::uint8_t {
+    kInternal,  ///< tau transition
+    kSend,      ///< channel!
+    kReceive,   ///< channel?
+};
+
+struct Edge {
+    std::size_t src = 0;
+    std::size_t dst = 0;
+    Guard guard;
+    std::vector<ClockId> resets;
+    std::string label;    ///< human-readable action name
+    SyncKind sync = SyncKind::kInternal;
+    std::string channel;  ///< non-empty for send/receive
+};
+
+/// A timed automaton. Locations and clocks are created through the
+/// builder methods; indices are stable.
+class TimedAutomaton {
+public:
+    explicit TimedAutomaton(std::string name);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Create a clock; returns its id (>= 1; 0 is the reference clock).
+    ClockId add_clock(std::string clock_name);
+    [[nodiscard]] std::size_t num_clocks() const noexcept {
+        return clock_names_.size();
+    }
+    [[nodiscard]] const std::vector<std::string>& clock_names() const noexcept {
+        return clock_names_;
+    }
+
+    /// Create a location with an optional invariant; returns its index.
+    std::size_t add_location(std::string location_name, Guard invariant = {});
+    [[nodiscard]] std::size_t num_locations() const noexcept {
+        return location_names_.size();
+    }
+    [[nodiscard]] const std::string& location_name(std::size_t loc) const {
+        return location_names_.at(loc);
+    }
+    [[nodiscard]] const Guard& invariant(std::size_t loc) const {
+        return invariants_.at(loc);
+    }
+    /// Index of a location by its name. \throws std::out_of_range.
+    [[nodiscard]] std::size_t location(const std::string& location_name) const;
+
+    void set_initial(std::size_t loc);
+    [[nodiscard]] std::size_t initial() const noexcept { return initial_; }
+
+    void add_edge(std::size_t src, std::size_t dst, Guard guard,
+                  std::vector<ClockId> resets, std::string label);
+    void add_sync_edge(std::size_t src, std::size_t dst, Guard guard,
+                       std::vector<ClockId> resets, std::string channel,
+                       SyncKind kind);
+    [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+        return edges_;
+    }
+
+    /// Largest constant appearing in any guard or invariant (for zone
+    /// extrapolation).
+    [[nodiscard]] std::int32_t max_constant() const;
+
+    /// Validates structural sanity (edge endpoints, clock ids).
+    /// \throws std::logic_error on inconsistency.
+    void validate() const;
+
+private:
+    void check_guard(const Guard& g) const;
+
+    std::string name_;
+    std::vector<std::string> clock_names_;
+    std::vector<std::string> location_names_;
+    std::vector<Guard> invariants_;
+    std::vector<Edge> edges_;
+    std::size_t initial_ = 0;
+};
+
+/// Parallel composition a || b: product locations, disjoint clock
+/// spaces (b's clocks are shifted), interleaved internal edges, and
+/// handshake pairs of matching send/receive edges fused into internal
+/// edges labeled "chan!?(a_label,b_label)".
+[[nodiscard]] TimedAutomaton parallel_compose(const TimedAutomaton& a,
+                                              const TimedAutomaton& b);
+
+}  // namespace mcps::ta

@@ -1,0 +1,152 @@
+/// \file dbm.hpp
+/// \brief Difference Bound Matrices — the zone representation for timed-
+/// automata model checking.
+///
+/// The DAC'10 paper's "model-based development" thread verifies infusion
+/// pump models (GPCA) against safety requirements using timed automata.
+/// This is the standard symbolic machinery (Dill 1989; Bengtsson & Yi
+/// 2004) implemented from scratch:
+///
+/// A zone over clocks x1..xn is a conjunction of constraints
+/// xi - xj ≺ c (with x0 the constant-zero reference clock). The DBM
+/// stores the tightest bound for every ordered pair; canonical form is
+/// obtained by all-pairs shortest path (Floyd–Warshall). Operations used
+/// by the explorer: delay (up), clock reset, guard intersection,
+/// emptiness, inclusion (for passed-list subsumption) and max-constant
+/// extrapolation (for termination).
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mcps::ta {
+
+/// Index of a clock; 0 is always the reference clock (constant zero).
+using ClockId = std::size_t;
+
+/// A bound "≺ value" where ≺ is < (strict) or <= (non-strict), plus the
+/// infinity sentinel. Encoded in one int for fast comparison/addition:
+/// raw = 2*value + (non-strict ? 1 : 0); infinity = INT32_MAX.
+class Bound {
+public:
+    constexpr Bound() noexcept : raw_{1} {}  // (<= 0)
+
+    [[nodiscard]] static constexpr Bound strict(std::int32_t value) noexcept {
+        return Bound{2 * value};
+    }
+    [[nodiscard]] static constexpr Bound weak(std::int32_t value) noexcept {
+        return Bound{2 * value + 1};
+    }
+    [[nodiscard]] static constexpr Bound infinity() noexcept {
+        return Bound{std::numeric_limits<std::int32_t>::max()};
+    }
+    [[nodiscard]] static constexpr Bound zero_weak() noexcept {
+        return weak(0);  // (<= 0)
+    }
+
+    [[nodiscard]] constexpr bool is_infinite() const noexcept {
+        return raw_ == std::numeric_limits<std::int32_t>::max();
+    }
+    /// The numeric bound; undefined for infinity.
+    [[nodiscard]] constexpr std::int32_t value() const noexcept {
+        return raw_ >> 1;
+    }
+    [[nodiscard]] constexpr bool is_strict() const noexcept {
+        return !is_infinite() && (raw_ & 1) == 0;
+    }
+    [[nodiscard]] constexpr std::int32_t raw() const noexcept { return raw_; }
+
+    /// Bound ordering: tighter < looser; infinity is the loosest.
+    constexpr auto operator<=>(const Bound&) const noexcept = default;
+
+    /// Bound addition (path concatenation): (≺1 c1) + (≺2 c2) =
+    /// (≺ c1+c2) where ≺ is < iff either is strict. Saturates at infinity.
+    [[nodiscard]] constexpr Bound operator+(Bound o) const noexcept {
+        if (is_infinite() || o.is_infinite()) return infinity();
+        const std::int32_t v = value() + o.value();
+        const bool weak_bound = !is_strict() && !o.is_strict();
+        return weak_bound ? weak(v) : strict(v);
+    }
+
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    explicit constexpr Bound(std::int32_t raw) noexcept : raw_{raw} {}
+    std::int32_t raw_;
+};
+
+/// A zone over a fixed number of clocks (excluding the reference clock).
+/// Invariant: after any mutating public operation the matrix is in
+/// canonical (all-pairs-tightest) form, or empty.
+class Dbm {
+public:
+    /// Universe zone (all clocks >= 0, unconstrained above) over
+    /// \p num_clocks real clocks.
+    explicit Dbm(std::size_t num_clocks);
+
+    /// Zone with all clocks exactly zero (the initial state).
+    [[nodiscard]] static Dbm zero(std::size_t num_clocks);
+
+    [[nodiscard]] std::size_t num_clocks() const noexcept { return n_ - 1; }
+    /// Matrix dimension (clocks + reference).
+    [[nodiscard]] std::size_t dim() const noexcept { return n_; }
+
+    /// \throws std::out_of_range on a bad clock id.
+    [[nodiscard]] Bound at(ClockId i, ClockId j) const {
+        check_ids(i, j);
+        return m_[i * n_ + j];
+    }
+
+    [[nodiscard]] bool empty() const noexcept { return empty_; }
+
+    /// Delay: let time elapse (remove upper bounds on all clocks).
+    void up();
+
+    /// Reset clock \p x to zero.
+    void reset(ClockId x);
+
+    /// Intersect with constraint "xi - xj ≺ c". Returns false (and marks
+    /// the zone empty) if the result is empty. Pass j=0 for "xi ≺ c" and
+    /// i=0 for "-xj ≺ c" i.e. "xj ≻ -c".
+    bool constrain(ClockId i, ClockId j, Bound b);
+
+    /// Convenience: xi <= c / xi < c / xi >= c / xi > c.
+    bool constrain_upper(ClockId x, std::int32_t c, bool strict);
+    bool constrain_lower(ClockId x, std::int32_t c, bool strict);
+
+    /// True if this zone contains \p other (set inclusion); both must be
+    /// canonical (they are, by the class invariant).
+    [[nodiscard]] bool includes(const Dbm& other) const;
+
+    /// Classic maximal-constant extrapolation: bounds beyond \p max_const
+    /// are loosened to guarantee a finite zone graph.
+    void extrapolate(std::int32_t max_const);
+
+    /// Exact equality of canonical forms.
+    [[nodiscard]] bool operator==(const Dbm& o) const;
+
+    /// Hash of the canonical matrix (for passed-list buckets).
+    [[nodiscard]] std::size_t hash() const;
+
+    /// Multi-line human-readable rendering (tests/diagnostics).
+    [[nodiscard]] std::string to_string() const;
+
+    /// Re-canonicalize (public for tests; normally internal).
+    void canonicalize();
+
+private:
+    Bound& cell(ClockId i, ClockId j) { return m_[i * n_ + j]; }
+    [[nodiscard]] const Bound& cell(ClockId i, ClockId j) const {
+        return m_[i * n_ + j];
+    }
+    void check_ids(ClockId i, ClockId j) const;
+
+    std::size_t n_;  ///< dimension = clocks + 1
+    std::vector<Bound> m_;
+    bool empty_ = false;
+};
+
+}  // namespace mcps::ta

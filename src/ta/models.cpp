@@ -1,0 +1,128 @@
+#include "models.hpp"
+
+#include <stdexcept>
+
+namespace mcps::ta {
+
+TimedAutomaton build_pump_lockout_model(const PumpModelParams& p,
+                                        const std::string& channel_suffix) {
+    const std::string grant = "grant" + channel_suffix;
+    // --- Pump behaviour automaton --------------------------------------
+    // Clocks: t = time since last bolus start, b = time in current bolus.
+    TimedAutomaton pump{"pump"};
+    const ClockId t = pump.add_clock("t");
+    const ClockId b = pump.add_clock("b");
+
+    const auto init = pump.add_location("Init");
+    const auto bolus =
+        pump.add_location("Bolus", {Constraint::le(b, p.bolus_duration_s)});
+    const auto ready = pump.add_location("Ready");
+    pump.set_initial(init);
+
+    // First bolus: allowed at any time (no prior dose exists).
+    pump.add_sync_edge(init, bolus, {}, {t, b}, grant, SyncKind::kSend);
+    // Bolus completes after its delivery duration.
+    pump.add_edge(bolus, ready, {Constraint::ge(b, p.bolus_duration_s)}, {},
+                  "bolus_done");
+    // Subsequent boluses: the CORRECT firmware guards with the lockout;
+    // the FAULTY firmware forgets the guard on this path (modeling the
+    // classic "remote bolus_request skips the lockout check" defect).
+    Guard grant_guard;
+    if (!p.faulty_no_lockout_guard) {
+        grant_guard.push_back(Constraint::ge(t, p.lockout_s));
+    }
+    pump.add_sync_edge(ready, bolus, grant_guard, {t, b}, grant,
+                       SyncKind::kSend);
+
+    // --- Requirement monitor -------------------------------------------
+    // Observes grant events; two grants closer than the lockout are a
+    // violation (safety requirement R1).
+    TimedAutomaton monitor{"mon"};
+    const ClockId m = monitor.add_clock("m");
+    const auto fresh = monitor.add_location("Fresh");
+    const auto armed = monitor.add_location("Armed");
+    const auto violation = monitor.add_location("Violation");
+    monitor.set_initial(fresh);
+    monitor.add_sync_edge(fresh, armed, {}, {m}, grant, SyncKind::kReceive);
+    monitor.add_sync_edge(armed, armed, {Constraint::ge(m, p.lockout_s)}, {m},
+                          grant, SyncKind::kReceive);
+    monitor.add_sync_edge(armed, violation, {Constraint::lt(m, p.lockout_s)},
+                          {}, grant, SyncKind::kReceive);
+
+    return parallel_compose(pump, monitor);
+}
+
+TimedAutomaton build_closed_loop_model(const InterlockModelParams& p) {
+    // --- Hazard / property automaton ------------------------------------
+    // Clock h measures time since respiratory-depression onset. Overdue
+    // is entered if the pump has not confirmed stopping within deadline.
+    TimedAutomaton hazard{"hazard"};
+    const ClockId h = hazard.add_clock("h");
+    const auto dormant = hazard.add_location("Dormant");
+    const auto active = hazard.add_location("Active");
+    const auto resolved = hazard.add_location("Resolved");
+    const auto overdue = hazard.add_location("Overdue");
+    hazard.set_initial(dormant);
+    hazard.add_sync_edge(dormant, active, {}, {h}, "onset", SyncKind::kSend);
+    hazard.add_sync_edge(active, resolved, {}, {}, "stopped",
+                         SyncKind::kReceive);
+    hazard.add_edge(active, overdue, {Constraint::gt(h, p.deadline_s)}, {},
+                    "deadline_blown");
+
+    // --- Interlock automaton --------------------------------------------
+    // Detects within [detect_min, detect_max] of onset, then the stop
+    // command reaches the pump within command_max (network bound).
+    TimedAutomaton interlock{"interlock"};
+    const ClockId d = interlock.add_clock("d");
+    const auto idle = interlock.add_location("Idle");
+    const auto detecting = interlock.add_location(
+        "Detecting", {Constraint::le(d, p.detect_max_s)});
+    const auto queued = interlock.add_location(
+        "Queued", {Constraint::le(d, p.detect_max_s + p.command_max_s)});
+    const auto done = interlock.add_location("Done");
+    interlock.set_initial(idle);
+    interlock.add_sync_edge(idle, detecting, {}, {d}, "onset",
+                            SyncKind::kReceive);
+    interlock.add_edge(detecting, queued,
+                       {Constraint::ge(d, p.detect_min_s)}, {}, "detected");
+    interlock.add_sync_edge(queued, done, {}, {}, "stop", SyncKind::kSend);
+
+    // --- Pump automaton ---------------------------------------------------
+    // Running until stop arrives; then confirms stopped within
+    // pump_react_max (its own firmware bound).
+    TimedAutomaton pump{"pump"};
+    const ClockId r = pump.add_clock("r");
+    const auto running = pump.add_location("Running");
+    const auto reacting = pump.add_location(
+        "Reacting", {Constraint::le(r, p.pump_react_max_s)});
+    const auto stopped = pump.add_location("Stopped");
+    pump.set_initial(running);
+    pump.add_sync_edge(running, reacting, {}, {r}, "stop", SyncKind::kReceive);
+    // The stopped! confirmation is the forced exit of Reacting (its
+    // invariant makes the handshake urgent).
+    pump.add_sync_edge(reacting, stopped, {}, {}, "stopped", SyncKind::kSend);
+
+    return parallel_compose(parallel_compose(hazard, interlock), pump);
+}
+
+TimedAutomaton build_pump_farm(std::size_t n, const PumpModelParams& p) {
+    if (n == 0) throw std::invalid_argument("build_pump_farm: n must be >= 1");
+    TimedAutomaton farm = build_pump_lockout_model(p, "_0");
+    for (std::size_t i = 1; i < n; ++i) {
+        farm = parallel_compose(
+            farm, build_pump_lockout_model(p, "_" + std::to_string(i)));
+    }
+    return farm;
+}
+
+VerificationReport verify_gpca_suite(const PumpModelParams& pump,
+                                     const InterlockModelParams& loop) {
+    VerificationReport rep;
+    rep.lockout_safe = verify_safety(build_pump_lockout_model(pump),
+                                     "Violation", &rep.lockout_details);
+    rep.response_safe = verify_safety(build_closed_loop_model(loop), "Overdue",
+                                      &rep.response_details);
+    return rep;
+}
+
+}  // namespace mcps::ta

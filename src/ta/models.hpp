@@ -1,0 +1,77 @@
+/// \file models.hpp
+/// \brief Timed-automata models of the GPCA pump and the closed-loop
+/// interlock, plus the safety properties checked in experiment E5.
+///
+/// These are the verification artifacts the DAC'10 model-based
+/// development workflow produces: abstract, integer-time models of the
+/// executable components in src/devices and src/core, small enough to
+/// model-check exhaustively yet faithful to the safety-relevant timing
+/// (lockout windows, detection delays, command latencies).
+///
+/// Time unit inside the models: **seconds** (integer).
+
+#pragma once
+
+#include "automaton.hpp"
+#include "reachability.hpp"
+
+namespace mcps::ta {
+
+/// Parameters of the pump lockout model.
+struct PumpModelParams {
+    std::int32_t lockout_s = 480;       ///< prescription lockout
+    std::int32_t bolus_duration_s = 30; ///< bolus delivery time
+    /// Introduce the classic firmware defect: the re-grant path omits
+    /// the lockout-guard check (e.g. remote bolus_request commands skip
+    /// the check applied to the physical button). Set true to produce a
+    /// model whose violation the checker must find (negative test).
+    bool faulty_no_lockout_guard = false;
+};
+
+/// GPCA pump bolus/lockout automaton composed with its requirement
+/// monitor.
+///
+/// The pump grants boluses over channel "grant<suffix>"; the monitor
+/// enters Violation when two grants are closer than the lockout.
+/// Property P1 (R1 in gpca_pump.hpp): Violation is unreachable iff
+/// faulty_no_lockout_guard == false. \p channel_suffix makes instances
+/// independent when several are composed (build_pump_farm).
+[[nodiscard]] TimedAutomaton build_pump_lockout_model(
+    const PumpModelParams& p = {}, const std::string& channel_suffix = "");
+
+/// Parameters of the closed-loop response model.
+struct InterlockModelParams {
+    std::int32_t detect_min_s = 5;    ///< earliest detection after onset
+    std::int32_t detect_max_s = 30;   ///< latest detection after onset
+    std::int32_t command_max_s = 3;   ///< bus delivery bound for the stop
+    std::int32_t pump_react_max_s = 2;///< pump's internal reaction bound
+    std::int32_t deadline_s = 60;     ///< required onset->stopped bound
+};
+
+/// Network: Hazard (onset) || Interlock (detects, sends stop!) ||
+/// Pump (receives stop?, stops). Composed into one automaton. Property
+/// P2: the "Overdue" location (pump still running deadline_s after
+/// onset) is unreachable iff detect_max + command_max + pump_react_max
+/// <= deadline.
+[[nodiscard]] TimedAutomaton build_closed_loop_model(
+    const InterlockModelParams& p = {});
+
+/// A scaling family for benchmark E5: \p n independent pump automata
+/// composed in parallel (state space grows exponentially — measures the
+/// checker, not the pump).
+[[nodiscard]] TimedAutomaton build_pump_farm(std::size_t n,
+                                             const PumpModelParams& p = {});
+
+/// Outcome of running the standard GPCA verification suite.
+struct VerificationReport {
+    bool lockout_safe = false;
+    ReachabilityResult lockout_details;
+    bool response_safe = false;
+    ReachabilityResult response_details;
+};
+
+/// Run properties P1 + P2 with the given parameters.
+[[nodiscard]] VerificationReport verify_gpca_suite(
+    const PumpModelParams& pump = {}, const InterlockModelParams& loop = {});
+
+}  // namespace mcps::ta

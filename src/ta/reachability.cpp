@@ -1,0 +1,132 @@
+#include "reachability.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mcps::ta {
+
+namespace {
+
+/// One node of the explored zone graph (kept for trace reconstruction).
+struct Node {
+    std::size_t loc;
+    Dbm zone;
+    std::size_t parent;      ///< index into node store; self for root
+    std::string via_label;   ///< edge label taken from parent
+};
+
+bool apply_guard(Dbm& z, const Guard& g) {
+    for (const auto& c : g) {
+        if (!z.constrain(c.i, c.j, c.bound)) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+ReachabilityResult check_reachability(const TimedAutomaton& ta,
+                                      const LocationPredicate& target,
+                                      const ReachabilityOptions& opts) {
+    ta.validate();
+    if (!target) throw std::invalid_argument("check_reachability: null target");
+
+    const std::int32_t k =
+        opts.max_constant > 0 ? opts.max_constant : ta.max_constant();
+
+    // Group edges by source location once.
+    std::vector<std::vector<const Edge*>> out_edges(ta.num_locations());
+    for (const auto& e : ta.edges()) {
+        if (e.sync != SyncKind::kInternal) continue;  // closed system
+        out_edges[e.src].push_back(&e);
+    }
+
+    ReachabilityResult result;
+    std::vector<Node> nodes;
+    std::deque<std::size_t> waiting;
+    // Passed list: per location, indices of stored zones (subsumption
+    // checked linearly; buckets are small in practice).
+    std::unordered_map<std::size_t, std::vector<std::size_t>> passed;
+
+    auto try_add = [&](std::size_t loc, Dbm zone, std::size_t parent,
+                       std::string label) {
+        zone.extrapolate(k);
+        if (zone.empty()) return;
+        auto& bucket = passed[loc];
+        for (std::size_t idx : bucket) {
+            if (nodes[idx].zone.includes(zone)) return;  // subsumed
+        }
+        if (nodes.size() >= opts.max_states) {
+            throw std::runtime_error(
+                "check_reachability: exceeded max_states (" +
+                std::to_string(opts.max_states) + ")");
+        }
+        nodes.push_back(Node{loc, std::move(zone), parent, std::move(label)});
+        bucket.push_back(nodes.size() - 1);
+        waiting.push_back(nodes.size() - 1);
+    };
+
+    // Initial state: all clocks zero, delay-closed under the invariant.
+    {
+        Dbm z0 = Dbm::zero(ta.num_clocks());
+        if (!apply_guard(z0, ta.invariant(ta.initial()))) {
+            // Invariant excludes the origin: vacuous system.
+            return result;
+        }
+        z0.up();
+        apply_guard(z0, ta.invariant(ta.initial()));
+        try_add(ta.initial(), std::move(z0), 0, "init");
+    }
+
+    while (!waiting.empty()) {
+        const std::size_t cur = waiting.front();
+        waiting.pop_front();
+        ++result.states_explored;
+
+        // nodes may reallocate inside try_add; copy what we need.
+        const std::size_t loc = nodes[cur].loc;
+
+        if (target(loc)) {
+            result.reachable = true;
+            result.target_location = ta.location_name(loc);
+            // Reconstruct the trace.
+            std::vector<std::string> rev;
+            for (std::size_t n = cur; nodes[n].parent != n ||
+                                      nodes[n].via_label != "init";) {
+                rev.push_back(nodes[n].via_label);
+                if (nodes[n].parent == n) break;
+                n = nodes[n].parent;
+            }
+            result.trace.assign(rev.rbegin(), rev.rend());
+            result.states_stored = nodes.size();
+            return result;
+        }
+
+        for (const Edge* e : out_edges[loc]) {
+            Dbm z = nodes[cur].zone;  // copy
+            if (!apply_guard(z, e->guard)) continue;
+            for (ClockId r : e->resets) z.reset(r);
+            if (!apply_guard(z, ta.invariant(e->dst))) continue;
+            z.up();
+            if (!apply_guard(z, ta.invariant(e->dst))) continue;
+            try_add(e->dst, std::move(z), cur, e->label);
+        }
+    }
+
+    result.states_stored = nodes.size();
+    return result;
+}
+
+ReachabilityResult check_reachability(const TimedAutomaton& ta,
+                                      const std::string& location_substring,
+                                      const ReachabilityOptions& opts) {
+    return check_reachability(
+        ta,
+        [&ta, &location_substring](std::size_t loc) {
+            return ta.location_name(loc).find(location_substring) !=
+                   std::string::npos;
+        },
+        opts);
+}
+
+}  // namespace mcps::ta

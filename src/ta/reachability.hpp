@@ -1,0 +1,66 @@
+/// \file reachability.hpp
+/// \brief Zone-graph reachability for timed automata — the checker that
+/// answers "can the pump model ever reach an unsafe state?".
+///
+/// Standard forward symbolic exploration (Bengtsson & Yi 2004):
+/// states are (location, zone) pairs with zones kept canonical and
+/// delay-closed; a passed list with zone-inclusion subsumption plus
+/// max-constant extrapolation guarantees termination. Counterexamples
+/// are reconstructed as edge-label traces.
+
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automaton.hpp"
+
+namespace mcps::ta {
+
+/// A predicate over locations (by index) selecting the target set.
+using LocationPredicate = std::function<bool(std::size_t)>;
+
+struct ReachabilityOptions {
+    /// Exploration cap; exceeding it throws (the caller sized the model
+    /// wrong, and silently truncating would fake a proof).
+    std::size_t max_states = 2'000'000;
+    /// Extrapolation constant override (0 = derive from the model).
+    std::int32_t max_constant = 0;
+};
+
+struct ReachabilityResult {
+    bool reachable = false;
+    std::size_t states_explored = 0;  ///< popped from the waiting list
+    std::size_t states_stored = 0;    ///< retained in the passed list
+    /// Edge labels from the initial state to the target (if reachable).
+    std::vector<std::string> trace;
+    /// Name of the reached target location (if reachable).
+    std::string target_location;
+};
+
+/// Is any location satisfying \p target reachable?
+/// \throws std::runtime_error if the exploration exceeds max_states.
+[[nodiscard]] ReachabilityResult check_reachability(
+    const TimedAutomaton& ta, const LocationPredicate& target,
+    const ReachabilityOptions& opts = {});
+
+/// Convenience: reachability of a location whose *name contains* the
+/// given substring (product locations concatenate component names).
+[[nodiscard]] ReachabilityResult check_reachability(
+    const TimedAutomaton& ta, const std::string& location_substring,
+    const ReachabilityOptions& opts = {});
+
+/// Safety verification: the property holds iff no bad location is
+/// reachable. Returns the (non-)reachability result for reporting.
+[[nodiscard]] inline bool verify_safety(const TimedAutomaton& ta,
+                                        const std::string& bad_substring,
+                                        ReachabilityResult* details = nullptr,
+                                        const ReachabilityOptions& opts = {}) {
+    auto r = check_reachability(ta, bad_substring, opts);
+    if (details) *details = r;
+    return !r.reachable;
+}
+
+}  // namespace mcps::ta

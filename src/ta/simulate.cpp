@@ -1,0 +1,138 @@
+#include "simulate.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mcps::ta {
+
+namespace {
+
+/// Does valuation \p v satisfy constraint \p c? (v[0] == 0 always.)
+bool satisfies(const std::vector<double>& v, const Constraint& c) {
+    if (c.bound.is_infinite()) return true;
+    const double diff = v[c.i] - v[c.j];
+    const double bound = static_cast<double>(c.bound.value());
+    return c.bound.is_strict() ? diff < bound - 1e-12 : diff <= bound + 1e-12;
+}
+
+bool satisfies_all(const std::vector<double>& v, const Guard& g) {
+    return std::all_of(g.begin(), g.end(),
+                       [&](const Constraint& c) { return satisfies(v, c); });
+}
+
+/// Maximum delay admissible under the invariant (delay shifts every
+/// clock except the reference equally, so only upper bounds "xi ≺ c"
+/// with j == 0 constrain it; diagonal constraints are delay-invariant
+/// unless one side is the reference clock).
+double max_delay(const std::vector<double>& v, const Guard& inv) {
+    double bound = std::numeric_limits<double>::infinity();
+    for (const auto& c : inv) {
+        if (c.bound.is_infinite()) continue;
+        if (c.i != 0 && c.j == 0) {
+            // xi + d ≺ bound  =>  d ≺ bound - xi.
+            bound = std::min(bound,
+                             static_cast<double>(c.bound.value()) - v[c.i]);
+        }
+    }
+    return std::max(0.0, bound);
+}
+
+}  // namespace
+
+bool RunResult::visited_location(std::size_t loc) const {
+    return std::find(visited.begin(), visited.end(), loc) != visited.end();
+}
+
+RunResult simulate_run(const TimedAutomaton& ta, mcps::sim::RngStream& rng,
+                       const SimulateOptions& opts) {
+    ta.validate();
+    RunResult result;
+    std::vector<double> v(ta.num_clocks() + 1, 0.0);
+    std::size_t loc = ta.initial();
+    result.visited.push_back(loc);
+
+    // Pre-index internal edges by source.
+    std::vector<std::vector<const Edge*>> out(ta.num_locations());
+    for (const auto& e : ta.edges()) {
+        if (e.sync == SyncKind::kInternal) out[e.src].push_back(&e);
+    }
+
+    for (std::size_t step = 0; step < opts.max_steps; ++step) {
+        if (out[loc].empty()) break;  // sink: nothing further can happen
+
+        // Enabled edges at the current valuation. The target invariant
+        // is evaluated AFTER the edge's resets (standard TA semantics).
+        std::vector<const Edge*> enabled;
+        for (const Edge* e : out[loc]) {
+            if (!satisfies_all(v, e->guard)) continue;
+            std::vector<double> after = v;
+            for (ClockId r : e->resets) after[r] = 0.0;
+            if (satisfies_all(after, ta.invariant(e->dst))) {
+                enabled.push_back(e);
+            }
+        }
+        const double delay_room = max_delay(v, ta.invariant(loc));
+
+        const bool can_delay = delay_room > 1e-9;
+        if (enabled.empty() && !can_delay) {
+            result.deadlocked = true;
+            break;
+        }
+
+        if (enabled.empty() || (can_delay && rng.uniform() < opts.delay_bias)) {
+            // Avoid Zeno runs: when nothing is enabled and the invariant
+            // bounds the stay, jump exactly to the boundary (weak upper
+            // bounds are reachable); otherwise sample, occasionally
+            // taking the full room so boundary guards can fire.
+            double d;
+            const double room = std::min(delay_room, opts.max_delay_step);
+            if (enabled.empty() &&
+                delay_room <= opts.max_delay_step) {
+                d = delay_room;
+            } else if (rng.bernoulli(0.25) &&
+                       delay_room <= opts.max_delay_step) {
+                d = delay_room;
+            } else {
+                d = rng.uniform(0.0, room);
+            }
+            for (std::size_t i = 1; i < v.size(); ++i) v[i] += d;
+            result.total_time += d;
+            continue;
+        }
+
+        const Edge* e = enabled[rng.pick(enabled.size())];
+        for (ClockId r : e->resets) v[r] = 0.0;
+        loc = e->dst;
+        result.visited.push_back(loc);
+        ++result.steps_taken;
+    }
+    return result;
+}
+
+SimulateStats simulate_many(const TimedAutomaton& ta, std::size_t runs,
+                            mcps::sim::RngStream& rng,
+                            const std::string& target_substring,
+                            const SimulateOptions& opts) {
+    SimulateStats stats;
+    stats.runs = runs;
+    for (std::size_t r = 0; r < runs; ++r) {
+        const auto run = simulate_run(ta, rng, opts);
+        if (run.deadlocked) ++stats.deadlocks;
+        std::vector<bool> seen(ta.num_locations(), false);
+        for (std::size_t loc : run.visited) seen[loc] = true;
+        bool hit = false;
+        for (std::size_t loc = 0; loc < seen.size(); ++loc) {
+            if (!seen[loc]) continue;
+            ++stats.location_hits[loc];
+            if (!target_substring.empty() &&
+                ta.location_name(loc).find(target_substring) !=
+                    std::string::npos) {
+                hit = true;
+            }
+        }
+        if (hit) ++stats.target_hits;
+    }
+    return stats;
+}
+
+}  // namespace mcps::ta

@@ -1,0 +1,66 @@
+/// \file simulate.hpp
+/// \brief Random concrete execution of timed automata.
+///
+/// The complement of the symbolic checker: where reachability.hpp
+/// *proves* properties over all behaviours, this module *samples*
+/// concrete runs (real-valued clock valuations, random delays, random
+/// enabled edges). Its two uses mirror industrial practice:
+///
+///  1. Model validation — before trusting a SAFE verdict, simulate the
+///     model and confirm it actually moves (a model that deadlocks in
+///     its initial location verifies everything vacuously).
+///  2. Counterexample confirmation — a violation found symbolically
+///     should be reachable by guided/random simulation too.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "automaton.hpp"
+#include "sim/rng.hpp"
+
+namespace mcps::ta {
+
+struct SimulateOptions {
+    std::size_t max_steps = 10'000;  ///< edge firings per run
+    double max_delay_step = 50.0;    ///< cap on one random delay
+    /// Probability of delaying (vs firing an enabled edge) when both
+    /// are possible.
+    double delay_bias = 0.5;
+};
+
+/// Outcome of one random run.
+struct RunResult {
+    std::size_t steps_taken = 0;
+    double total_time = 0.0;
+    bool deadlocked = false;  ///< no enabled edge and cannot delay
+    std::vector<std::size_t> visited;  ///< location indices, in order
+    [[nodiscard]] bool visited_location(std::size_t loc) const;
+};
+
+/// Execute one random run of \p ta (closed-system: only internal
+/// edges fire). Deterministic given the stream state.
+[[nodiscard]] RunResult simulate_run(const TimedAutomaton& ta,
+                                     mcps::sim::RngStream& rng,
+                                     const SimulateOptions& opts = {});
+
+/// Aggregate statistics over \p runs random runs.
+struct SimulateStats {
+    std::size_t runs = 0;
+    std::size_t deadlocks = 0;
+    /// Per-location visit counts (runs that touched it at least once).
+    std::map<std::size_t, std::size_t> location_hits;
+    /// Runs that reached a location whose name contains the needle.
+    std::size_t target_hits = 0;
+};
+
+/// Run \p runs random executions, counting visits and hits on locations
+/// whose name contains \p target_substring (empty = count nothing).
+[[nodiscard]] SimulateStats simulate_many(
+    const TimedAutomaton& ta, std::size_t runs, mcps::sim::RngStream& rng,
+    const std::string& target_substring = "", const SimulateOptions& opts = {});
+
+}  // namespace mcps::ta

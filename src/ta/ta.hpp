@@ -1,0 +1,11 @@
+/// \file ta.hpp
+/// \brief Umbrella header for the mcps_ta timed-automata verification
+/// library.
+
+#pragma once
+
+#include "automaton.hpp"     // IWYU pragma: export
+#include "dbm.hpp"           // IWYU pragma: export
+#include "models.hpp"        // IWYU pragma: export
+#include "reachability.hpp"  // IWYU pragma: export
+#include "simulate.hpp"      // IWYU pragma: export

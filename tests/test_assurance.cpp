@@ -1,0 +1,220 @@
+/// \file test_assurance.cpp
+/// \brief Tests for GSN assurance cases and the hazard log.
+
+#include <gtest/gtest.h>
+
+#include "assurance/assurance.hpp"
+
+namespace {
+
+using namespace mcps::assurance;
+
+AssuranceCase tiny_case() {
+    AssuranceCase ac{"tiny"};
+    ac.add_goal("G1", "System is safe");
+    ac.add_strategy("S1", "Argue by hazard");
+    ac.add_goal("G2", "Hazard A handled");
+    ac.add_solution("Sn1", "Test evidence", "tests/x");
+    ac.link("G1", "S1");
+    ac.link("S1", "G2");
+    ac.link("G2", "Sn1");
+    return ac;
+}
+
+TEST(Gsn, BuilderAndLookup) {
+    auto ac = tiny_case();
+    EXPECT_EQ(ac.size(), 4u);
+    EXPECT_EQ(ac.root().id, "G1");
+    ASSERT_NE(ac.find("Sn1"), nullptr);
+    EXPECT_EQ(ac.find("Sn1")->kind, NodeKind::kSolution);
+    EXPECT_EQ(ac.find("missing"), nullptr);
+    EXPECT_EQ(ac.children("S1"), (std::vector<NodeId>{"G2"}));
+}
+
+TEST(Gsn, DuplicateAndEmptyIdsRejected) {
+    AssuranceCase ac{"t"};
+    ac.add_goal("G1", "x");
+    EXPECT_THROW(ac.add_goal("G1", "again"), std::invalid_argument);
+    EXPECT_THROW(ac.add_goal("", "anon"), std::invalid_argument);
+}
+
+TEST(Gsn, IllegalLinksRejected) {
+    AssuranceCase ac{"t"};
+    ac.add_goal("G1", "g");
+    ac.add_solution("Sn1", "s");
+    ac.add_context("C1", "c");
+    EXPECT_THROW(ac.link("Sn1", "G1"), std::invalid_argument);  // sol -> goal
+    EXPECT_THROW(ac.link("C1", "G1"), std::invalid_argument);   // ctx parent
+    EXPECT_THROW(ac.link("G1", "nope"), std::invalid_argument);
+    EXPECT_NO_THROW(ac.link("G1", "C1"));
+    EXPECT_NO_THROW(ac.link("G1", "Sn1"));
+}
+
+TEST(Gsn, EvidenceLifecycle) {
+    auto ac = tiny_case();
+    EXPECT_EQ(ac.find("Sn1")->evidence, EvidenceStatus::kPending);
+    ac.set_evidence("Sn1", EvidenceStatus::kPassed, "ctest run 2026-07-06");
+    EXPECT_EQ(ac.find("Sn1")->evidence, EvidenceStatus::kPassed);
+    EXPECT_EQ(ac.find("Sn1")->artifact, "ctest run 2026-07-06");
+    EXPECT_THROW(ac.set_evidence("G1", EvidenceStatus::kPassed),
+                 std::invalid_argument);
+}
+
+TEST(Gsn, AuditOnHealthyCase) {
+    auto ac = tiny_case();
+    ac.set_evidence("Sn1", EvidenceStatus::kPassed);
+    const auto rep = ac.audit();
+    EXPECT_TRUE(rep.well_formed) << (rep.errors.empty() ? "" : rep.errors[0]);
+    EXPECT_EQ(rep.goals, 2u);
+    EXPECT_EQ(rep.solutions, 1u);
+    EXPECT_EQ(rep.undeveloped_goals, 0u);
+    EXPECT_EQ(rep.pending_evidence, 0u);
+    EXPECT_DOUBLE_EQ(rep.evidence_coverage, 1.0);
+    EXPECT_TRUE(rep.certifiable);
+}
+
+TEST(Gsn, PendingEvidenceBlocksCertifiability) {
+    auto ac = tiny_case();
+    const auto rep = ac.audit();
+    EXPECT_TRUE(rep.well_formed);
+    EXPECT_EQ(rep.pending_evidence, 1u);
+    EXPECT_LT(rep.evidence_coverage, 1.0);
+    EXPECT_FALSE(rep.certifiable);
+}
+
+TEST(Gsn, FailedEvidenceIsAnError) {
+    auto ac = tiny_case();
+    ac.set_evidence("Sn1", EvidenceStatus::kFailed);
+    const auto rep = ac.audit();
+    EXPECT_FALSE(rep.well_formed);
+    EXPECT_EQ(rep.failed_evidence, 1u);
+    EXPECT_FALSE(rep.certifiable);
+}
+
+TEST(Gsn, UndevelopedGoalDetected) {
+    AssuranceCase ac{"t"};
+    ac.add_goal("G1", "top");
+    ac.add_goal("G2", "supported");
+    ac.add_solution("Sn1", "ev", "", EvidenceStatus::kPassed);
+    ac.add_goal("G3", "undeveloped");
+    ac.link("G1", "G2");
+    ac.link("G1", "G3");
+    ac.link("G2", "Sn1");
+    const auto rep = ac.audit();
+    EXPECT_EQ(rep.undeveloped_goals, 1u);
+    EXPECT_FALSE(rep.certifiable);
+}
+
+TEST(Gsn, OrphanNodesReported) {
+    auto ac = tiny_case();
+    ac.add_goal("G9", "floating");
+    const auto rep = ac.audit();
+    EXPECT_FALSE(rep.well_formed);
+    bool found = false;
+    for (const auto& e : rep.errors) {
+        found = found || e.find("G9") != std::string::npos;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Gsn, AssumptionsAreWarnings) {
+    auto ac = tiny_case();
+    ac.add_assumption("A1", "the ward follows policy");
+    ac.link("G2", "A1");
+    ac.set_evidence("Sn1", EvidenceStatus::kPassed);
+    const auto rep = ac.audit();
+    EXPECT_TRUE(rep.well_formed);
+    ASSERT_EQ(rep.warnings.size(), 1u);
+    EXPECT_NE(rep.warnings[0].find("A1"), std::string::npos);
+    // Assumptions do not gate support.
+    EXPECT_TRUE(rep.certifiable);
+}
+
+TEST(Gsn, RendersTextAndDot) {
+    auto ac = tiny_case();
+    const auto text = ac.to_text();
+    EXPECT_NE(text.find("[Goal G1]"), std::string::npos);
+    EXPECT_NE(text.find("[Solution Sn1]"), std::string::npos);
+    const auto dot = ac.to_dot();
+    EXPECT_NE(dot.find("digraph gsn"), std::string::npos);
+    EXPECT_NE(dot.find("\"G1\" -> \"S1\""), std::string::npos);
+}
+
+TEST(Gsn, GpcaSkeletonIsWellFormed) {
+    auto ac = build_gpca_case_skeleton();
+    auto rep = ac.audit();
+    EXPECT_TRUE(rep.well_formed) << (rep.errors.empty() ? "" : rep.errors[0]);
+    EXPECT_FALSE(rep.certifiable);  // evidence still pending
+    // Attach all evidence: becomes certifiable.
+    ac.set_evidence("Sn1", EvidenceStatus::kPassed);
+    ac.set_evidence("Sn2", EvidenceStatus::kPassed);
+    ac.set_evidence("Sn3", EvidenceStatus::kPassed);
+    ac.set_evidence("Sn4", EvidenceStatus::kPassed);
+    rep = ac.audit();
+    EXPECT_TRUE(rep.certifiable);
+}
+
+TEST(Hazard, RiskMatrixBands) {
+    EXPECT_EQ(classify(Severity::kNegligible, Likelihood::kIncredible),
+              RiskClass::kAcceptable);
+    EXPECT_EQ(classify(Severity::kCatastrophic, Likelihood::kFrequent),
+              RiskClass::kIntolerable);
+    EXPECT_EQ(classify(Severity::kSerious, Likelihood::kRemote),
+              RiskClass::kTolerable);  // 9
+    EXPECT_EQ(classify(Severity::kMinor, Likelihood::kRemote),
+              RiskClass::kTolerable);  // 6
+    EXPECT_EQ(classify(Severity::kCritical, Likelihood::kRemote),
+              RiskClass::kUndesirable);  // 12
+    EXPECT_EQ(classify(Severity::kCatastrophic, Likelihood::kRemote),
+              RiskClass::kIntolerable);  // 15
+}
+
+TEST(Hazard, MitigationReducesResidualRisk) {
+    Hazard h;
+    h.id = "H1";
+    h.severity = Severity::kCatastrophic;
+    h.initial_likelihood = Likelihood::kOccasional;
+    EXPECT_EQ(h.initial_risk(), RiskClass::kIntolerable);
+    EXPECT_EQ(h.residual_risk(), RiskClass::kIntolerable);  // unmitigated
+    h.mitigations.push_back({"interlock", Likelihood::kImprobable, "core"});
+    EXPECT_EQ(h.residual_risk(), RiskClass::kUndesirable);  // 5*2 = 10
+    h.mitigations.push_back({"lockout", Likelihood::kIncredible, "pump"});
+    EXPECT_EQ(h.residual_risk(), RiskClass::kTolerable);  // 5*1 = 5
+}
+
+TEST(Hazard, LogOperations) {
+    HazardLog log;
+    Hazard h;
+    h.id = "H1";
+    h.description = "d";
+    log.add(h);
+    EXPECT_THROW(log.add(h), std::invalid_argument);
+    Hazard bad;
+    EXPECT_THROW(log.add(bad), std::invalid_argument);  // empty id
+    ASSERT_NE(log.find("H1"), nullptr);
+    EXPECT_EQ(log.find("H2"), nullptr);
+    EXPECT_EQ(log.count(), 1u);
+}
+
+TEST(Hazard, GpcaLogIsControlled) {
+    const auto log = build_gpca_hazard_log();
+    EXPECT_GE(log.count(), 5u);
+    EXPECT_TRUE(log.all_controlled()) << [&] {
+        std::string s;
+        for (const auto& id : log.open_risks()) s += id + " ";
+        return s;
+    }();
+    const auto text = log.to_text();
+    EXPECT_NE(text.find("H1"), std::string::npos);
+    EXPECT_NE(text.find("catastrophic"), std::string::npos);
+}
+
+TEST(Hazard, EnumNames) {
+    EXPECT_EQ(to_string(Severity::kCritical), "critical");
+    EXPECT_EQ(to_string(Likelihood::kRemote), "remote");
+    EXPECT_EQ(to_string(RiskClass::kTolerable), "tolerable");
+    EXPECT_EQ(to_string(NodeKind::kStrategy), "Strategy");
+    EXPECT_EQ(to_string(EvidenceStatus::kFailed), "FAILED");
+}
+
+}  // namespace

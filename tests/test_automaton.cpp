@@ -1,0 +1,177 @@
+/// \file test_automaton.cpp
+/// \brief Tests for timed-automaton construction and parallel composition.
+
+#include <gtest/gtest.h>
+
+#include "ta/automaton.hpp"
+
+namespace {
+
+using namespace mcps::ta;
+
+TimedAutomaton simple_two_loc(const std::string& name = "a") {
+    TimedAutomaton ta{name};
+    const ClockId x = ta.add_clock("x");
+    const auto l0 = ta.add_location("L0");
+    const auto l1 = ta.add_location("L1", {Constraint::le(x, 10)});
+    ta.set_initial(l0);
+    ta.add_edge(l0, l1, {Constraint::ge(x, 2)}, {x}, "go");
+    return ta;
+}
+
+TEST(Automaton, BuilderBasics) {
+    auto ta = simple_two_loc();
+    EXPECT_EQ(ta.name(), "a");
+    EXPECT_EQ(ta.num_clocks(), 1u);
+    EXPECT_EQ(ta.num_locations(), 2u);
+    EXPECT_EQ(ta.location_name(0), "L0");
+    EXPECT_EQ(ta.location("L1"), 1u);
+    EXPECT_THROW((void)ta.location("L9"), std::out_of_range);
+    EXPECT_EQ(ta.edges().size(), 1u);
+    EXPECT_EQ(ta.edges()[0].label, "go");
+    EXPECT_NO_THROW(ta.validate());
+}
+
+TEST(Automaton, ConstraintFactories) {
+    const auto le = Constraint::le(1, 5);
+    EXPECT_EQ(le.i, 1u);
+    EXPECT_EQ(le.j, 0u);
+    EXPECT_EQ(le.bound, Bound::weak(5));
+    const auto ge = Constraint::ge(1, 5);
+    EXPECT_EQ(ge.i, 0u);
+    EXPECT_EQ(ge.j, 1u);
+    EXPECT_EQ(ge.bound, Bound::weak(-5));
+    const auto gt = Constraint::gt(2, 3);
+    EXPECT_EQ(gt.bound, Bound::strict(-3));
+    const auto diff = Constraint::diff_le(1, 2, 7);
+    EXPECT_EQ(diff.i, 1u);
+    EXPECT_EQ(diff.j, 2u);
+}
+
+TEST(Automaton, BuilderErrorChecking) {
+    TimedAutomaton ta{"t"};
+    const ClockId x = ta.add_clock("x");
+    const auto l0 = ta.add_location("L0");
+    EXPECT_THROW(ta.set_initial(9), std::out_of_range);
+    EXPECT_THROW(ta.add_edge(l0, 9, {}, {}, "bad"), std::out_of_range);
+    EXPECT_THROW(ta.add_edge(l0, l0, {Constraint::le(5, 1)}, {}, "bad"),
+                 std::out_of_range);
+    EXPECT_THROW(ta.add_edge(l0, l0, {}, {0}, "bad"), std::out_of_range);
+    EXPECT_THROW(ta.add_edge(l0, l0, {}, {7}, "bad"), std::out_of_range);
+    EXPECT_THROW(
+        ta.add_sync_edge(l0, l0, {}, {}, "", SyncKind::kSend),
+        std::invalid_argument);
+    (void)x;
+}
+
+TEST(Automaton, ValidateCatchesEmptyModels) {
+    TimedAutomaton empty{"e"};
+    EXPECT_THROW(empty.validate(), std::logic_error);
+    TimedAutomaton no_clock{"nc"};
+    no_clock.add_location("L");
+    EXPECT_THROW(no_clock.validate(), std::logic_error);
+}
+
+TEST(Automaton, MaxConstantScansGuardsAndInvariants) {
+    TimedAutomaton ta{"t"};
+    const ClockId x = ta.add_clock("x");
+    const auto l0 = ta.add_location("L0", {Constraint::le(x, 480)});
+    const auto l1 = ta.add_location("L1");
+    ta.set_initial(l0);
+    ta.add_edge(l0, l1, {Constraint::ge(x, 30)}, {}, "e");
+    EXPECT_EQ(ta.max_constant(), 480);
+}
+
+TEST(Compose, ProductLocationsAndClocks) {
+    auto a = simple_two_loc("a");
+    auto b = simple_two_loc("b");
+    auto p = parallel_compose(a, b);
+    EXPECT_EQ(p.num_locations(), 4u);
+    EXPECT_EQ(p.num_clocks(), 2u);
+    EXPECT_EQ(p.location_name(p.initial()), "L0|L0");
+    // Clock names are qualified.
+    EXPECT_EQ(p.clock_names()[0], "a.x");
+    EXPECT_EQ(p.clock_names()[1], "b.x");
+    // Internal edges interleave: 2 per component = 4 total.
+    EXPECT_EQ(p.edges().size(), 4u);
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Compose, HandshakeFusesSendReceive) {
+    TimedAutomaton s{"s"};
+    const ClockId xs = s.add_clock("x");
+    const auto s0 = s.add_location("S0");
+    const auto s1 = s.add_location("S1");
+    s.set_initial(s0);
+    s.add_sync_edge(s0, s1, {Constraint::ge(xs, 1)}, {xs}, "ping",
+                    SyncKind::kSend);
+
+    TimedAutomaton r{"r"};
+    const ClockId xr = r.add_clock("y");
+    const auto r0 = r.add_location("R0");
+    const auto r1 = r.add_location("R1");
+    r.set_initial(r0);
+    r.add_sync_edge(r0, r1, {}, {xr}, "ping", SyncKind::kReceive);
+
+    auto p = parallel_compose(s, r);
+    // Edges: 1 fused internal + 2 interleaved sync copies (per location
+    // of the other side). The fused one is internal.
+    int internal = 0, sync = 0;
+    for (const auto& e : p.edges()) {
+        (e.sync == SyncKind::kInternal ? internal : sync)++;
+    }
+    EXPECT_EQ(internal, 1);
+    EXPECT_GT(sync, 0);  // open copies preserved for later composition
+    // The fused edge goes S0|R0 -> S1|R1.
+    const Edge* fused = nullptr;
+    for (const auto& e : p.edges()) {
+        if (e.sync == SyncKind::kInternal) fused = &e;
+    }
+    ASSERT_NE(fused, nullptr);
+    EXPECT_EQ(p.location_name(fused->src), "S0|R0");
+    EXPECT_EQ(p.location_name(fused->dst), "S1|R1");
+    // Fused edge carries both guards and both resets.
+    EXPECT_EQ(fused->guard.size(), 1u);
+    EXPECT_EQ(fused->resets.size(), 2u);
+}
+
+TEST(Compose, MismatchedChannelsDoNotFuse) {
+    TimedAutomaton s{"s"};
+    const ClockId xs = s.add_clock("x");
+    const auto s0 = s.add_location("S0");
+    s.set_initial(s0);
+    s.add_sync_edge(s0, s0, {}, {xs}, "ping", SyncKind::kSend);
+
+    TimedAutomaton r{"r"};
+    const ClockId xr = r.add_clock("y");
+    const auto r0 = r.add_location("R0");
+    r.set_initial(r0);
+    r.add_sync_edge(r0, r0, {}, {xr}, "pong", SyncKind::kReceive);
+
+    auto p = parallel_compose(s, r);
+    for (const auto& e : p.edges()) {
+        EXPECT_NE(e.sync, SyncKind::kInternal);  // nothing fused
+    }
+}
+
+TEST(Compose, InvariantsAreConjoined) {
+    TimedAutomaton a{"a"};
+    const ClockId xa = a.add_clock("x");
+    a.add_location("A", {Constraint::le(xa, 5)});
+    a.set_initial(0);
+
+    TimedAutomaton b{"b"};
+    const ClockId xb = b.add_clock("y");
+    b.add_location("B", {Constraint::le(xb, 7)});
+    b.set_initial(0);
+
+    auto p = parallel_compose(a, b);
+    const auto& inv = p.invariant(0);
+    ASSERT_EQ(inv.size(), 2u);
+    // Second component's clock shifted past a's clock space.
+    EXPECT_EQ(inv[0].i, 1u);
+    EXPECT_EQ(inv[1].i, 2u);
+    EXPECT_EQ(inv[1].bound, Bound::weak(7));
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+/// \file test_dbm.cpp
+/// \brief Unit + property tests for Bounds and Difference Bound Matrices.
+
+#include <gtest/gtest.h>
+
+#include "ta/dbm.hpp"
+
+namespace {
+
+using mcps::ta::Bound;
+using mcps::ta::Dbm;
+
+TEST(Bound, OrderingAndKinds) {
+    EXPECT_LT(Bound::strict(5), Bound::weak(5));  // x<5 is tighter than x<=5
+    EXPECT_LT(Bound::weak(4), Bound::strict(5));
+    EXPECT_LT(Bound::weak(5), Bound::infinity());
+    EXPECT_TRUE(Bound::infinity().is_infinite());
+    EXPECT_TRUE(Bound::strict(3).is_strict());
+    EXPECT_FALSE(Bound::weak(3).is_strict());
+    EXPECT_EQ(Bound::weak(3).value(), 3);
+    EXPECT_EQ(Bound::strict(-2).value(), -2);
+}
+
+TEST(Bound, AdditionConcatenatesPaths) {
+    EXPECT_EQ(Bound::weak(2) + Bound::weak(3), Bound::weak(5));
+    EXPECT_EQ(Bound::strict(2) + Bound::weak(3), Bound::strict(5));
+    EXPECT_EQ(Bound::weak(2) + Bound::strict(3), Bound::strict(5));
+    EXPECT_EQ(Bound::weak(2) + Bound::infinity(), Bound::infinity());
+    EXPECT_EQ(Bound::weak(-4) + Bound::weak(3), Bound::weak(-1));
+}
+
+TEST(Bound, ToString) {
+    EXPECT_EQ(Bound::weak(7).to_string(), "<=7");
+    EXPECT_EQ(Bound::strict(7).to_string(), "<7");
+    EXPECT_EQ(Bound::infinity().to_string(), "<inf");
+}
+
+TEST(Dbm, ZeroZoneContainsOnlyOrigin) {
+    const Dbm z = Dbm::zero(2);
+    EXPECT_FALSE(z.empty());
+    // x1 <= 0 and x1 >= 0.
+    EXPECT_EQ(z.at(1, 0), Bound::zero_weak());
+    EXPECT_EQ(z.at(0, 1), Bound::zero_weak());
+}
+
+TEST(Dbm, UniverseAllowsAnyNonNegativePoint) {
+    Dbm z{2};
+    EXPECT_FALSE(z.empty());
+    // Constraining to x1 == 1000 still nonempty.
+    EXPECT_TRUE(z.constrain_upper(1, 1000, false));
+    EXPECT_TRUE(z.constrain_lower(1, 1000, false));
+    EXPECT_FALSE(z.empty());
+}
+
+TEST(Dbm, NeedsAtLeastOneClock) {
+    EXPECT_THROW(Dbm{0}, std::invalid_argument);
+}
+
+TEST(Dbm, UpRemovesUpperBounds) {
+    Dbm z = Dbm::zero(2);
+    z.up();
+    EXPECT_TRUE(z.at(1, 0).is_infinite());
+    EXPECT_TRUE(z.at(2, 0).is_infinite());
+    // But the clocks remain equal (x1 - x2 == 0).
+    EXPECT_EQ(z.at(1, 2), Bound::zero_weak());
+    EXPECT_EQ(z.at(2, 1), Bound::zero_weak());
+}
+
+TEST(Dbm, ResetPinsClockToZero) {
+    Dbm z = Dbm::zero(2);
+    z.up();
+    // Let 5..10 units pass on both clocks.
+    ASSERT_TRUE(z.constrain_upper(1, 10, false));
+    ASSERT_TRUE(z.constrain_lower(1, 5, false));
+    z.reset(1);
+    EXPECT_EQ(z.at(1, 0), Bound::zero_weak());
+    EXPECT_EQ(z.at(0, 1), Bound::zero_weak());
+    // x2 keeps its constraints: x2 - x1 in [5, 10].
+    EXPECT_EQ(z.at(2, 1), Bound::weak(10));
+    EXPECT_EQ(z.at(1, 2), Bound::weak(-5));
+    EXPECT_THROW(z.reset(0), std::invalid_argument);
+}
+
+TEST(Dbm, ContradictionEmptiesZone) {
+    Dbm z{1};
+    z.up();
+    ASSERT_TRUE(z.constrain_upper(1, 5, false));
+    EXPECT_FALSE(z.constrain_lower(1, 6, false));  // x<=5 && x>=6
+    EXPECT_TRUE(z.empty());
+}
+
+TEST(Dbm, StrictBoundaryContradiction) {
+    Dbm z{1};
+    z.up();
+    ASSERT_TRUE(z.constrain_upper(1, 5, true));   // x < 5
+    EXPECT_FALSE(z.constrain_lower(1, 5, false));  // x >= 5: empty
+    EXPECT_TRUE(z.empty());
+}
+
+TEST(Dbm, WeakBoundaryIntersectionNonEmpty) {
+    Dbm z{1};
+    z.up();
+    ASSERT_TRUE(z.constrain_upper(1, 5, false));  // x <= 5
+    EXPECT_TRUE(z.constrain_lower(1, 5, false));  // x >= 5: the point x=5
+    EXPECT_FALSE(z.empty());
+}
+
+TEST(Dbm, DiagonalConstraintPropagates) {
+    // x1 - x2 <= -3 (x2 at least 3 ahead), x1 >= 2 => x2 >= 5.
+    Dbm z{2};
+    z.up();
+    ASSERT_TRUE(z.constrain(1, 2, Bound::weak(-3)));
+    ASSERT_TRUE(z.constrain_lower(1, 2, false));
+    // Canonical form must reflect x2 >= 5: (0,2) <= -5.
+    EXPECT_LE(z.at(0, 2), Bound::weak(-5));
+}
+
+TEST(Dbm, IncludesReflexiveAndOrdering) {
+    Dbm big{2};
+    big.up();
+    Dbm small = Dbm::zero(2);
+    EXPECT_TRUE(big.includes(small));
+    EXPECT_FALSE(small.includes(big));
+    EXPECT_TRUE(big.includes(big));
+    EXPECT_TRUE(small.includes(small));
+    // Empty zone is included in everything.
+    Dbm empty{2};
+    empty.constrain_upper(1, 1, false);
+    empty.constrain_lower(1, 2, false);
+    ASSERT_TRUE(empty.empty());
+    EXPECT_TRUE(small.includes(empty));
+    EXPECT_FALSE(empty.includes(small));
+}
+
+TEST(Dbm, EqualityAndHashing) {
+    Dbm a = Dbm::zero(2);
+    Dbm b = Dbm::zero(2);
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(a.hash(), b.hash());
+    b.up();
+    EXPECT_FALSE(a == b);
+}
+
+TEST(Dbm, ExtrapolationLoosensLargeBounds) {
+    Dbm z{1};
+    z.up();
+    ASSERT_TRUE(z.constrain_upper(1, 1000, false));
+    ASSERT_TRUE(z.constrain_lower(1, 900, false));
+    Dbm before = z;
+    z.extrapolate(10);  // max constant 10: both bounds beyond it
+    // Upper bound gone, lower bound clamped to >10.
+    EXPECT_TRUE(z.at(1, 0).is_infinite());
+    EXPECT_EQ(z.at(0, 1), Bound::strict(-10));
+    EXPECT_TRUE(z.includes(before));  // extrapolation only grows zones
+}
+
+TEST(Dbm, ExtrapolationPreservesSmallBounds) {
+    Dbm z{1};
+    z.up();
+    ASSERT_TRUE(z.constrain_upper(1, 5, false));
+    Dbm before = z;
+    z.extrapolate(10);
+    EXPECT_TRUE(z == before);
+}
+
+TEST(Dbm, ToStringRendersMatrix) {
+    Dbm z = Dbm::zero(1);
+    const auto s = z.to_string();
+    EXPECT_NE(s.find("<=0"), std::string::npos);
+    Dbm e{1};
+    e.constrain_upper(1, 1, false);
+    e.constrain_lower(1, 2, false);
+    EXPECT_EQ(e.to_string(), "(empty zone)");
+}
+
+TEST(Dbm, OutOfRangeClockThrows) {
+    Dbm z{2};
+    EXPECT_THROW(z.constrain(5, 0, Bound::weak(1)), std::out_of_range);
+    EXPECT_THROW((void)z.at(0, 3), std::out_of_range);
+}
+
+/// Property sweep: delay-then-constrain sequences keep zones canonical
+/// (idempotent under canonicalize) and monotone under inclusion.
+class DbmProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DbmProperty, CanonicalFormIsIdempotentAndUpGrows) {
+    const int ub = GetParam();
+    Dbm z = Dbm::zero(3);
+    z.up();
+    ASSERT_TRUE(z.constrain_upper(1, ub, false));
+    ASSERT_TRUE(z.constrain_lower(2, 1, false));
+    ASSERT_TRUE(z.constrain(1, 2, Bound::weak(ub / 2)));
+
+    Dbm copy = z;
+    copy.canonicalize();
+    EXPECT_TRUE(copy == z);  // already canonical
+
+    Dbm delayed = z;
+    delayed.up();
+    EXPECT_TRUE(delayed.includes(z));  // time elapse only grows the zone
+
+    Dbm reset = z;
+    reset.reset(1);
+    // After reset, x1 == 0 exactly.
+    EXPECT_EQ(reset.at(1, 0), Bound::zero_weak());
+    EXPECT_EQ(reset.at(0, 1), Bound::zero_weak());
+}
+
+INSTANTIATE_TEST_SUITE_P(UpperBounds, DbmProperty,
+                         ::testing::Values(2, 10, 100, 10000));
+
+}  // namespace

@@ -1,0 +1,293 @@
+/// \file test_interlock.cpp
+/// \brief Tests for the PCA safety interlock app: trigger logic,
+/// persistence, command retry over lossy links, data-loss policies and
+/// auto-resume.
+
+#include <gtest/gtest.h>
+
+#include "core/pca_interlock.hpp"
+#include "devices/devices.hpp"
+#include "ice/ice.hpp"
+#include "physio/population.hpp"
+
+namespace {
+
+using namespace mcps;
+using namespace mcps::sim::literals;
+using core::DataLossPolicy;
+using core::InterlockConfig;
+using core::InterlockMode;
+using core::InterlockState;
+using core::PcaInterlock;
+
+/// Fixture with a full closed-loop stack; vitals can also be injected
+/// directly onto the bus to drive the interlock deterministically.
+class InterlockTest : public ::testing::Test {
+protected:
+    InterlockTest()
+        : sim_{42},
+          bus_{sim_, net::ChannelParameters::ideal()},
+          patient_{physio::nominal_parameters(physio::Archetype::kTypicalAdult)},
+          ctx_{sim_, bus_, trace_},
+          pump_{ctx_, "pump1", patient_, devices::Prescription{}},
+          oxi_{ctx_, "oxi1", patient_},
+          cap_{ctx_, "cap1", patient_} {}
+
+    /// Start devices + supervisor and deploy an interlock with \p cfg.
+    PcaInterlock& deploy(InterlockConfig cfg) {
+        for (devices::Device* d :
+             std::initializer_list<devices::Device*>{&pump_, &oxi_, &cap_}) {
+            d->set_heartbeat_period(2_s);
+            d->start();
+            registry_.add(*d);
+        }
+        supervisor_.emplace(ctx_, "sup1", registry_);
+        supervisor_->start();
+        app_.emplace(ctx_, "ilk", std::move(cfg));
+        const auto r = supervisor_->deploy(*app_);
+        if (!r.ok) throw std::runtime_error("deploy failed: " + r.error);
+        sim_.run_for(3_s);  // pump through self-test
+        return *app_;
+    }
+
+    /// Bind the interlock directly (no supervisor, no live sensors):
+    /// isolates the trigger/persistence/recovery logic from liveness
+    /// monitoring. Vitals are driven exclusively via inject().
+    PcaInterlock& bind_direct(InterlockConfig cfg) {
+        pump_.start();
+        app_.emplace(ctx_, "ilk", std::move(cfg));
+        std::vector<ice::DeviceDescriptor> devs{
+            {"pump1", devices::DeviceKind::kInfusionPump,
+             pump_.capabilities(), &pump_},
+            {"oxi1", devices::DeviceKind::kPulseOximeter,
+             oxi_.capabilities(), &oxi_},
+        };
+        if (app_->config().mode == InterlockMode::kDualSensor) {
+            devs.push_back({"cap1", devices::DeviceKind::kCapnometer,
+                            cap_.capabilities(), &cap_});
+        }
+        app_->bind(devs);
+        app_->on_app_start();
+        sim_.run_for(3_s);  // pump through self-test
+        return *app_;
+    }
+
+    /// Inject a vital sample as if a sensor published it.
+    void inject(const std::string& metric, double value, bool valid = true) {
+        bus_.publish("injector", "vitals/bed1/" + metric,
+                     net::VitalSignPayload{metric, value, valid});
+    }
+
+    sim::Simulation sim_;
+    net::Bus bus_;
+    sim::TraceRecorder trace_;
+    physio::Patient patient_;
+    devices::DeviceContext ctx_;
+    devices::GpcaPump pump_;
+    devices::PulseOximeter oxi_;
+    devices::Capnometer cap_;
+    ice::DeviceRegistry registry_;
+    std::optional<ice::Supervisor> supervisor_;
+    std::optional<PcaInterlock> app_;
+};
+
+TEST_F(InterlockTest, ConfigValidation) {
+    InterlockConfig cfg;
+    cfg.spo2_stop = 95.0;
+    cfg.spo2_warn = 93.0;  // stop above warn: nonsense
+    EXPECT_THROW(PcaInterlock(ctx_, "x", cfg), std::invalid_argument);
+    cfg = {};
+    cfg.check_period = sim::SimDuration::zero();
+    EXPECT_THROW(PcaInterlock(ctx_, "x", cfg), std::invalid_argument);
+}
+
+TEST_F(InterlockTest, RequirementsDependOnMode) {
+    InterlockConfig cfg;
+    cfg.mode = InterlockMode::kSpO2Only;
+    PcaInterlock a{ctx_, "a", cfg};
+    EXPECT_EQ(a.requirements().size(), 2u);
+    cfg.mode = InterlockMode::kDualSensor;
+    PcaInterlock b{ctx_, "b", cfg};
+    EXPECT_EQ(b.requirements().size(), 3u);
+}
+
+TEST_F(InterlockTest, StaysMonitoringOnHealthyVitals) {
+    auto& ilk = deploy(InterlockConfig{});
+    sim_.run_for(2_min);
+    EXPECT_EQ(ilk.state(), InterlockState::kMonitoring);
+    EXPECT_EQ(ilk.stats().stops_issued, 0u);
+    EXPECT_TRUE(pump_.delivering());
+}
+
+TEST_F(InterlockTest, PersistentHypoxiaTriggersStop) {
+    InterlockConfig cfg;
+    cfg.mode = InterlockMode::kSpO2Only;
+    cfg.persistence = 5_s;
+    auto& ilk = bind_direct(cfg);
+    for (int i = 0; i < 10; ++i) {
+        inject("spo2", 84.0);
+        sim_.run_for(1_s);
+    }
+    EXPECT_EQ(ilk.state(), InterlockState::kTriggered);
+    EXPECT_EQ(ilk.stats().stops_issued, 1u);
+    sim_.run_for(2_s);
+    EXPECT_FALSE(pump_.delivering());
+    EXPECT_GT(ilk.stats().acks_received, 0u);
+}
+
+TEST_F(InterlockTest, TransientDipDoesNotTrigger) {
+    InterlockConfig cfg;
+    cfg.mode = InterlockMode::kSpO2Only;
+    cfg.persistence = 10_s;
+    auto& ilk = bind_direct(cfg);
+    // 5 s dip, then recovery — shorter than persistence.
+    for (int i = 0; i < 5; ++i) {
+        inject("spo2", 84.0);
+        sim_.run_for(1_s);
+    }
+    for (int i = 0; i < 20; ++i) {
+        inject("spo2", 97.0);
+        sim_.run_for(1_s);
+    }
+    EXPECT_EQ(ilk.stats().stops_issued, 0u);
+    EXPECT_TRUE(pump_.delivering());
+}
+
+TEST_F(InterlockTest, DualSensorTriggersOnCapnometryAlone) {
+    InterlockConfig cfg;
+    cfg.mode = InterlockMode::kDualSensor;
+    cfg.persistence = 5_s;
+    auto& ilk = bind_direct(cfg);
+    for (int i = 0; i < 10; ++i) {
+        inject("spo2", 96.0);      // oximetry still fine
+        inject("etco2", 3.0);      // waveform lost => apnea indicator
+        inject("resp_rate", 2.0);
+        sim_.run_for(1_s);
+    }
+    EXPECT_EQ(ilk.state(), InterlockState::kTriggered);
+}
+
+TEST_F(InterlockTest, StopCommandRetriesOverLossyLink) {
+    InterlockConfig cfg;
+    cfg.mode = InterlockMode::kSpO2Only;
+    cfg.persistence = 2_s;
+    cfg.command_retry = 1_s;
+    auto& ilk = bind_direct(cfg);
+    // Make the pump's inbound link terrible AFTER binding.
+    net::ChannelParameters lossy;
+    lossy.loss_probability = 0.8;
+    bus_.set_endpoint_channel("pump1", lossy);
+    for (int i = 0; i < 30; ++i) {
+        inject("spo2", 80.0);
+        sim_.run_for(1_s);
+    }
+    // Despite 80% loss, retries got the stop through eventually.
+    EXPECT_FALSE(pump_.delivering());
+    EXPECT_GT(ilk.stats().stop_commands_sent, 1u);
+    ASSERT_TRUE(ilk.stats().last_stop_latency_ms.has_value());
+    EXPECT_GT(*ilk.stats().last_stop_latency_ms, 0.0);
+}
+
+TEST_F(InterlockTest, FailSafeStopsPumpOnSensorSilence) {
+    InterlockConfig cfg;
+    cfg.data_loss = DataLossPolicy::kFailSafe;
+    cfg.staleness_limit = 6_s;
+    auto& ilk = deploy(cfg);
+    sim_.run_for(30_s);  // healthy
+    ASSERT_TRUE(pump_.delivering());
+    oxi_.crash();  // SpO2 stream stops mid-run
+    sim_.run_for(15_s);
+    EXPECT_EQ(ilk.state(), InterlockState::kDataLoss);
+    EXPECT_FALSE(pump_.delivering());
+    EXPECT_GT(ilk.stats().data_loss_stops, 0u);
+}
+
+TEST_F(InterlockTest, FailOperationalKeepsRunningOnSensorSilence) {
+    InterlockConfig cfg;
+    cfg.data_loss = DataLossPolicy::kFailOperational;
+    cfg.staleness_limit = 6_s;
+    auto& ilk = deploy(cfg);
+    sim_.run_for(30_s);
+    oxi_.crash();
+    sim_.run_for(30_s);
+    EXPECT_EQ(ilk.state(), InterlockState::kMonitoring);
+    EXPECT_TRUE(pump_.delivering());
+    EXPECT_EQ(ilk.stats().data_loss_stops, 0u);
+}
+
+TEST_F(InterlockTest, AutoResumeAfterRecoveryHold) {
+    InterlockConfig cfg;
+    cfg.mode = InterlockMode::kSpO2Only;
+    cfg.persistence = 3_s;
+    cfg.auto_resume = true;
+    cfg.recovery_hold = 30_s;
+    auto& ilk = bind_direct(cfg);
+    for (int i = 0; i < 8; ++i) {
+        inject("spo2", 82.0);
+        sim_.run_for(1_s);
+    }
+    ASSERT_EQ(ilk.state(), InterlockState::kTriggered);
+    sim_.run_for(2_s);
+    ASSERT_FALSE(pump_.delivering());
+    // Vitals recover and hold.
+    for (int i = 0; i < 40; ++i) {
+        inject("spo2", 97.0);
+        sim_.run_for(1_s);
+    }
+    EXPECT_EQ(ilk.state(), InterlockState::kMonitoring);
+    EXPECT_EQ(ilk.stats().resumes_issued, 1u);
+    sim_.run_for(2_s);
+    EXPECT_TRUE(pump_.delivering());
+}
+
+TEST_F(InterlockTest, NoAutoResumeWhenDisabled) {
+    InterlockConfig cfg;
+    cfg.mode = InterlockMode::kSpO2Only;
+    cfg.persistence = 3_s;
+    cfg.auto_resume = false;
+    auto& ilk = bind_direct(cfg);
+    for (int i = 0; i < 8; ++i) {
+        inject("spo2", 82.0);
+        sim_.run_for(1_s);
+    }
+    ASSERT_EQ(ilk.state(), InterlockState::kTriggered);
+    for (int i = 0; i < 600; ++i) {
+        inject("spo2", 97.0);
+        sim_.run_for(1_s);
+    }
+    EXPECT_EQ(ilk.stats().resumes_issued, 0u);
+    EXPECT_FALSE(pump_.delivering());
+}
+
+TEST_F(InterlockTest, ClosedLoopEndToEndPreventsSevereHypoxemia) {
+    // Full-stack sanity: a sensitive patient under proxy pressing is
+    // protected by the dual-sensor interlock (the E1 claim in miniature).
+    patient_ = physio::Patient{
+        physio::nominal_parameters(physio::Archetype::kOpioidSensitive)};
+    // Re-wire devices to the new patient is not possible (references),
+    // so drive the existing typical-adult patient with a huge basal rate
+    // instead: the interlock must stop it before severe hypoxemia.
+    auto& ilk = deploy(InterlockConfig{});
+    devices::Prescription hot;
+    hot.basal = physio::InfusionRate::mg_per_hour(6.0);
+    hot.max_hourly = physio::Dose::mg(6.0);
+    pump_.operator_pause();
+    pump_.set_prescription(hot);
+    pump_.operator_resume();
+    sim_.schedule_periodic(500_ms, [this] { patient_.step(0.5); });
+    double min_spo2 = 101;
+    sim_.schedule_periodic(1_s, [&] {
+        min_spo2 = std::min(min_spo2, patient_.spo2().as_percent());
+    });
+    sim_.run_for(2_h);
+    EXPECT_GT(ilk.stats().stops_issued, 0u);
+    EXPECT_GT(min_spo2, 85.0);
+}
+
+TEST_F(InterlockTest, StateNames) {
+    EXPECT_EQ(core::to_string(InterlockState::kMonitoring), "monitoring");
+    EXPECT_EQ(core::to_string(InterlockMode::kDualSensor), "dual-sensor");
+    EXPECT_EQ(core::to_string(DataLossPolicy::kFailSafe), "fail-safe");
+}
+
+}  // namespace

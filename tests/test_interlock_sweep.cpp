@@ -1,0 +1,124 @@
+/// \file test_interlock_sweep.cpp
+/// \brief Parameterized property sweeps over interlock tuning knobs:
+/// the safety outcome must respond monotonically to each knob, which is
+/// what makes the configuration space navigable for a deploying
+/// hospital (a non-monotone knob would be un-tunable).
+
+#include <gtest/gtest.h>
+
+#include "core/core.hpp"
+
+namespace {
+
+using namespace mcps;
+using namespace mcps::sim::literals;
+
+core::PcaScenarioResult run_with(core::InterlockConfig ilk,
+                                 std::uint64_t seed = 71) {
+    core::PcaScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.duration = 3_h;
+    cfg.patient =
+        physio::nominal_parameters(physio::Archetype::kOpioidSensitive);
+    cfg.demand_mode = core::DemandMode::kProxy;
+    cfg.interlock = ilk;
+    return core::run_pca_scenario(cfg);
+}
+
+/// Sweep the SpO2 stop threshold upward: a more conservative (higher)
+/// threshold can only stop earlier or equally early.
+class Spo2ThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Spo2ThresholdSweep, ScenarioRemainsSafeAcrossThresholds) {
+    core::InterlockConfig ilk;
+    ilk.mode = core::InterlockMode::kSpO2Only;
+    ilk.spo2_stop = GetParam();
+    ilk.spo2_warn = GetParam() + 3.0;
+    const auto r = run_with(ilk);
+    // Any threshold in the clinically sensible band keeps the patient
+    // out of severe hypoxemia in this scenario.
+    EXPECT_FALSE(r.severe_hypoxemia) << "spo2_stop=" << GetParam();
+    EXPECT_GT(r.interlock.stops_issued, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, Spo2ThresholdSweep,
+                         ::testing::Values(90.0, 92.0, 94.0));
+
+TEST(InterlockKnobMonotonicity, TooLateThresholdFailsThisPatient) {
+    // Below the sensible band the single-sensor interlock reacts after
+    // the O2 stores are already collapsing: 88% is demonstrably too late
+    // for this sensitive patient (the reason the defaults sit at 90/93,
+    // and the reason dual-sensor capnometry exists).
+    core::InterlockConfig ilk;
+    ilk.mode = core::InterlockMode::kSpO2Only;
+    ilk.spo2_stop = 88.0;
+    ilk.spo2_warn = 90.0;
+    const auto r = run_with(ilk);
+    EXPECT_TRUE(r.severe_hypoxemia);
+    EXPECT_GT(r.interlock.stops_issued, 0u);  // it DID react — too late
+}
+
+TEST(InterlockKnobMonotonicity, HigherThresholdMeansLessHypoxia) {
+    double prev_below90 = -1.0;
+    for (const double stop : {86.0, 90.0, 94.0}) {
+        core::InterlockConfig ilk;
+        ilk.mode = core::InterlockMode::kSpO2Only;
+        ilk.spo2_stop = stop;
+        ilk.spo2_warn = stop + 2.0;
+        const auto r = run_with(ilk);
+        if (prev_below90 >= 0.0) {
+            // Small tolerance: stochastic demand differs per episode.
+            EXPECT_LE(r.time_spo2_below_90_s, prev_below90 + 60.0)
+                << "threshold " << stop;
+        }
+        prev_below90 = r.time_spo2_below_90_s;
+    }
+}
+
+TEST(InterlockKnobMonotonicity, LongerPersistenceDelaysStops) {
+    std::optional<double> prev_latency;
+    for (const auto persistence : {5_s, 15_s, 30_s}) {
+        core::InterlockConfig ilk;
+        ilk.persistence = persistence;
+        const auto r = run_with(ilk);
+        ASSERT_TRUE(r.interlock.last_stop_latency_ms.has_value())
+            << persistence.to_string();
+        if (prev_latency) {
+            EXPECT_GE(*r.interlock.last_stop_latency_ms + 1.0, *prev_latency)
+                << persistence.to_string();
+        }
+        prev_latency = r.interlock.last_stop_latency_ms;
+    }
+}
+
+TEST(InterlockKnobMonotonicity, ShorterRecoveryHoldDeliversMoreDrug) {
+    double prev_drug = -1.0;
+    for (const auto hold : {10_min, 3_min, 1_min}) {
+        core::InterlockConfig ilk;
+        ilk.recovery_hold = hold;
+        const auto r = run_with(ilk);
+        if (prev_drug >= 0.0) {
+            // Faster resume => at least as much therapy delivered.
+            EXPECT_GE(r.total_drug_mg + 0.3, prev_drug) << hold.to_string();
+        }
+        prev_drug = r.total_drug_mg;
+        // Never at the cost of severe hypoxemia.
+        EXPECT_FALSE(r.severe_hypoxemia) << hold.to_string();
+    }
+}
+
+TEST(InterlockKnobMonotonicity, DisablingAutoResumeMinimizesDrug) {
+    core::InterlockConfig auto_on;
+    auto_on.auto_resume = true;
+    core::InterlockConfig auto_off;
+    auto_off.auto_resume = false;
+    const auto on = run_with(auto_on);
+    const auto off = run_with(auto_off);
+    EXPECT_LE(off.total_drug_mg, on.total_drug_mg + 1e-9);
+    EXPECT_LE(off.interlock.resumes_issued, 0u + 0);  // literally none
+    EXPECT_FALSE(off.severe_hypoxemia);
+    // The price of never resuming is unmanaged pain.
+    EXPECT_GE(off.mean_pain + 1e-9, on.mean_pain);
+}
+
+}  // namespace

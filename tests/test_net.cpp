@@ -1,0 +1,263 @@
+/// \file test_net.cpp
+/// \brief Unit tests for messages, channels and the pub/sub bus.
+
+#include <gtest/gtest.h>
+
+#include "net/net.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace mcps;
+using namespace mcps::sim::literals;
+using sim::SimDuration;
+using sim::SimTime;
+
+TEST(TopicMatch, ExactAndWildcard) {
+    EXPECT_TRUE(net::topic_matches("a/b", "a/b"));
+    EXPECT_FALSE(net::topic_matches("a/b", "a/c"));
+    EXPECT_TRUE(net::topic_matches("vitals/*", "vitals/bed1/spo2"));
+    EXPECT_TRUE(net::topic_matches("vitals/*", "vitals/x"));
+    EXPECT_FALSE(net::topic_matches("vitals/*", "vitals/"));
+    EXPECT_FALSE(net::topic_matches("vitals/*", "vitals"));
+    EXPECT_FALSE(net::topic_matches("vitals/*", "alarms/bed1"));
+    EXPECT_TRUE(net::topic_matches("*", "anything/at/all"));
+}
+
+TEST(Message, PayloadKindAndAccessor) {
+    net::Message m;
+    m.payload = net::VitalSignPayload{"spo2", 97.0, true};
+    EXPECT_EQ(net::payload_kind(m), "vital");
+    ASSERT_NE(net::payload_as<net::VitalSignPayload>(m), nullptr);
+    EXPECT_EQ(net::payload_as<net::CommandPayload>(m), nullptr);
+    m.payload = net::CommandPayload{"stop_infusion", {}, 7};
+    EXPECT_EQ(net::payload_kind(m), "command");
+    m.payload = net::AckPayload{};
+    EXPECT_EQ(net::payload_kind(m), "ack");
+    m.payload = net::HeartbeatPayload{};
+    EXPECT_EQ(net::payload_kind(m), "heartbeat");
+    m.payload = net::StatusPayload{};
+    EXPECT_EQ(net::payload_kind(m), "status");
+}
+
+TEST(ChannelParameters, Validation) {
+    net::ChannelParameters p;
+    EXPECT_NO_THROW(p.validate());
+    p.loss_probability = 1.5;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = {};
+    p.base_latency = -(1_ms);
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = {};
+    p.duplicate_probability = -0.1;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Channel, IdealChannelDeliversInstantly) {
+    net::Channel ch{net::ChannelParameters::ideal(), sim::RngStream{1}};
+    for (int i = 0; i < 100; ++i) {
+        const auto plan = ch.plan_delivery(SimTime::origin());
+        EXPECT_FALSE(plan.dropped);
+        EXPECT_FALSE(plan.duplicated);
+        EXPECT_EQ(plan.delay, SimDuration::zero());
+    }
+}
+
+TEST(Channel, LatencyAndJitterBounds) {
+    net::ChannelParameters p;
+    p.base_latency = 10_ms;
+    p.jitter_sd = 2_ms;
+    net::Channel ch{p, sim::RngStream{2}};
+    sim::RunningStats delays;
+    for (int i = 0; i < 5000; ++i) {
+        const auto plan = ch.plan_delivery(SimTime::origin());
+        ASSERT_FALSE(plan.dropped);
+        ASSERT_GE(plan.delay, SimDuration::zero());
+        delays.add(plan.delay.to_millis());
+    }
+    EXPECT_NEAR(delays.mean(), 10.0, 0.2);
+    EXPECT_NEAR(delays.stddev(), 2.0, 0.2);
+}
+
+TEST(Channel, LossRateMatchesParameter) {
+    net::ChannelParameters p;
+    p.loss_probability = 0.25;
+    net::Channel ch{p, sim::RngStream{3}};
+    int dropped = 0;
+    for (int i = 0; i < 20000; ++i) {
+        dropped += ch.plan_delivery(SimTime::origin()).dropped ? 1 : 0;
+    }
+    EXPECT_NEAR(dropped / 20000.0, 0.25, 0.02);
+}
+
+TEST(Channel, DuplicationRate) {
+    net::ChannelParameters p;
+    p.duplicate_probability = 0.1;
+    net::Channel ch{p, sim::RngStream{4}};
+    int dup = 0;
+    for (int i = 0; i < 20000; ++i) {
+        dup += ch.plan_delivery(SimTime::origin()).duplicated ? 1 : 0;
+    }
+    EXPECT_NEAR(dup / 20000.0, 0.1, 0.02);
+}
+
+TEST(Channel, OutageDropsEverything) {
+    net::Channel ch{net::ChannelParameters::ideal(), sim::RngStream{5}};
+    ch.add_outage(SimTime::origin() + 10_s, SimTime::origin() + 20_s);
+    EXPECT_FALSE(ch.plan_delivery(SimTime::origin() + 5_s).dropped);
+    EXPECT_TRUE(ch.plan_delivery(SimTime::origin() + 10_s).dropped);
+    EXPECT_TRUE(ch.plan_delivery(SimTime::origin() + 15_s).dropped);
+    EXPECT_FALSE(ch.plan_delivery(SimTime::origin() + 20_s).dropped);
+    EXPECT_TRUE(ch.in_outage(SimTime::origin() + 12_s));
+    EXPECT_THROW(ch.add_outage(SimTime::origin() + 5_s, SimTime::origin() + 5_s),
+                 std::invalid_argument);
+}
+
+TEST(Bus, DeliversToMatchingSubscribers) {
+    sim::Simulation s;
+    net::Bus bus{s, net::ChannelParameters::ideal()};
+    std::vector<std::string> got;
+    bus.subscribe("a", "vitals/*", [&](const net::Message& m) {
+        got.push_back("a:" + m.topic);
+    });
+    bus.subscribe("b", "alarm/x", [&](const net::Message& m) {
+        got.push_back("b:" + m.topic);
+    });
+    bus.publish("pub", "vitals/bed1/spo2", net::VitalSignPayload{});
+    bus.publish("pub", "alarm/x", net::StatusPayload{});
+    bus.publish("pub", "other", net::StatusPayload{});
+    s.run_all();
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], "a:vitals/bed1/spo2");
+    EXPECT_EQ(got[1], "b:alarm/x");
+    EXPECT_EQ(bus.stats().published, 3u);
+    EXPECT_EQ(bus.stats().delivered, 2u);
+}
+
+TEST(Bus, SequenceNumbersIncrease) {
+    sim::Simulation s;
+    net::Bus bus{s, net::ChannelParameters::ideal()};
+    const auto s1 = bus.publish("p", "t", net::StatusPayload{});
+    const auto s2 = bus.publish("p", "t", net::StatusPayload{});
+    EXPECT_GT(s2, s1);
+}
+
+TEST(Bus, EnvelopeFieldsPopulated) {
+    sim::Simulation s;
+    net::Bus bus{s, net::ChannelParameters::ideal()};
+    std::optional<net::Message> seen;
+    bus.subscribe("sub", "t", [&](const net::Message& m) { seen = m; });
+    s.run_for(5_s);
+    bus.publish("sender", "t", net::VitalSignPayload{"spo2", 91.5, true});
+    s.run_all();
+    ASSERT_TRUE(seen.has_value());
+    EXPECT_EQ(seen->sender, "sender");
+    EXPECT_EQ(seen->topic, "t");
+    EXPECT_EQ(seen->sent_at, SimTime::origin() + 5_s);
+    EXPECT_DOUBLE_EQ(
+        net::payload_as<net::VitalSignPayload>(*seen)->value, 91.5);
+}
+
+TEST(Bus, LatencyAppliesPerSubscriberChannel) {
+    sim::Simulation s;
+    net::Bus bus{s, net::ChannelParameters::ideal()};
+    net::ChannelParameters slow;
+    slow.base_latency = 100_ms;
+    slow.jitter_sd = sim::SimDuration::zero();
+    bus.set_endpoint_channel("slow_sub", slow);
+
+    std::vector<std::pair<std::string, double>> arrivals;
+    bus.subscribe("fast_sub", "t", [&](const net::Message&) {
+        arrivals.emplace_back("fast", s.now().to_seconds());
+    });
+    bus.subscribe("slow_sub", "t", [&](const net::Message&) {
+        arrivals.emplace_back("slow", s.now().to_seconds());
+    });
+    bus.publish("p", "t", net::StatusPayload{});
+    s.run_all();
+    ASSERT_EQ(arrivals.size(), 2u);
+    EXPECT_EQ(arrivals[0].first, "fast");
+    EXPECT_DOUBLE_EQ(arrivals[0].second, 0.0);
+    EXPECT_EQ(arrivals[1].first, "slow");
+    EXPECT_NEAR(arrivals[1].second, 0.1, 1e-9);
+    EXPECT_GT(bus.stats().delivery_latency_ms.max(), 99.0);
+}
+
+TEST(Bus, LossyChannelDrops) {
+    sim::Simulation s;
+    net::ChannelParameters lossy;
+    lossy.base_latency = sim::SimDuration::zero();
+    lossy.jitter_sd = sim::SimDuration::zero();
+    lossy.loss_probability = 0.5;
+    net::Bus bus{s, lossy};
+    int got = 0;
+    bus.subscribe("sub", "t", [&](const net::Message&) { ++got; });
+    for (int i = 0; i < 2000; ++i) bus.publish("p", "t", net::StatusPayload{});
+    s.run_all();
+    EXPECT_NEAR(got, 1000, 100);
+    EXPECT_EQ(bus.stats().dropped + bus.stats().delivered, 2000u);
+}
+
+TEST(Bus, UnsubscribeStopsDeliveryIncludingInFlight) {
+    sim::Simulation s;
+    net::ChannelParameters delayed;
+    delayed.base_latency = 50_ms;
+    delayed.jitter_sd = sim::SimDuration::zero();
+    net::Bus bus{s, delayed};
+    int got = 0;
+    auto id = bus.subscribe("sub", "t", [&](const net::Message&) { ++got; });
+    bus.publish("p", "t", net::StatusPayload{});  // in flight
+    EXPECT_TRUE(bus.unsubscribe(id));
+    EXPECT_FALSE(bus.unsubscribe(id));  // second time: gone
+    s.run_all();
+    EXPECT_EQ(got, 0);  // in-flight delivery cancelled by detach
+}
+
+TEST(Bus, SubscriberAddedAfterPublishMissesMessage) {
+    sim::Simulation s;
+    net::ChannelParameters delayed;
+    delayed.base_latency = 50_ms;
+    net::Bus bus{s, delayed};
+    bus.publish("p", "t", net::StatusPayload{});
+    int got = 0;
+    bus.subscribe("late", "t", [&](const net::Message&) { ++got; });
+    s.run_all();
+    EXPECT_EQ(got, 0);
+}
+
+TEST(Bus, DuplicationDeliversTwice) {
+    sim::Simulation s;
+    net::ChannelParameters dup;
+    dup.base_latency = sim::SimDuration::zero();
+    dup.jitter_sd = sim::SimDuration::zero();
+    dup.duplicate_probability = 1.0;
+    net::Bus bus{s, dup};
+    int got = 0;
+    bus.subscribe("sub", "t", [&](const net::Message&) { ++got; });
+    bus.publish("p", "t", net::StatusPayload{});
+    s.run_all();
+    EXPECT_EQ(got, 2);
+    EXPECT_EQ(bus.stats().duplicated, 1u);
+}
+
+TEST(Bus, EmptyHandlerRejected) {
+    sim::Simulation s;
+    net::Bus bus{s};
+    EXPECT_THROW(bus.subscribe("x", "t", nullptr), std::invalid_argument);
+}
+
+TEST(Bus, OutageInjectionViaEndpointChannel) {
+    sim::Simulation s;
+    net::Bus bus{s, net::ChannelParameters::ideal()};
+    int got = 0;
+    bus.subscribe("sub", "t", [&](const net::Message&) { ++got; });
+    bus.endpoint_channel("sub").add_outage(SimTime::origin(),
+                                           SimTime::origin() + 10_s);
+    bus.publish("p", "t", net::StatusPayload{});
+    s.run_for(11_s);
+    bus.publish("p", "t", net::StatusPayload{});
+    s.run_all();
+    EXPECT_EQ(got, 1);  // first publish fell in the outage
+}
+
+}  // namespace

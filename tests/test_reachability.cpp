@@ -1,0 +1,231 @@
+/// \file test_reachability.cpp
+/// \brief Tests for zone-graph reachability and the GPCA verification
+/// models — the executable counterpart of experiment E5.
+
+#include <gtest/gtest.h>
+
+#include "ta/ta.hpp"
+
+namespace {
+
+using namespace mcps::ta;
+
+TEST(Reachability, TrivialSelfReachable) {
+    TimedAutomaton ta{"t"};
+    ta.add_clock("x");
+    const auto l0 = ta.add_location("Init");
+    ta.set_initial(l0);
+    const auto r = check_reachability(ta, "Init");
+    EXPECT_TRUE(r.reachable);
+    EXPECT_EQ(r.target_location, "Init");
+    EXPECT_TRUE(r.trace.empty());
+}
+
+TEST(Reachability, UnreachableLocation) {
+    TimedAutomaton ta{"t"};
+    const ClockId x = ta.add_clock("x");
+    const auto l0 = ta.add_location("Init");
+    const auto l1 = ta.add_location("Stuck");
+    ta.set_initial(l0);
+    // Edge guarded x <= 5 but also x >= 10: infeasible.
+    ta.add_edge(l0, l1,
+                {Constraint::le(x, 5), Constraint::ge(x, 10)}, {}, "never");
+    const auto r = check_reachability(ta, "Stuck");
+    EXPECT_FALSE(r.reachable);
+    EXPECT_GT(r.states_explored, 0u);
+}
+
+TEST(Reachability, TimingGateRespected) {
+    // Reaching Done requires waiting past x >= 100; reachable because
+    // time can elapse freely (no invariant).
+    TimedAutomaton ta{"t"};
+    const ClockId x = ta.add_clock("x");
+    const auto l0 = ta.add_location("Init");
+    const auto l1 = ta.add_location("Done");
+    ta.set_initial(l0);
+    ta.add_edge(l0, l1, {Constraint::ge(x, 100)}, {}, "wait");
+    EXPECT_TRUE(check_reachability(ta, "Done").reachable);
+}
+
+TEST(Reachability, InvariantForcesDeadlineMiss) {
+    // Invariant x <= 5 at Init; edge requires x >= 10: Done unreachable.
+    TimedAutomaton ta{"t"};
+    const ClockId x = ta.add_clock("x");
+    const auto l0 = ta.add_location("Init", {Constraint::le(x, 5)});
+    const auto l1 = ta.add_location("Done");
+    ta.set_initial(l0);
+    ta.add_edge(l0, l1, {Constraint::ge(x, 10)}, {}, "late");
+    EXPECT_FALSE(check_reachability(ta, "Done").reachable);
+}
+
+TEST(Reachability, TraceIsReconstructed) {
+    TimedAutomaton ta{"t"};
+    const ClockId x = ta.add_clock("x");
+    const auto a = ta.add_location("A");
+    const auto b = ta.add_location("B");
+    const auto c = ta.add_location("C");
+    ta.set_initial(a);
+    ta.add_edge(a, b, {}, {x}, "step1");
+    ta.add_edge(b, c, {Constraint::ge(x, 1)}, {}, "step2");
+    const auto r = check_reachability(ta, "C");
+    ASSERT_TRUE(r.reachable);
+    EXPECT_EQ(r.trace, (std::vector<std::string>{"step1", "step2"}));
+}
+
+TEST(Reachability, CyclesTerminateViaExtrapolation) {
+    // A self-loop that resets a clock: infinitely many concrete states,
+    // finitely many zones. Must terminate and find nothing.
+    TimedAutomaton ta{"t"};
+    const ClockId x = ta.add_clock("x");
+    const auto l0 = ta.add_location("Spin");
+    const auto bad = ta.add_location("Bad");
+    ta.set_initial(l0);
+    ta.add_edge(l0, l0, {Constraint::ge(x, 3)}, {x}, "loop");
+    ta.add_edge(l0, bad, {Constraint::le(x, -1)}, {}, "impossible");
+    const auto r = check_reachability(ta, "Bad");
+    EXPECT_FALSE(r.reachable);
+    EXPECT_LT(r.states_stored, 10u);
+}
+
+TEST(Reachability, MaxStatesCapThrows) {
+    // Two clocks resetting alternately create a growing zone graph;
+    // strangle the cap to force the error path.
+    TimedAutomaton ta{"t"};
+    const ClockId x = ta.add_clock("x");
+    const ClockId y = ta.add_clock("y");
+    const auto l0 = ta.add_location("L");
+    ta.set_initial(l0);
+    ta.add_edge(l0, l0, {Constraint::ge(x, 1)}, {x}, "a");
+    ta.add_edge(l0, l0, {Constraint::ge(y, 2)}, {y}, "b");
+    ReachabilityOptions opts;
+    opts.max_states = 2;
+    EXPECT_THROW(
+        (void)check_reachability(ta, "Nowhere", opts), std::runtime_error);
+}
+
+TEST(Reachability, NullTargetRejected) {
+    TimedAutomaton ta{"t"};
+    ta.add_clock("x");
+    ta.add_location("L");
+    ta.set_initial(0);
+    EXPECT_THROW((void)check_reachability(ta, LocationPredicate{}),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// GPCA models (P1 / P2): the E5 verification suite.
+// ---------------------------------------------------------------------
+
+TEST(GpcaModels, CorrectPumpSatisfiesLockoutProperty) {
+    const auto r = check_reachability(build_pump_lockout_model(), "Violation");
+    EXPECT_FALSE(r.reachable);
+}
+
+TEST(GpcaModels, FaultyPumpViolatesWithCounterexample) {
+    PumpModelParams p;
+    p.faulty_no_lockout_guard = true;
+    const auto r = check_reachability(build_pump_lockout_model(p), "Violation");
+    ASSERT_TRUE(r.reachable);
+    // The counterexample is the classic double-grant: grant, complete,
+    // grant again inside the lockout.
+    ASSERT_GE(r.trace.size(), 2u);
+    EXPECT_NE(r.trace.front().find("grant"), std::string::npos);
+    EXPECT_NE(r.trace.back().find("grant"), std::string::npos);
+}
+
+TEST(GpcaModels, LockoutBoundaryExact) {
+    // Lockout of 0 duration is rejected at the parameter level? No — the
+    // model accepts any positive value; check a tiny lockout still safe.
+    PumpModelParams p;
+    p.lockout_s = 1;
+    p.bolus_duration_s = 1;
+    EXPECT_FALSE(
+        check_reachability(build_pump_lockout_model(p), "Violation").reachable);
+}
+
+TEST(GpcaModels, ClosedLoopMeetsDeadlineWhenBudgetsFit) {
+    InterlockModelParams p;  // 30 + 3 + 2 <= 60
+    const auto r = check_reachability(build_closed_loop_model(p), "Overdue");
+    EXPECT_FALSE(r.reachable);
+}
+
+TEST(GpcaModels, ClosedLoopMissesDeadlineWhenDetectionTooSlow) {
+    InterlockModelParams p;
+    p.detect_max_s = 70;  // 70 + 3 + 2 > 60
+    const auto r = check_reachability(build_closed_loop_model(p), "Overdue");
+    EXPECT_TRUE(r.reachable);
+}
+
+TEST(GpcaModels, ClosedLoopBoundaryIsTight) {
+    // Exactly at the boundary: worst case detect+command+react == deadline
+    // means the deadline is met (Overdue requires h > deadline strictly).
+    InterlockModelParams p;
+    p.detect_max_s = 55;
+    p.command_max_s = 3;
+    p.pump_react_max_s = 2;
+    p.deadline_s = 60;
+    EXPECT_FALSE(
+        check_reachability(build_closed_loop_model(p), "Overdue").reachable);
+    // One second over: violated.
+    p.detect_max_s = 56;
+    EXPECT_TRUE(
+        check_reachability(build_closed_loop_model(p), "Overdue").reachable);
+}
+
+TEST(GpcaModels, NetworkBudgetMatters) {
+    // Same detection, bigger command latency: flips the verdict (the
+    // model-level version of experiment E2).
+    InterlockModelParams p;
+    p.detect_max_s = 30;
+    p.command_max_s = 40;  // 30+40+2 > 60
+    EXPECT_TRUE(
+        check_reachability(build_closed_loop_model(p), "Overdue").reachable);
+}
+
+TEST(GpcaModels, VerifySuiteAggregates) {
+    const auto rep = verify_gpca_suite();
+    EXPECT_TRUE(rep.lockout_safe);
+    EXPECT_TRUE(rep.response_safe);
+    EXPECT_GT(rep.lockout_details.states_explored, 0u);
+    EXPECT_GT(rep.response_details.states_explored, 0u);
+}
+
+TEST(GpcaModels, PumpFarmScalesAndStaysSafe) {
+    EXPECT_THROW((void)build_pump_farm(0), std::invalid_argument);
+    const auto farm2 = build_pump_farm(2);
+    const auto farm3 = build_pump_farm(3);
+    EXPECT_EQ(farm2.num_locations(), 81u);   // (3*3)^2
+    EXPECT_EQ(farm3.num_locations(), 729u);  // (3*3)^3
+    const auto r2 = check_reachability(farm2, "Violation");
+    const auto r3 = check_reachability(farm3, "Violation");
+    EXPECT_FALSE(r2.reachable);
+    EXPECT_FALSE(r3.reachable);
+    EXPECT_GT(r3.states_stored, r2.states_stored);  // state-space growth
+}
+
+/// Parameterized sweep of P2 across detection budgets: the checker's
+/// verdict must exactly match the analytic worst-case inequality.
+class ClosedLoopBudgetSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ClosedLoopBudgetSweep, VerdictMatchesArithmetic) {
+    const auto [detect, command, react] = GetParam();
+    InterlockModelParams p;
+    p.detect_min_s = 1;
+    p.detect_max_s = detect;
+    p.command_max_s = command;
+    p.pump_react_max_s = react;
+    p.deadline_s = 60;
+    const bool should_be_safe = detect + command + react <= 60;
+    const auto r = check_reachability(build_closed_loop_model(p), "Overdue");
+    EXPECT_EQ(!r.reachable, should_be_safe)
+        << "detect=" << detect << " command=" << command << " react=" << react;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, ClosedLoopBudgetSweep,
+    ::testing::Combine(::testing::Values(10, 30, 55, 58),
+                       ::testing::Values(1, 3, 10),
+                       ::testing::Values(1, 2, 5)));
+
+}  // namespace

@@ -1,0 +1,203 @@
+/// \file test_scenarios.cpp
+/// \brief Integration tests over the full scenario harnesses: the
+/// paper-level claims in miniature, plus determinism guarantees.
+
+#include <gtest/gtest.h>
+
+#include "core/core.hpp"
+
+namespace {
+
+using namespace mcps;
+using namespace mcps::sim::literals;
+
+core::PcaScenarioConfig sensitive_proxy(std::uint64_t seed) {
+    core::PcaScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.duration = 4_h;
+    cfg.patient = physio::nominal_parameters(physio::Archetype::kOpioidSensitive);
+    cfg.demand_mode = core::DemandMode::kProxy;
+    return cfg;
+}
+
+TEST(PcaScenario, ClosedLoopBeatsOpenLoopOnSafety) {
+    auto open_cfg = sensitive_proxy(5);
+    open_cfg.interlock = std::nullopt;
+    const auto open = core::run_pca_scenario(open_cfg);
+
+    auto closed_cfg = sensitive_proxy(5);
+    closed_cfg.interlock = core::InterlockConfig{};
+    const auto closed = core::run_pca_scenario(closed_cfg);
+
+    // The headline DAC'10 claim: the closed loop arrests the overdose.
+    EXPECT_TRUE(open.severe_hypoxemia);
+    EXPECT_FALSE(closed.severe_hypoxemia);
+    EXPECT_GT(open.time_spo2_below_90_s, closed.time_spo2_below_90_s);
+    EXPECT_LT(open.min_spo2, closed.min_spo2);
+    EXPECT_GT(closed.interlock.stops_issued, 0u);
+    // And therapy is not destroyed: pain stays in the same ballpark.
+    EXPECT_LT(closed.mean_pain, open.mean_pain + 2.0);
+}
+
+TEST(PcaScenario, TypicalPatientSafeWithoutInterlock) {
+    core::PcaScenarioConfig cfg;
+    cfg.seed = 6;
+    cfg.duration = 2_h;
+    cfg.interlock = std::nullopt;
+    const auto r = core::run_pca_scenario(cfg);
+    EXPECT_FALSE(r.severe_hypoxemia);
+    EXPECT_GT(r.min_spo2, 90.0);
+    EXPECT_GT(r.pump.boluses_delivered, 0u);
+    EXPECT_LT(r.mean_pain, 5.0);  // PCA actually treats the pain
+}
+
+TEST(PcaScenario, DeterministicGivenSeed) {
+    const auto a = core::run_pca_scenario(sensitive_proxy(77));
+    const auto b = core::run_pca_scenario(sensitive_proxy(77));
+    EXPECT_DOUBLE_EQ(a.min_spo2, b.min_spo2);
+    EXPECT_DOUBLE_EQ(a.total_drug_mg, b.total_drug_mg);
+    EXPECT_EQ(a.pump.boluses_requested, b.pump.boluses_requested);
+    EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+    EXPECT_EQ(a.interlock.stops_issued, b.interlock.stops_issued);
+}
+
+TEST(PcaScenario, DifferentSeedsDiffer) {
+    const auto a = core::run_pca_scenario(sensitive_proxy(1));
+    const auto b = core::run_pca_scenario(sensitive_proxy(2));
+    // Stochastic demand must actually vary.
+    EXPECT_NE(a.pump.boluses_requested, b.pump.boluses_requested);
+}
+
+TEST(PcaScenario, MidRunHookFires) {
+    auto cfg = sensitive_proxy(9);
+    cfg.duration = 30_min;
+    bool fired = false;
+    cfg.hook_at = sim::SimTime::origin() + 10_min;
+    cfg.mid_run_hook = [&fired](core::PcaScenario& sc) {
+        fired = true;
+        // Live access works.
+        EXPECT_GT(sc.simulation().now().to_seconds(), 0.0);
+        sc.oximeter().force_dropout(30_s);
+    };
+    (void)core::run_pca_scenario(cfg);
+    EXPECT_TRUE(fired);
+}
+
+TEST(PcaScenario, LiveAccessors) {
+    core::PcaScenarioConfig cfg;
+    cfg.duration = 1_min;
+    cfg.with_monitor = true;
+    cfg.with_smart_alarm = true;
+    core::PcaScenario sc{cfg};
+    EXPECT_NE(sc.interlock(), nullptr);
+    EXPECT_NE(sc.monitor(), nullptr);
+    EXPECT_NE(sc.smart_alarm(), nullptr);
+    EXPECT_EQ(sc.pump().name(), "pump1");
+    const auto r = sc.run();
+    EXPECT_GT(r.events_dispatched, 0u);
+    // Trace captured ground truth.
+    EXPECT_NE(sc.trace().find("truth/spo2"), nullptr);
+}
+
+TEST(PcaScenario, OpenLoopHasNoInterlockObjects) {
+    core::PcaScenarioConfig cfg;
+    cfg.duration = 1_min;
+    cfg.interlock = std::nullopt;
+    core::PcaScenario sc{cfg};
+    EXPECT_EQ(sc.interlock(), nullptr);
+    EXPECT_EQ(sc.monitor(), nullptr);
+    EXPECT_EQ(sc.smart_alarm(), nullptr);
+}
+
+TEST(XrayScenario, AutomatedBeatsManualOnImageQuality) {
+    core::XrayScenarioConfig manual_cfg;
+    manual_cfg.seed = 21;
+    manual_cfg.mode = core::CoordinationMode::kManual;
+    manual_cfg.procedures = 15;
+    manual_cfg.manual.premature_shot_probability = 0.5;  // sloppy shift
+    const auto manual = core::run_xray_scenario(manual_cfg);
+
+    core::XrayScenarioConfig auto_cfg = manual_cfg;
+    auto_cfg.mode = core::CoordinationMode::kAutomated;
+    const auto automated = core::run_xray_scenario(auto_cfg);
+
+    EXPECT_GT(automated.sharp_rate, manual.sharp_rate);
+    EXPECT_GE(automated.sharp_rate, 0.9);
+    EXPECT_LT(automated.mean_apnea_s, manual.mean_apnea_s);
+    EXPECT_EQ(automated.safety_auto_resumes, 0u);
+}
+
+TEST(XrayScenario, PatientStaysSafeInBothModes) {
+    for (const auto mode : {core::CoordinationMode::kManual,
+                            core::CoordinationMode::kAutomated}) {
+        core::XrayScenarioConfig cfg;
+        cfg.seed = 23;
+        cfg.mode = mode;
+        cfg.procedures = 10;
+        const auto r = core::run_xray_scenario(cfg);
+        // The ventilator's own max-pause keeps even the manual workflow
+        // out of dangerous desaturation.
+        EXPECT_GT(r.min_spo2, 88.0) << core::to_string(mode);
+    }
+}
+
+TEST(XrayScenario, DeterministicGivenSeed) {
+    core::XrayScenarioConfig cfg;
+    cfg.seed = 31;
+    cfg.mode = core::CoordinationMode::kManual;
+    cfg.procedures = 10;
+    const auto a = core::run_xray_scenario(cfg);
+    const auto b = core::run_xray_scenario(cfg);
+    EXPECT_EQ(a.sharp_images, b.sharp_images);
+    EXPECT_DOUBLE_EQ(a.mean_apnea_s, b.mean_apnea_s);
+}
+
+TEST(PcaScenario, NetworkLatencyDelaysDetection) {
+    // E2's claim in miniature: under the fail-OPERATIONAL policy (so no
+    // preemptive staleness stops), added network latency directly delays
+    // the closed loop's reaction to the same physiological event.
+    core::InterlockConfig ilk;
+    ilk.data_loss = core::DataLossPolicy::kFailOperational;
+
+    auto clean_cfg = sensitive_proxy(55);
+    clean_cfg.interlock = ilk;
+    const auto clean = core::run_pca_scenario(clean_cfg);
+
+    auto bad_cfg = sensitive_proxy(55);
+    bad_cfg.interlock = ilk;
+    bad_cfg.channel.base_latency = 4_s;
+    bad_cfg.channel.jitter_sd = sim::SimDuration::zero();
+    const auto bad = core::run_pca_scenario(bad_cfg);
+
+    // Dual-sensor capnometry stops the pump before true SpO2 even
+    // crosses 90, so compare the interlock's own condition-onset-to-ack
+    // latency: the 4 s command+data delay must show up directly.
+    ASSERT_TRUE(clean.interlock.last_stop_latency_ms.has_value());
+    ASSERT_TRUE(bad.interlock.last_stop_latency_ms.has_value());
+    EXPECT_GT(*bad.interlock.last_stop_latency_ms,
+              *clean.interlock.last_stop_latency_ms + 3000.0);
+}
+
+TEST(PcaScenario, FailSafeTradesTherapyForSafetyOnBadNetwork) {
+    // The ablation's other arm: under fail-SAFE, the same bad network
+    // starves therapy (pump stopped on every staleness window) but the
+    // patient never desaturates.
+    core::InterlockConfig ilk;
+    ilk.data_loss = core::DataLossPolicy::kFailSafe;
+    auto cfg = sensitive_proxy(55);
+    cfg.interlock = ilk;
+    cfg.channel.base_latency = 2_s;
+    cfg.channel.jitter_sd = 500_ms;
+    cfg.channel.loss_probability = 0.3;
+    const auto r = core::run_pca_scenario(cfg);
+
+    auto clean_cfg = sensitive_proxy(55);
+    clean_cfg.interlock = ilk;
+    const auto clean = core::run_pca_scenario(clean_cfg);
+
+    EXPECT_FALSE(r.severe_hypoxemia);
+    EXPECT_GT(r.interlock.data_loss_stops, 0u);
+    EXPECT_LT(r.total_drug_mg, clean.total_drug_mg);  // therapy starved
+}
+
+}  // namespace

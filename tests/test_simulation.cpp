@@ -1,0 +1,209 @@
+/// \file test_simulation.cpp
+/// \brief Unit tests for the discrete-event kernel.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace mcps::sim;
+using namespace mcps::sim::literals;
+
+TEST(Simulation, StartsAtOrigin) {
+    Simulation sim;
+    EXPECT_EQ(sim.now(), SimTime::origin());
+    EXPECT_EQ(sim.events_dispatched(), 0u);
+}
+
+TEST(Simulation, DispatchesInTimeOrder) {
+    Simulation sim;
+    std::vector<int> order;
+    sim.schedule_after(3_s, [&] { order.push_back(3); });
+    sim.schedule_after(1_s, [&] { order.push_back(1); });
+    sim.schedule_after(2_s, [&] { order.push_back(2); });
+    sim.run_all();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), SimTime::origin() + 3_s);
+}
+
+TEST(Simulation, FifoWithinSameInstant) {
+    Simulation sim;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        sim.schedule_after(1_s, [&order, i] { order.push_back(i); });
+    }
+    sim.run_all();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, PriorityBeatsInsertionOrder) {
+    Simulation sim;
+    std::vector<std::string> order;
+    sim.schedule_after(1_s, [&] { order.push_back("late"); },
+                       EventPriority::kLate);
+    sim.schedule_after(1_s, [&] { order.push_back("default"); });
+    sim.schedule_after(1_s, [&] { order.push_back("early"); },
+                       EventPriority::kEarly);
+    sim.run_all();
+    EXPECT_EQ(order, (std::vector<std::string>{"early", "default", "late"}));
+}
+
+TEST(Simulation, ClockAdvancesToEventTime) {
+    Simulation sim;
+    SimTime seen;
+    sim.schedule_after(42_s, [&] { seen = sim.now(); });
+    sim.run_all();
+    EXPECT_EQ(seen, SimTime::origin() + 42_s);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundaryInclusive) {
+    Simulation sim;
+    int fired = 0;
+    sim.schedule_after(10_s, [&] { ++fired; });
+    sim.schedule_after(11_s, [&] { ++fired; });
+    sim.run_until(SimTime::origin() + 10_s);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), SimTime::origin() + 10_s);
+    sim.run_until(SimTime::origin() + 20_s);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.now(), SimTime::origin() + 20_s);
+}
+
+TEST(Simulation, RunForIsRelative) {
+    Simulation sim;
+    sim.run_for(5_s);
+    EXPECT_EQ(sim.now(), SimTime::origin() + 5_s);
+    sim.run_for(5_s);
+    EXPECT_EQ(sim.now(), SimTime::origin() + 10_s);
+}
+
+TEST(Simulation, SchedulingInPastThrows) {
+    Simulation sim;
+    sim.run_for(10_s);
+    EXPECT_THROW(sim.schedule_at(SimTime::origin() + 5_s, [] {}),
+                 SimulationError);
+    EXPECT_THROW(sim.schedule_after(-(1_s), [] {}), SimulationError);
+}
+
+TEST(Simulation, EmptyCallbackThrows) {
+    Simulation sim;
+    EXPECT_THROW(sim.schedule_after(1_s, nullptr), SimulationError);
+    EXPECT_THROW(sim.schedule_periodic(1_s, nullptr), SimulationError);
+}
+
+TEST(Simulation, NonPositivePeriodThrows) {
+    Simulation sim;
+    EXPECT_THROW(sim.schedule_periodic(SimDuration::zero(), [] {}),
+                 SimulationError);
+}
+
+TEST(Simulation, CancelPreventsDispatch) {
+    Simulation sim;
+    int fired = 0;
+    auto h = sim.schedule_after(1_s, [&] { ++fired; });
+    EXPECT_TRUE(h.pending());
+    EXPECT_TRUE(h.cancel());
+    EXPECT_FALSE(h.pending());
+    EXPECT_FALSE(h.cancel());  // second cancel is a no-op
+    sim.run_all();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulation, CancelAfterFireIsNoop) {
+    Simulation sim;
+    auto h = sim.schedule_after(1_s, [] {});
+    sim.run_all();
+    EXPECT_FALSE(h.pending());
+    EXPECT_FALSE(h.cancel());
+}
+
+TEST(Simulation, PeriodicFiresRepeatedly) {
+    Simulation sim;
+    int fired = 0;
+    sim.schedule_periodic(1_s, [&] { ++fired; });
+    sim.run_until(SimTime::origin() + 10_s);
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulation, PeriodicCancelStopsChainEvenAfterFirings) {
+    Simulation sim;
+    int fired = 0;
+    auto h = sim.schedule_periodic(1_s, [&] { ++fired; });
+    sim.run_until(SimTime::origin() + 3_s);
+    EXPECT_EQ(fired, 3);
+    EXPECT_TRUE(h.pending());
+    EXPECT_TRUE(h.cancel());
+    sim.run_until(SimTime::origin() + 10_s);
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, PeriodicCancelFromInsideCallback) {
+    Simulation sim;
+    int fired = 0;
+    EventHandle h;
+    h = sim.schedule_periodic(1_s, [&] {
+        if (++fired == 2) h.cancel();
+    });
+    sim.run_until(SimTime::origin() + 10_s);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+    Simulation sim;
+    std::vector<double> times;
+    sim.schedule_after(1_s, [&] {
+        times.push_back(sim.now().to_seconds());
+        sim.schedule_after(1_s, [&] { times.push_back(sim.now().to_seconds()); });
+    });
+    sim.run_all();
+    EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Simulation, StopHaltsDispatching) {
+    Simulation sim;
+    int fired = 0;
+    sim.schedule_after(1_s, [&] {
+        ++fired;
+        sim.stop();
+    });
+    sim.schedule_after(2_s, [&] { ++fired; });
+    sim.run_until(SimTime::origin() + 10_s);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), SimTime::origin() + 1_s);
+    // The remaining event is still pending and runs on the next call.
+    sim.run_until(SimTime::origin() + 10_s);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, CountsDispatchedAndPending) {
+    Simulation sim;
+    sim.schedule_after(1_s, [] {});
+    sim.schedule_after(2_s, [] {});
+    EXPECT_EQ(sim.events_pending(), 2u);
+    sim.run_all();
+    EXPECT_EQ(sim.events_dispatched(), 2u);
+    EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(Simulation, NamedRngIsReproducible) {
+    Simulation a{99}, b{99};
+    auto ra = a.rng("x");
+    auto rb = b.rng("x");
+    EXPECT_EQ(ra.next(), rb.next());
+    Simulation c{100};
+    auto rc = c.rng("x");
+    auto ra2 = a.rng("x");
+    EXPECT_NE(ra2.next(), rc.next());
+    EXPECT_EQ(a.master_seed(), 99u);
+}
+
+TEST(Simulation, RunUntilPastIsError) {
+    Simulation sim;
+    sim.run_for(5_s);
+    EXPECT_THROW(sim.run_until(SimTime::origin() + 1_s), SimulationError);
+}
+
+}  // namespace

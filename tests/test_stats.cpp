@@ -1,0 +1,186 @@
+/// \file test_stats.cpp
+/// \brief Unit tests for the statistics accumulators and Table printer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/stats.hpp"
+#include "sim/table.hpp"
+
+namespace {
+
+using namespace mcps::sim;
+
+TEST(RunningStats, EmptyState) {
+    RunningStats st;
+    EXPECT_TRUE(st.empty());
+    EXPECT_EQ(st.count(), 0u);
+    EXPECT_EQ(st.mean(), 0.0);
+    EXPECT_EQ(st.variance(), 0.0);
+    EXPECT_TRUE(std::isnan(st.min()));
+    EXPECT_TRUE(std::isnan(st.max()));
+}
+
+TEST(RunningStats, KnownValues) {
+    RunningStats st;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(v);
+    EXPECT_EQ(st.count(), 8u);
+    EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(st.sum(), 40.0);
+    EXPECT_NEAR(st.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+    EXPECT_DOUBLE_EQ(st.min(), 2.0);
+    EXPECT_DOUBLE_EQ(st.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+    RunningStats st;
+    st.add(3.0);
+    EXPECT_EQ(st.variance(), 0.0);
+    EXPECT_EQ(st.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsConcatenation) {
+    RunningStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double v = std::sin(i) * 10;
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+    RunningStats a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean_before = a.mean();
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+    RunningStats c;
+    c.merge(a);
+    EXPECT_DOUBLE_EQ(c.mean(), mean_before);
+}
+
+TEST(SampleSet, QuantilesExact) {
+    SampleSet s;
+    for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+    EXPECT_NEAR(s.median(), 50.5, 1e-12);
+    EXPECT_NEAR(s.quantile(0.95), 95.05, 1e-9);
+}
+
+TEST(SampleSet, QuantileErrors) {
+    SampleSet s;
+    EXPECT_THROW((void)s.quantile(0.5), std::out_of_range);
+    s.add(1.0);
+    EXPECT_THROW((void)s.quantile(-0.1), std::out_of_range);
+    EXPECT_THROW((void)s.quantile(1.1), std::out_of_range);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 1.0);
+}
+
+TEST(SampleSet, AddAfterQuantileStillCorrect) {
+    SampleSet s;
+    s.add(5.0);
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+    s.add(9.0);  // invalidates the sorted cache
+    EXPECT_DOUBLE_EQ(s.median(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Histogram, BinsAndOverflow) {
+    Histogram h{0.0, 10.0, 5};
+    EXPECT_EQ(h.bins(), 5u);
+    h.add(0.5);   // bin 0
+    h.add(9.9);   // bin 4
+    h.add(-1.0);  // underflow
+    h.add(10.0);  // overflow (hi is exclusive)
+    h.add(25.0);  // overflow
+    EXPECT_EQ(h.bin_count(0), 1u);
+    EXPECT_EQ(h.bin_count(4), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.bin_low(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.bin_high(1), 4.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+    EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+    EXPECT_THROW(Histogram(10.0, 0.0, 5), std::invalid_argument);
+}
+
+TEST(Histogram, ToStringContainsBars) {
+    Histogram h{0.0, 2.0, 2};
+    h.add(0.5);
+    h.add(0.6);
+    h.add(1.5);
+    const auto s = h.to_string(10);
+    EXPECT_NE(s.find("##########"), std::string::npos);
+    EXPECT_NE(s.find("#####"), std::string::npos);
+}
+
+TEST(DetectionStats, ConfusionMatrix) {
+    DetectionStats d;
+    d.record(true, true);    // TP
+    d.record(true, false);   // FN
+    d.record(false, true);   // FP
+    d.record(false, false);  // TN
+    d.record(true, true);    // TP
+    EXPECT_EQ(d.true_positives(), 2u);
+    EXPECT_EQ(d.false_negatives(), 1u);
+    EXPECT_EQ(d.false_positives(), 1u);
+    EXPECT_EQ(d.true_negatives(), 1u);
+    EXPECT_NEAR(d.sensitivity(), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(d.specificity(), 0.5, 1e-12);
+    EXPECT_NEAR(d.precision(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(DetectionStats, NanWhenUndefined) {
+    DetectionStats d;
+    EXPECT_TRUE(std::isnan(d.sensitivity()));
+    EXPECT_TRUE(std::isnan(d.specificity()));
+    EXPECT_TRUE(std::isnan(d.precision()));
+}
+
+TEST(Table, AlignsAndRenders) {
+    Table t({"name", "value"});
+    t.row().cell("alpha").cell(1.5, 2);
+    t.row().cell("b").cell(std::int64_t{42});
+    std::ostringstream os;
+    t.print(os, "demo");
+    const auto s = os.str();
+    EXPECT_NE(s.find("== demo =="), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("1.50"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+    Table t({"a", "b"});
+    t.row().cell(std::int64_t{1}).cell(std::int64_t{2});
+    std::ostringstream os;
+    t.print_csv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, MisuseThrows) {
+    EXPECT_THROW(Table({}), std::invalid_argument);
+    Table t({"a"});
+    EXPECT_THROW(t.cell("x"), std::logic_error);  // cell before row
+    t.row().cell("1");
+    EXPECT_THROW(t.cell("2"), std::logic_error);  // too many cells
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+/// \file test_ta_simulate.cpp
+/// \brief Tests for the concrete timed-automata simulator, including the
+/// agreement property with the symbolic checker on the GPCA models.
+
+#include <gtest/gtest.h>
+
+#include "ta/simulate.hpp"
+#include "ta/ta.hpp"
+
+namespace {
+
+using namespace mcps::ta;
+
+TEST(TaSimulate, WalksASimpleChain) {
+    TimedAutomaton ta{"chain"};
+    const ClockId x = ta.add_clock("x");
+    const auto a = ta.add_location("A");
+    const auto b = ta.add_location("B");
+    const auto c = ta.add_location("C");
+    ta.set_initial(a);
+    ta.add_edge(a, b, {}, {x}, "ab");
+    ta.add_edge(b, c, {Constraint::ge(x, 1)}, {}, "bc");
+
+    mcps::sim::RngStream rng{1};
+    const auto run = simulate_run(ta, rng);
+    EXPECT_TRUE(run.visited_location(c));
+    EXPECT_GE(run.total_time, 1.0);  // had to wait for x >= 1
+    EXPECT_EQ(run.visited.front(), a);
+}
+
+TEST(TaSimulate, RespectsGuards) {
+    // Edge guarded x <= 2 AND x >= 5 can never fire.
+    TimedAutomaton ta{"stuck"};
+    const ClockId x = ta.add_clock("x");
+    const auto a = ta.add_location("A");
+    const auto b = ta.add_location("B");
+    ta.set_initial(a);
+    ta.add_edge(a, b, {Constraint::le(x, 2), Constraint::ge(x, 5)}, {},
+                "never");
+    mcps::sim::RngStream rng{2};
+    SimulateStats stats = simulate_many(ta, 50, rng, "B");
+    EXPECT_EQ(stats.target_hits, 0u);
+}
+
+TEST(TaSimulate, InvariantBoundsDelay) {
+    // Invariant x <= 3 at A; edge at x >= 2: the run must fire within
+    // [2, 3] — total time before reaching B never exceeds 3.
+    TimedAutomaton ta{"bounded"};
+    const ClockId x = ta.add_clock("x");
+    const auto a = ta.add_location("A", {Constraint::le(x, 3)});
+    const auto b = ta.add_location("B");
+    ta.set_initial(a);
+    ta.add_edge(a, b, {Constraint::ge(x, 2)}, {}, "go");
+    mcps::sim::RngStream rng{3};
+    for (int i = 0; i < 30; ++i) {
+        const auto run = simulate_run(ta, rng);
+        if (run.visited_location(b)) {
+            EXPECT_LE(run.total_time, 3.0 + 1e-9);
+        }
+    }
+}
+
+TEST(TaSimulate, DetectsDeadlock) {
+    // Invariant x <= 1 with an edge requiring x >= 5: timelock.
+    TimedAutomaton ta{"timelock"};
+    const ClockId x = ta.add_clock("x");
+    const auto a = ta.add_location("A", {Constraint::le(x, 1)});
+    const auto b = ta.add_location("B");
+    ta.set_initial(a);
+    ta.add_edge(a, b, {Constraint::ge(x, 5)}, {}, "late");
+    mcps::sim::RngStream rng{4};
+    const auto stats = simulate_many(ta, 20, rng);
+    EXPECT_EQ(stats.deadlocks, 20u);
+}
+
+TEST(TaSimulate, DeterministicGivenStream) {
+    auto model = build_pump_lockout_model();
+    mcps::sim::RngStream r1{7}, r2{7};
+    const auto a = simulate_run(model, r1);
+    const auto b = simulate_run(model, r2);
+    EXPECT_EQ(a.visited, b.visited);
+    EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+}
+
+TEST(TaSimulate, AgreesWithCheckerOnCorrectPump) {
+    // SAFE verdict + live model: runs progress but never hit Violation.
+    auto model = build_pump_lockout_model();
+    mcps::sim::RngStream rng{11};
+    const auto stats = simulate_many(model, 200, rng, "Violation");
+    EXPECT_EQ(stats.target_hits, 0u);
+    // Vacuity check: the model actually grants boluses (visits a Bolus
+    // product location).
+    bool bolus_visited = false;
+    for (const auto& [loc, hits] : stats.location_hits) {
+        if (model.location_name(loc).find("Bolus") != std::string::npos &&
+            hits > 0) {
+            bolus_visited = true;
+        }
+    }
+    EXPECT_TRUE(bolus_visited);
+}
+
+TEST(TaSimulate, FindsViolationInFaultyPump) {
+    PumpModelParams faulty;
+    faulty.faulty_no_lockout_guard = true;
+    auto model = build_pump_lockout_model(faulty);
+    mcps::sim::RngStream rng{13};
+    SimulateOptions opts;
+    opts.max_steps = 200;
+    const auto stats = simulate_many(model, 300, rng, "Violation", opts);
+    // The checker says VIOLATED; random runs should stumble on it too
+    // (an early re-grant is likely whenever the second grant beats the
+    // 480 s lockout — with delays capped at 50 s it usually does).
+    EXPECT_GT(stats.target_hits, 0u);
+}
+
+TEST(TaSimulate, ClosedLoopRunsResolveHazards) {
+    auto model = build_closed_loop_model();
+    mcps::sim::RngStream rng{17};
+    const auto stats = simulate_many(model, 200, rng, "Overdue");
+    EXPECT_EQ(stats.target_hits, 0u);  // matches the SAFE verdict
+    // Liveness-ish sanity: some runs actually resolve the hazard.
+    std::size_t resolved_hits = 0;
+    for (const auto& [loc, hits] : stats.location_hits) {
+        if (model.location_name(loc).find("Resolved") != std::string::npos) {
+            resolved_hits += hits;
+        }
+    }
+    EXPECT_GT(resolved_hits, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+/// \file test_time.cpp
+/// \brief Unit tests for SimTime / SimDuration.
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace mcps::sim;
+using namespace mcps::sim::literals;
+
+TEST(SimDuration, NamedConstructorsAgree) {
+    EXPECT_EQ(SimDuration::millis(1).ticks(), 1000);
+    EXPECT_EQ(SimDuration::seconds(1).ticks(), 1'000'000);
+    EXPECT_EQ(SimDuration::minutes(1), SimDuration::seconds(60));
+    EXPECT_EQ(SimDuration::hours(1), SimDuration::minutes(60));
+    EXPECT_EQ(SimDuration::hours(2), 2_h);
+    EXPECT_EQ(120_s, 2_min);
+    EXPECT_EQ(1500_us, SimDuration::micros(1500));
+}
+
+TEST(SimDuration, FromSecondsRounds) {
+    EXPECT_EQ(SimDuration::from_seconds(0.0000015).ticks(), 2);
+    EXPECT_EQ(SimDuration::from_seconds(1.5), 1500_ms);
+    EXPECT_EQ(SimDuration::from_seconds(-2.0), -(2_s));
+}
+
+TEST(SimDuration, Arithmetic) {
+    EXPECT_EQ(2_s + 500_ms, 2500_ms);
+    EXPECT_EQ(2_s - 500_ms, 1500_ms);
+    EXPECT_EQ(3 * (10_ms), 30_ms);
+    EXPECT_EQ((10_ms) * 3, 30_ms);
+    EXPECT_EQ((10_s) / 4, 2500_ms);
+    EXPECT_EQ((10_s) / (3_s), 3);
+    EXPECT_EQ((10_s) % (3_s), 1_s);
+    EXPECT_EQ(-(5_s) + 5_s, SimDuration::zero());
+    SimDuration d = 1_s;
+    d += 1_s;
+    d -= 500_ms;
+    d *= 2;
+    EXPECT_EQ(d, 3_s);
+}
+
+TEST(SimDuration, FractionalScale) {
+    EXPECT_EQ((10_s) * 0.5, 5_s);
+    EXPECT_EQ((1_s) * 0.0015, SimDuration::from_seconds(0.0015));
+}
+
+TEST(SimDuration, Conversions) {
+    EXPECT_DOUBLE_EQ((1500_ms).to_seconds(), 1.5);
+    EXPECT_DOUBLE_EQ((1500_us).to_millis(), 1.5);
+    EXPECT_DOUBLE_EQ((90_s).to_minutes(), 1.5);
+}
+
+TEST(SimDuration, Ordering) {
+    EXPECT_LT(1_s, 2_s);
+    EXPECT_LE(2_s, 2_s);
+    EXPECT_GT(1_s, 999_ms);
+    EXPECT_LT(-(1_s), SimDuration::zero());
+}
+
+TEST(SimDuration, ToStringPicksUnit) {
+    EXPECT_EQ((2500_ms).to_string(), "2.500s");
+    EXPECT_EQ((750_ms).to_string(), "750.000ms");
+    EXPECT_EQ((12_us).to_string(), "12us");
+    EXPECT_EQ((-(2_s)).to_string(), "-2.000s");
+}
+
+TEST(SimTime, OriginAndAdvance) {
+    const SimTime t0 = SimTime::origin();
+    EXPECT_EQ(t0.ticks(), 0);
+    const SimTime t1 = t0 + 90_s;
+    EXPECT_EQ(t1.since_origin(), 90_s);
+    EXPECT_EQ(t1 - t0, 90_s);
+    EXPECT_EQ(t1 - 90_s, t0);
+    SimTime t = t0;
+    t += 5_s;
+    EXPECT_EQ(t.to_seconds(), 5.0);
+}
+
+TEST(SimTime, CommutativeAdd) {
+    EXPECT_EQ(SimTime::origin() + 3_s, 3_s + SimTime::origin());
+}
+
+TEST(SimTime, NeverIsSentinel) {
+    EXPECT_TRUE(SimTime::never().is_never());
+    EXPECT_FALSE(SimTime::origin().is_never());
+    EXPECT_GT(SimTime::never(), SimTime::origin() + 1000000_h);
+    EXPECT_EQ(SimTime::never().to_string(), "never");
+}
+
+TEST(SimTime, ToStringFormatsHms) {
+    const SimTime t = SimTime::origin() + 1_h + 2_min + 3_s + 45_ms;
+    EXPECT_EQ(t.to_string(), "01:02:03.045");
+}
+
+TEST(SimTime, AtConstructor) {
+    EXPECT_EQ(SimTime::at(2_h), SimTime::origin() + 2_h);
+}
+
+}  // namespace
