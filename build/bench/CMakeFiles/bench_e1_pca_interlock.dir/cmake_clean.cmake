@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_pca_interlock.dir/bench_e1_pca_interlock.cpp.o"
+  "CMakeFiles/bench_e1_pca_interlock.dir/bench_e1_pca_interlock.cpp.o.d"
+  "bench_e1_pca_interlock"
+  "bench_e1_pca_interlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_pca_interlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_network.dir/bench_e2_network.cpp.o"
+  "CMakeFiles/bench_e2_network.dir/bench_e2_network.cpp.o.d"
+  "bench_e2_network"
+  "bench_e2_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

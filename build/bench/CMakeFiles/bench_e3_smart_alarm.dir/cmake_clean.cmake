@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_smart_alarm.dir/bench_e3_smart_alarm.cpp.o"
+  "CMakeFiles/bench_e3_smart_alarm.dir/bench_e3_smart_alarm.cpp.o.d"
+  "bench_e3_smart_alarm"
+  "bench_e3_smart_alarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_smart_alarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

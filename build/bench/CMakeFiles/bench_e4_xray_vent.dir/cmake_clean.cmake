@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_xray_vent.dir/bench_e4_xray_vent.cpp.o"
+  "CMakeFiles/bench_e4_xray_vent.dir/bench_e4_xray_vent.cpp.o.d"
+  "bench_e4_xray_vent"
+  "bench_e4_xray_vent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_xray_vent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

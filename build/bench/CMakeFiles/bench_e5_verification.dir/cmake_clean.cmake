@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_verification.dir/bench_e5_verification.cpp.o"
+  "CMakeFiles/bench_e5_verification.dir/bench_e5_verification.cpp.o.d"
+  "bench_e5_verification"
+  "bench_e5_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

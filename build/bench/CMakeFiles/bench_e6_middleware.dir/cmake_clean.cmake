@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_middleware.dir/bench_e6_middleware.cpp.o"
+  "CMakeFiles/bench_e6_middleware.dir/bench_e6_middleware.cpp.o.d"
+  "bench_e6_middleware"
+  "bench_e6_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

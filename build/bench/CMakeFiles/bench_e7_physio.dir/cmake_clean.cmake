@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_physio.dir/bench_e7_physio.cpp.o"
+  "CMakeFiles/bench_e7_physio.dir/bench_e7_physio.cpp.o.d"
+  "bench_e7_physio"
+  "bench_e7_physio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_physio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

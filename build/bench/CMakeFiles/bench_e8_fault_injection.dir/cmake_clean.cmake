@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_fault_injection.dir/bench_e8_fault_injection.cpp.o"
+  "CMakeFiles/bench_e8_fault_injection.dir/bench_e8_fault_injection.cpp.o.d"
+  "bench_e8_fault_injection"
+  "bench_e8_fault_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_fault_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e9_alarm_fatigue.cpp" "bench/CMakeFiles/bench_e9_alarm_fatigue.dir/bench_e9_alarm_fatigue.cpp.o" "gcc" "bench/CMakeFiles/bench_e9_alarm_fatigue.dir/bench_e9_alarm_fatigue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ta/CMakeFiles/mcps_ta.dir/DependInfo.cmake"
+  "/root/repo/build/src/assurance/CMakeFiles/mcps_assurance.dir/DependInfo.cmake"
+  "/root/repo/build/src/ice/CMakeFiles/mcps_ice.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/mcps_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mcps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/physio/CMakeFiles/mcps_physio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

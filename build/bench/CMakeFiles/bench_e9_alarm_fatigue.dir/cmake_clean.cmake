@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_alarm_fatigue.dir/bench_e9_alarm_fatigue.cpp.o"
+  "CMakeFiles/bench_e9_alarm_fatigue.dir/bench_e9_alarm_fatigue.cpp.o.d"
+  "bench_e9_alarm_fatigue"
+  "bench_e9_alarm_fatigue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_alarm_fatigue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

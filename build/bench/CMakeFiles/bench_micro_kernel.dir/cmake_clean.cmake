@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_kernel.dir/bench_micro_kernel.cpp.o"
+  "CMakeFiles/bench_micro_kernel.dir/bench_micro_kernel.cpp.o.d"
+  "bench_micro_kernel"
+  "bench_micro_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/on_demand_assembly.dir/on_demand_assembly.cpp.o"
+  "CMakeFiles/on_demand_assembly.dir/on_demand_assembly.cpp.o.d"
+  "on_demand_assembly"
+  "on_demand_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/on_demand_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pca_closed_loop.dir/pca_closed_loop.cpp.o"
+  "CMakeFiles/pca_closed_loop.dir/pca_closed_loop.cpp.o.d"
+  "pca_closed_loop"
+  "pca_closed_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pca_closed_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pca_closed_loop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_alarm_ward.dir/smart_alarm_ward.cpp.o"
+  "CMakeFiles/smart_alarm_ward.dir/smart_alarm_ward.cpp.o.d"
+  "smart_alarm_ward"
+  "smart_alarm_ward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_alarm_ward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

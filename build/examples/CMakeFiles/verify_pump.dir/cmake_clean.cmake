@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_pump.dir/verify_pump.cpp.o"
+  "CMakeFiles/verify_pump.dir/verify_pump.cpp.o.d"
+  "verify_pump"
+  "verify_pump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_pump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for verify_pump.
+# This may be replaced when dependencies are built.

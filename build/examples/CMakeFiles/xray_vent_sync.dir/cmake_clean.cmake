@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xray_vent_sync.dir/xray_vent_sync.cpp.o"
+  "CMakeFiles/xray_vent_sync.dir/xray_vent_sync.cpp.o.d"
+  "xray_vent_sync"
+  "xray_vent_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xray_vent_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcps_assurance.dir/gsn.cpp.o"
+  "CMakeFiles/mcps_assurance.dir/gsn.cpp.o.d"
+  "CMakeFiles/mcps_assurance.dir/hazard.cpp.o"
+  "CMakeFiles/mcps_assurance.dir/hazard.cpp.o.d"
+  "libmcps_assurance.a"
+  "libmcps_assurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcps_assurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

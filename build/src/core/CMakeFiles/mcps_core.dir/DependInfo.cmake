@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/nurse_response.cpp" "src/core/CMakeFiles/mcps_core.dir/nurse_response.cpp.o" "gcc" "src/core/CMakeFiles/mcps_core.dir/nurse_response.cpp.o.d"
+  "/root/repo/src/core/pca_interlock.cpp" "src/core/CMakeFiles/mcps_core.dir/pca_interlock.cpp.o" "gcc" "src/core/CMakeFiles/mcps_core.dir/pca_interlock.cpp.o.d"
+  "/root/repo/src/core/pca_scenario.cpp" "src/core/CMakeFiles/mcps_core.dir/pca_scenario.cpp.o" "gcc" "src/core/CMakeFiles/mcps_core.dir/pca_scenario.cpp.o.d"
+  "/root/repo/src/core/smart_alarm.cpp" "src/core/CMakeFiles/mcps_core.dir/smart_alarm.cpp.o" "gcc" "src/core/CMakeFiles/mcps_core.dir/smart_alarm.cpp.o.d"
+  "/root/repo/src/core/trend.cpp" "src/core/CMakeFiles/mcps_core.dir/trend.cpp.o" "gcc" "src/core/CMakeFiles/mcps_core.dir/trend.cpp.o.d"
+  "/root/repo/src/core/xray_scenario.cpp" "src/core/CMakeFiles/mcps_core.dir/xray_scenario.cpp.o" "gcc" "src/core/CMakeFiles/mcps_core.dir/xray_scenario.cpp.o.d"
+  "/root/repo/src/core/xray_vent_app.cpp" "src/core/CMakeFiles/mcps_core.dir/xray_vent_app.cpp.o" "gcc" "src/core/CMakeFiles/mcps_core.dir/xray_vent_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mcps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mcps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/physio/CMakeFiles/mcps_physio.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/mcps_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/ice/CMakeFiles/mcps_ice.dir/DependInfo.cmake"
+  "/root/repo/build/src/assurance/CMakeFiles/mcps_assurance.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcps_core.dir/nurse_response.cpp.o"
+  "CMakeFiles/mcps_core.dir/nurse_response.cpp.o.d"
+  "CMakeFiles/mcps_core.dir/pca_interlock.cpp.o"
+  "CMakeFiles/mcps_core.dir/pca_interlock.cpp.o.d"
+  "CMakeFiles/mcps_core.dir/pca_scenario.cpp.o"
+  "CMakeFiles/mcps_core.dir/pca_scenario.cpp.o.d"
+  "CMakeFiles/mcps_core.dir/smart_alarm.cpp.o"
+  "CMakeFiles/mcps_core.dir/smart_alarm.cpp.o.d"
+  "CMakeFiles/mcps_core.dir/trend.cpp.o"
+  "CMakeFiles/mcps_core.dir/trend.cpp.o.d"
+  "CMakeFiles/mcps_core.dir/xray_scenario.cpp.o"
+  "CMakeFiles/mcps_core.dir/xray_scenario.cpp.o.d"
+  "CMakeFiles/mcps_core.dir/xray_vent_app.cpp.o"
+  "CMakeFiles/mcps_core.dir/xray_vent_app.cpp.o.d"
+  "libmcps_core.a"
+  "libmcps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/capnometer.cpp" "src/devices/CMakeFiles/mcps_devices.dir/capnometer.cpp.o" "gcc" "src/devices/CMakeFiles/mcps_devices.dir/capnometer.cpp.o.d"
+  "/root/repo/src/devices/device.cpp" "src/devices/CMakeFiles/mcps_devices.dir/device.cpp.o" "gcc" "src/devices/CMakeFiles/mcps_devices.dir/device.cpp.o.d"
+  "/root/repo/src/devices/drug_library.cpp" "src/devices/CMakeFiles/mcps_devices.dir/drug_library.cpp.o" "gcc" "src/devices/CMakeFiles/mcps_devices.dir/drug_library.cpp.o.d"
+  "/root/repo/src/devices/gpca_pump.cpp" "src/devices/CMakeFiles/mcps_devices.dir/gpca_pump.cpp.o" "gcc" "src/devices/CMakeFiles/mcps_devices.dir/gpca_pump.cpp.o.d"
+  "/root/repo/src/devices/monitor.cpp" "src/devices/CMakeFiles/mcps_devices.dir/monitor.cpp.o" "gcc" "src/devices/CMakeFiles/mcps_devices.dir/monitor.cpp.o.d"
+  "/root/repo/src/devices/pulse_oximeter.cpp" "src/devices/CMakeFiles/mcps_devices.dir/pulse_oximeter.cpp.o" "gcc" "src/devices/CMakeFiles/mcps_devices.dir/pulse_oximeter.cpp.o.d"
+  "/root/repo/src/devices/sensor.cpp" "src/devices/CMakeFiles/mcps_devices.dir/sensor.cpp.o" "gcc" "src/devices/CMakeFiles/mcps_devices.dir/sensor.cpp.o.d"
+  "/root/repo/src/devices/ventilator.cpp" "src/devices/CMakeFiles/mcps_devices.dir/ventilator.cpp.o" "gcc" "src/devices/CMakeFiles/mcps_devices.dir/ventilator.cpp.o.d"
+  "/root/repo/src/devices/xray.cpp" "src/devices/CMakeFiles/mcps_devices.dir/xray.cpp.o" "gcc" "src/devices/CMakeFiles/mcps_devices.dir/xray.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mcps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mcps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/physio/CMakeFiles/mcps_physio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

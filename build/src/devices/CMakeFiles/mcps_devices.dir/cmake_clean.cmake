@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcps_devices.dir/capnometer.cpp.o"
+  "CMakeFiles/mcps_devices.dir/capnometer.cpp.o.d"
+  "CMakeFiles/mcps_devices.dir/device.cpp.o"
+  "CMakeFiles/mcps_devices.dir/device.cpp.o.d"
+  "CMakeFiles/mcps_devices.dir/drug_library.cpp.o"
+  "CMakeFiles/mcps_devices.dir/drug_library.cpp.o.d"
+  "CMakeFiles/mcps_devices.dir/gpca_pump.cpp.o"
+  "CMakeFiles/mcps_devices.dir/gpca_pump.cpp.o.d"
+  "CMakeFiles/mcps_devices.dir/monitor.cpp.o"
+  "CMakeFiles/mcps_devices.dir/monitor.cpp.o.d"
+  "CMakeFiles/mcps_devices.dir/pulse_oximeter.cpp.o"
+  "CMakeFiles/mcps_devices.dir/pulse_oximeter.cpp.o.d"
+  "CMakeFiles/mcps_devices.dir/sensor.cpp.o"
+  "CMakeFiles/mcps_devices.dir/sensor.cpp.o.d"
+  "CMakeFiles/mcps_devices.dir/ventilator.cpp.o"
+  "CMakeFiles/mcps_devices.dir/ventilator.cpp.o.d"
+  "CMakeFiles/mcps_devices.dir/xray.cpp.o"
+  "CMakeFiles/mcps_devices.dir/xray.cpp.o.d"
+  "libmcps_devices.a"
+  "libmcps_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcps_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

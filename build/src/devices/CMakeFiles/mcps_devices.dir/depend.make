@@ -1,0 +1,2 @@
+# Empty dependencies file for mcps_devices.
+# This may be replaced when dependencies are built.

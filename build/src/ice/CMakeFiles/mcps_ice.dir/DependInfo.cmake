@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ice/assembly.cpp" "src/ice/CMakeFiles/mcps_ice.dir/assembly.cpp.o" "gcc" "src/ice/CMakeFiles/mcps_ice.dir/assembly.cpp.o.d"
+  "/root/repo/src/ice/registry.cpp" "src/ice/CMakeFiles/mcps_ice.dir/registry.cpp.o" "gcc" "src/ice/CMakeFiles/mcps_ice.dir/registry.cpp.o.d"
+  "/root/repo/src/ice/supervisor.cpp" "src/ice/CMakeFiles/mcps_ice.dir/supervisor.cpp.o" "gcc" "src/ice/CMakeFiles/mcps_ice.dir/supervisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mcps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mcps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/mcps_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/assurance/CMakeFiles/mcps_assurance.dir/DependInfo.cmake"
+  "/root/repo/build/src/physio/CMakeFiles/mcps_physio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcps_ice.dir/assembly.cpp.o"
+  "CMakeFiles/mcps_ice.dir/assembly.cpp.o.d"
+  "CMakeFiles/mcps_ice.dir/registry.cpp.o"
+  "CMakeFiles/mcps_ice.dir/registry.cpp.o.d"
+  "CMakeFiles/mcps_ice.dir/supervisor.cpp.o"
+  "CMakeFiles/mcps_ice.dir/supervisor.cpp.o.d"
+  "libmcps_ice.a"
+  "libmcps_ice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcps_ice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcps_ice.a"
+)

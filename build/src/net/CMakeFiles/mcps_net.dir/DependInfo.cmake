@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bus.cpp" "src/net/CMakeFiles/mcps_net.dir/bus.cpp.o" "gcc" "src/net/CMakeFiles/mcps_net.dir/bus.cpp.o.d"
+  "/root/repo/src/net/channel.cpp" "src/net/CMakeFiles/mcps_net.dir/channel.cpp.o" "gcc" "src/net/CMakeFiles/mcps_net.dir/channel.cpp.o.d"
+  "/root/repo/src/net/flow_monitor.cpp" "src/net/CMakeFiles/mcps_net.dir/flow_monitor.cpp.o" "gcc" "src/net/CMakeFiles/mcps_net.dir/flow_monitor.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/net/CMakeFiles/mcps_net.dir/message.cpp.o" "gcc" "src/net/CMakeFiles/mcps_net.dir/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mcps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

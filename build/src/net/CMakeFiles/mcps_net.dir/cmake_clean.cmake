@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcps_net.dir/bus.cpp.o"
+  "CMakeFiles/mcps_net.dir/bus.cpp.o.d"
+  "CMakeFiles/mcps_net.dir/channel.cpp.o"
+  "CMakeFiles/mcps_net.dir/channel.cpp.o.d"
+  "CMakeFiles/mcps_net.dir/flow_monitor.cpp.o"
+  "CMakeFiles/mcps_net.dir/flow_monitor.cpp.o.d"
+  "CMakeFiles/mcps_net.dir/message.cpp.o"
+  "CMakeFiles/mcps_net.dir/message.cpp.o.d"
+  "libmcps_net.a"
+  "libmcps_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcps_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

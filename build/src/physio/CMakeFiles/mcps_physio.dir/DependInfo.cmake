@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/physio/patient.cpp" "src/physio/CMakeFiles/mcps_physio.dir/patient.cpp.o" "gcc" "src/physio/CMakeFiles/mcps_physio.dir/patient.cpp.o.d"
+  "/root/repo/src/physio/pca_demand.cpp" "src/physio/CMakeFiles/mcps_physio.dir/pca_demand.cpp.o" "gcc" "src/physio/CMakeFiles/mcps_physio.dir/pca_demand.cpp.o.d"
+  "/root/repo/src/physio/pk_model.cpp" "src/physio/CMakeFiles/mcps_physio.dir/pk_model.cpp.o" "gcc" "src/physio/CMakeFiles/mcps_physio.dir/pk_model.cpp.o.d"
+  "/root/repo/src/physio/population.cpp" "src/physio/CMakeFiles/mcps_physio.dir/population.cpp.o" "gcc" "src/physio/CMakeFiles/mcps_physio.dir/population.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mcps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcps_physio.dir/patient.cpp.o"
+  "CMakeFiles/mcps_physio.dir/patient.cpp.o.d"
+  "CMakeFiles/mcps_physio.dir/pca_demand.cpp.o"
+  "CMakeFiles/mcps_physio.dir/pca_demand.cpp.o.d"
+  "CMakeFiles/mcps_physio.dir/pk_model.cpp.o"
+  "CMakeFiles/mcps_physio.dir/pk_model.cpp.o.d"
+  "CMakeFiles/mcps_physio.dir/population.cpp.o"
+  "CMakeFiles/mcps_physio.dir/population.cpp.o.d"
+  "libmcps_physio.a"
+  "libmcps_physio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcps_physio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

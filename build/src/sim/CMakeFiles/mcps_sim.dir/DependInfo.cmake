@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/rng.cpp" "src/sim/CMakeFiles/mcps_sim.dir/rng.cpp.o" "gcc" "src/sim/CMakeFiles/mcps_sim.dir/rng.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/mcps_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/mcps_sim.dir/simulation.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/mcps_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/mcps_sim.dir/stats.cpp.o.d"
+  "/root/repo/src/sim/table.cpp" "src/sim/CMakeFiles/mcps_sim.dir/table.cpp.o" "gcc" "src/sim/CMakeFiles/mcps_sim.dir/table.cpp.o.d"
+  "/root/repo/src/sim/time.cpp" "src/sim/CMakeFiles/mcps_sim.dir/time.cpp.o" "gcc" "src/sim/CMakeFiles/mcps_sim.dir/time.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/mcps_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/mcps_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

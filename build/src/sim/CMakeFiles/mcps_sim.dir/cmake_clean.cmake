@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcps_sim.dir/rng.cpp.o"
+  "CMakeFiles/mcps_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/mcps_sim.dir/simulation.cpp.o"
+  "CMakeFiles/mcps_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/mcps_sim.dir/stats.cpp.o"
+  "CMakeFiles/mcps_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/mcps_sim.dir/table.cpp.o"
+  "CMakeFiles/mcps_sim.dir/table.cpp.o.d"
+  "CMakeFiles/mcps_sim.dir/time.cpp.o"
+  "CMakeFiles/mcps_sim.dir/time.cpp.o.d"
+  "CMakeFiles/mcps_sim.dir/trace.cpp.o"
+  "CMakeFiles/mcps_sim.dir/trace.cpp.o.d"
+  "libmcps_sim.a"
+  "libmcps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ta/automaton.cpp" "src/ta/CMakeFiles/mcps_ta.dir/automaton.cpp.o" "gcc" "src/ta/CMakeFiles/mcps_ta.dir/automaton.cpp.o.d"
+  "/root/repo/src/ta/dbm.cpp" "src/ta/CMakeFiles/mcps_ta.dir/dbm.cpp.o" "gcc" "src/ta/CMakeFiles/mcps_ta.dir/dbm.cpp.o.d"
+  "/root/repo/src/ta/models.cpp" "src/ta/CMakeFiles/mcps_ta.dir/models.cpp.o" "gcc" "src/ta/CMakeFiles/mcps_ta.dir/models.cpp.o.d"
+  "/root/repo/src/ta/reachability.cpp" "src/ta/CMakeFiles/mcps_ta.dir/reachability.cpp.o" "gcc" "src/ta/CMakeFiles/mcps_ta.dir/reachability.cpp.o.d"
+  "/root/repo/src/ta/simulate.cpp" "src/ta/CMakeFiles/mcps_ta.dir/simulate.cpp.o" "gcc" "src/ta/CMakeFiles/mcps_ta.dir/simulate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

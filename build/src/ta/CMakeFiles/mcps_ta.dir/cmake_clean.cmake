@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcps_ta.dir/automaton.cpp.o"
+  "CMakeFiles/mcps_ta.dir/automaton.cpp.o.d"
+  "CMakeFiles/mcps_ta.dir/dbm.cpp.o"
+  "CMakeFiles/mcps_ta.dir/dbm.cpp.o.d"
+  "CMakeFiles/mcps_ta.dir/models.cpp.o"
+  "CMakeFiles/mcps_ta.dir/models.cpp.o.d"
+  "CMakeFiles/mcps_ta.dir/reachability.cpp.o"
+  "CMakeFiles/mcps_ta.dir/reachability.cpp.o.d"
+  "CMakeFiles/mcps_ta.dir/simulate.cpp.o"
+  "CMakeFiles/mcps_ta.dir/simulate.cpp.o.d"
+  "libmcps_ta.a"
+  "libmcps_ta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcps_ta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

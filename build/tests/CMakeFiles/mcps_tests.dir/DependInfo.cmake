@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assembly.cpp" "tests/CMakeFiles/mcps_tests.dir/test_assembly.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_assembly.cpp.o.d"
+  "/root/repo/tests/test_assurance.cpp" "tests/CMakeFiles/mcps_tests.dir/test_assurance.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_assurance.cpp.o.d"
+  "/root/repo/tests/test_automaton.cpp" "tests/CMakeFiles/mcps_tests.dir/test_automaton.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_automaton.cpp.o.d"
+  "/root/repo/tests/test_dbm.cpp" "tests/CMakeFiles/mcps_tests.dir/test_dbm.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_dbm.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/mcps_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_determinism.cpp.o.d"
+  "/root/repo/tests/test_device_base.cpp" "tests/CMakeFiles/mcps_tests.dir/test_device_base.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_device_base.cpp.o.d"
+  "/root/repo/tests/test_drug_library.cpp" "tests/CMakeFiles/mcps_tests.dir/test_drug_library.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_drug_library.cpp.o.d"
+  "/root/repo/tests/test_flow_monitor.cpp" "tests/CMakeFiles/mcps_tests.dir/test_flow_monitor.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_flow_monitor.cpp.o.d"
+  "/root/repo/tests/test_gpca_pump.cpp" "tests/CMakeFiles/mcps_tests.dir/test_gpca_pump.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_gpca_pump.cpp.o.d"
+  "/root/repo/tests/test_ice.cpp" "tests/CMakeFiles/mcps_tests.dir/test_ice.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_ice.cpp.o.d"
+  "/root/repo/tests/test_interlock.cpp" "tests/CMakeFiles/mcps_tests.dir/test_interlock.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_interlock.cpp.o.d"
+  "/root/repo/tests/test_interlock_sweep.cpp" "tests/CMakeFiles/mcps_tests.dir/test_interlock_sweep.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_interlock_sweep.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/mcps_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_nurse_response.cpp" "tests/CMakeFiles/mcps_tests.dir/test_nurse_response.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_nurse_response.cpp.o.d"
+  "/root/repo/tests/test_patient.cpp" "tests/CMakeFiles/mcps_tests.dir/test_patient.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_patient.cpp.o.d"
+  "/root/repo/tests/test_pk_model.cpp" "tests/CMakeFiles/mcps_tests.dir/test_pk_model.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_pk_model.cpp.o.d"
+  "/root/repo/tests/test_reachability.cpp" "tests/CMakeFiles/mcps_tests.dir/test_reachability.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_reachability.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/mcps_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scenarios.cpp" "tests/CMakeFiles/mcps_tests.dir/test_scenarios.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_scenarios.cpp.o.d"
+  "/root/repo/tests/test_sensors.cpp" "tests/CMakeFiles/mcps_tests.dir/test_sensors.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_sensors.cpp.o.d"
+  "/root/repo/tests/test_simulation.cpp" "tests/CMakeFiles/mcps_tests.dir/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_simulation.cpp.o.d"
+  "/root/repo/tests/test_smart_alarm.cpp" "tests/CMakeFiles/mcps_tests.dir/test_smart_alarm.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_smart_alarm.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/mcps_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_ta_differential.cpp" "tests/CMakeFiles/mcps_tests.dir/test_ta_differential.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_ta_differential.cpp.o.d"
+  "/root/repo/tests/test_ta_simulate.cpp" "tests/CMakeFiles/mcps_tests.dir/test_ta_simulate.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_ta_simulate.cpp.o.d"
+  "/root/repo/tests/test_time.cpp" "tests/CMakeFiles/mcps_tests.dir/test_time.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_time.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/mcps_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_trend.cpp" "tests/CMakeFiles/mcps_tests.dir/test_trend.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_trend.cpp.o.d"
+  "/root/repo/tests/test_vent_xray.cpp" "tests/CMakeFiles/mcps_tests.dir/test_vent_xray.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_vent_xray.cpp.o.d"
+  "/root/repo/tests/test_xray_sync.cpp" "tests/CMakeFiles/mcps_tests.dir/test_xray_sync.cpp.o" "gcc" "tests/CMakeFiles/mcps_tests.dir/test_xray_sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ta/CMakeFiles/mcps_ta.dir/DependInfo.cmake"
+  "/root/repo/build/src/assurance/CMakeFiles/mcps_assurance.dir/DependInfo.cmake"
+  "/root/repo/build/src/ice/CMakeFiles/mcps_ice.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/mcps_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mcps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/physio/CMakeFiles/mcps_physio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
