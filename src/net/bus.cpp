@@ -6,6 +6,19 @@ namespace mcps::net {
 
 using mcps::sim::SimTime;
 
+namespace {
+/// Deterministic garbling for a corrupted delivery: the vital value is
+/// replaced by a bounded nonsense reading derived from the message
+/// sequence number, and the quality flag is cleared. Only vital streams
+/// corrupt — commands and acks are modeled as end-to-end CRC-protected
+/// (a corrupted command is indistinguishable from a lost one).
+double garbled_vital(std::uint64_t seq) {
+    std::uint64_t s = seq ^ 0xC0FFEE; // any fixed tweak; determinism is the point
+    const std::uint64_t h = mcps::sim::splitmix64(s);
+    return static_cast<double>(h >> 11) * 0x1.0p-53 * 250.0;
+}
+}  // namespace
+
 Bus::Bus(mcps::sim::Simulation& sim, ChannelParameters default_channel)
     : sim_{sim}, default_params_{default_channel} {
     default_params_.validate();
@@ -36,8 +49,22 @@ Channel& Bus::channel_for(const std::string& endpoint) {
                                         default_params_,
                                         sim_.rng("bus.channel." + endpoint)))
                  .first;
+        // Lazily-created links inherit any partition windows already
+        // declared, so partition semantics don't depend on first-publish
+        // order.
+        for (const auto& w : partitions_) {
+            it->second->add_outage(w.first, w.second);
+        }
     }
     return *it->second;
+}
+
+void Bus::add_partition(SimTime from, SimTime to) {
+    if (to <= from) {
+        throw std::invalid_argument("add_partition: empty/negative window");
+    }
+    for (auto& [name, ch] : channels_) ch->add_outage(from, to);
+    partitions_.emplace_back(from, to);
 }
 
 Channel& Bus::endpoint_channel(const std::string& endpoint) {
@@ -68,8 +95,17 @@ std::uint64_t Bus::publish(const std::string& sender, const std::string& topic,
             ++stats_.dropped;
             continue;
         }
+        std::shared_ptr<Message> out = msg;
+        if (plan.corrupted) {
+            if (const auto* v = payload_as<VitalSignPayload>(*msg)) {
+                ++stats_.corrupted;
+                out = std::make_shared<Message>(*msg);
+                out->payload = VitalSignPayload{v->metric,
+                                                garbled_vital(msg->seq), false};
+            }
+        }
         const SubscriptionId sub_id = sub.id;
-        auto deliver = [this, msg, sub_id]() {
+        auto deliver = [this, msg = std::move(out), sub_id]() {
             // Re-check liveness at delivery time: unsubscribing cancels
             // in-flight deliveries, as a real middleware detach would.
             const auto it = std::find_if(subs_.begin(), subs_.end(),

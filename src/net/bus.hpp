@@ -41,6 +41,7 @@ struct BusStats {
     std::uint64_t delivered = 0;
     std::uint64_t dropped = 0;
     std::uint64_t duplicated = 0;
+    std::uint64_t corrupted = 0;
     mcps::sim::SampleSet delivery_latency_ms;
 };
 
@@ -79,6 +80,11 @@ public:
     void set_endpoint_channel(const std::string& endpoint,
                               const ChannelParameters& params);
 
+    /// Network partition: every endpoint link (existing and future) drops
+    /// all messages sent during [from, to). Models a switch/gateway dying
+    /// under the whole device ensemble at once.
+    void add_partition(mcps::sim::SimTime from, mcps::sim::SimTime to);
+
     [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
     [[nodiscard]] std::size_t subscription_count() const noexcept {
         return subs_.size();
@@ -100,6 +106,7 @@ private:
     std::uint64_t next_sub_{1};
     std::vector<Subscription> subs_;
     std::map<std::string, std::unique_ptr<Channel>> channels_;
+    std::vector<std::pair<mcps::sim::SimTime, mcps::sim::SimTime>> partitions_;
     BusStats stats_;
 };
 

@@ -44,10 +44,19 @@ DeliveryPlan Channel::plan_delivery(SimTime now) {
         return std::max(SimDuration::zero(), d);
     };
     plan.delay = sample_delay();
+    // The extra reorder holdback and the corruption draw each consume rng
+    // only when their probability is non-zero (bernoulli(0) short-circuits),
+    // so enabling one fault mode never perturbs the others' sequences.
+    if (rng_.bernoulli(params_.reorder_probability)) {
+        plan.delay += SimDuration::micros(static_cast<std::int64_t>(
+            rng_.uniform(0.0,
+                         static_cast<double>(params_.reorder_window.ticks()))));
+    }
     if (rng_.bernoulli(params_.duplicate_probability)) {
         plan.duplicated = true;
         plan.dup_delay = sample_delay();
     }
+    plan.corrupted = rng_.bernoulli(params_.corrupt_probability);
     return plan;
 }
 

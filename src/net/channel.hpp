@@ -23,6 +23,14 @@ struct ChannelParameters {
     mcps::sim::SimDuration jitter_sd = mcps::sim::SimDuration::millis(1);
     double loss_probability = 0.0;       ///< independent per message
     double duplicate_probability = 0.0;  ///< message delivered twice
+    /// Probability the message arrives with a corrupted payload (a bit
+    /// error that slips past the link CRC). The Bus decides what
+    /// corruption means per payload kind.
+    double corrupt_probability = 0.0;
+    /// Probability the message is held back by an extra uniform delay in
+    /// [0, reorder_window], letting later messages overtake it.
+    double reorder_probability = 0.0;
+    mcps::sim::SimDuration reorder_window = mcps::sim::SimDuration::millis(200);
 
     void validate() const {
         if (base_latency < mcps::sim::SimDuration::zero()) {
@@ -38,6 +46,18 @@ struct ChannelParameters {
             throw std::invalid_argument(
                 "ChannelParameters: duplicate outside [0,1]");
         }
+        if (corrupt_probability < 0 || corrupt_probability > 1) {
+            throw std::invalid_argument(
+                "ChannelParameters: corrupt outside [0,1]");
+        }
+        if (reorder_probability < 0 || reorder_probability > 1) {
+            throw std::invalid_argument(
+                "ChannelParameters: reorder outside [0,1]");
+        }
+        if (reorder_window < mcps::sim::SimDuration::zero()) {
+            throw std::invalid_argument(
+                "ChannelParameters: negative reorder window");
+        }
     }
 
     /// An ideal channel: zero latency, no loss. Useful in unit tests.
@@ -51,6 +71,7 @@ struct ChannelParameters {
 struct DeliveryPlan {
     bool dropped = false;
     bool duplicated = false;
+    bool corrupted = false;              ///< first copy arrives corrupted
     mcps::sim::SimDuration delay;        ///< first copy
     mcps::sim::SimDuration dup_delay;    ///< second copy, if duplicated
 };

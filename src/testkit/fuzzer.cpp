@@ -1,0 +1,109 @@
+#include "fuzzer.hpp"
+
+#include <sstream>
+
+namespace mcps::testkit {
+
+namespace {
+
+void emit(const FuzzOptions& opts, const std::string& line) {
+    if (opts.log) opts.log(line);
+}
+
+std::string describe(const std::vector<Violation>& vs) {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+        if (i) os << "; ";
+        os << vs[i].invariant << " @" << vs[i].at_s << "s: " << vs[i].detail;
+    }
+    return os.str();
+}
+
+FuzzFailure capture(const FuzzOptions& opts, const InvariantChecker& checker,
+                    Repro repro, std::vector<Violation> violations) {
+    FuzzFailure f;
+    f.original_fault_events = repro.faults.size();
+    f.violations = std::move(violations);
+    if (opts.shrink) {
+        repro = shrink(repro, checker, &f.shrink_runs);
+        // The shrunk plan is the canonical counterexample; report its
+        // violations, not the original run's.
+        f.violations = replay(repro, checker).violations;
+        ++f.shrink_runs;
+    }
+    const auto verify = replay(repro, checker);
+    f.replay_byte_identical = verify.byte_identical;
+    f.repro = std::move(repro);
+    if (!opts.repro_dir.empty()) {
+        std::ostringstream name;
+        name << opts.repro_dir << "/repro-" << f.repro.seed << "-"
+             << f.repro.index << ".txt";
+        f.repro_path = name.str();
+        save_repro(f.repro_path, f.repro);
+    }
+    return f;
+}
+
+}  // namespace
+
+FuzzOutcome run_fuzz(const FuzzOptions& opts, const InvariantChecker& checker) {
+    const ScenarioGenerator gen{opts.seed, opts.fault_intensity};
+    FuzzOutcome out;
+
+    for (std::uint64_t i = 0; i < opts.scenarios; ++i) {
+        ++out.scenarios_run;
+        const WorkloadKind kind =
+            opts.weakened ? WorkloadKind::kPca
+                          : gen.kind_of(i, opts.xray_fraction);
+
+        Repro repro;
+        repro.seed = opts.seed;
+        repro.index = i;
+        repro.kind = kind;
+        repro.weakened = opts.weakened;
+
+        std::vector<Violation> violations;
+        if (kind == WorkloadKind::kXray) {
+            ++out.xray_runs;
+            const auto run = run_instrumented_xray(gen.xray(i).config);
+            violations = run.violations;
+            repro.fingerprint = run.fingerprint;
+        } else {
+            ++out.pca_runs;
+            const auto g =
+                opts.weakened ? gen.weakened_pca(i) : gen.pca(i);
+            const auto run = run_instrumented_pca(g.config, g.faults, checker);
+            violations = run.violations;
+            repro.faults = g.faults;
+            repro.fingerprint = run.fingerprint;
+        }
+
+        if (violations.empty()) continue;
+
+        emit(opts, "scenario " + std::to_string(i) + " (" +
+                       std::string{to_string(kind)} +
+                       ") violated: " + describe(violations));
+        auto failure =
+            capture(opts, checker, std::move(repro), std::move(violations));
+        if (opts.shrink) {
+            emit(opts, "  shrunk " +
+                           std::to_string(failure.original_fault_events) +
+                           " -> " + std::to_string(failure.repro.faults.size()) +
+                           " fault events in " +
+                           std::to_string(failure.shrink_runs) + " runs");
+        }
+        emit(opts, std::string{"  replay byte-identical: "} +
+                       (failure.replay_byte_identical ? "yes" : "NO"));
+        if (!failure.repro_path.empty()) {
+            emit(opts, "  repro saved: " + failure.repro_path);
+        }
+        out.failures.push_back(std::move(failure));
+    }
+    return out;
+}
+
+FuzzOutcome run_fuzz(const FuzzOptions& opts) {
+    return run_fuzz(opts, InvariantChecker::with_defaults());
+}
+
+}  // namespace mcps::testkit

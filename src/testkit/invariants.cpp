@@ -1,0 +1,207 @@
+#include "invariants.hpp"
+
+#include <sstream>
+
+namespace mcps::testkit {
+
+using mcps::sim::Signal;
+using mcps::sim::SimTime;
+
+void InvariantChecker::add_pca(std::string name, PcaCheck check) {
+    pca_checks_.emplace_back(std::move(name), std::move(check));
+}
+
+std::vector<Violation> InvariantChecker::check_pca(
+    const PcaCheckContext& ctx) const {
+    std::vector<Violation> out;
+    for (const auto& [name, check] : pca_checks_) check(ctx, out);
+    return out;
+}
+
+std::vector<std::string> InvariantChecker::names() const {
+    std::vector<std::string> out;
+    out.reserve(pca_checks_.size());
+    for (const auto& [name, check] : pca_checks_) out.push_back(name);
+    return out;
+}
+
+namespace {
+
+std::string fmt(double v, int prec = 1) {
+    std::ostringstream os;
+    os.precision(prec);
+    os << std::fixed << v;
+    return os.str();
+}
+
+/// Pump never still delivering `deadline` after severe-hypoxemia onset.
+/// Walks the 1 Hz ground-truth grid; one violation per hypoxemia episode.
+void check_depression_interlock(const InvariantTolerances& tol,
+                                const PcaCheckContext& ctx,
+                                std::vector<Violation>& out) {
+    if (!ctx.cfg.interlock) return;  // open loop claims nothing
+    const Signal* spo2 = ctx.trace.find("truth/spo2");
+    const Signal* deliv = ctx.trace.find("pump/delivering");
+    if (!spo2 || !deliv) return;
+
+    double below_since = -1.0;
+    bool flagged_this_episode = false;
+    for (const auto& s : spo2->samples()) {
+        const double t = s.time.to_seconds();
+        if (s.value < tol.severe_spo2) {
+            if (below_since < 0) below_since = t;
+        } else {
+            below_since = -1.0;
+            flagged_this_episode = false;
+        }
+        if (below_since >= 0 && !flagged_this_episode &&
+            t - below_since > tol.interlock_deadline_s &&
+            deliv->value_at(s.time).value_or(0.0) > 0.5) {
+            out.push_back(Violation{
+                "pca/respiratory-depression-interlock", t,
+                "pump delivering " + fmt(t - below_since) +
+                    "s after SpO2 fell below " + fmt(tol.severe_spo2) +
+                    "% (deadline " + fmt(tol.interlock_deadline_s) + "s)"});
+            flagged_this_episode = true;
+        }
+    }
+}
+
+/// Fail-safe policy: sustained oximeter silence must stop the pump within
+/// staleness_limit + slack of dropout onset.
+void check_data_loss_failsafe(const InvariantTolerances& tol,
+                              const PcaCheckContext& ctx,
+                              std::vector<Violation>& out) {
+    if (!ctx.cfg.interlock ||
+        ctx.cfg.interlock->data_loss != core::DataLossPolicy::kFailSafe) {
+        return;
+    }
+    const Signal* drop = ctx.trace.find("testkit/oxi_dropout");
+    const Signal* deliv = ctx.trace.find("pump/delivering");
+    if (!drop || !deliv) return;
+
+    const double limit =
+        ctx.cfg.interlock->staleness_limit.to_seconds() + tol.data_loss_slack_s;
+    double drop_since = -1.0;
+    bool flagged_this_window = false;
+    for (const auto& s : drop->samples()) {
+        const double t = s.time.to_seconds();
+        if (s.value > 0.5) {
+            if (drop_since < 0) drop_since = t;
+        } else {
+            drop_since = -1.0;
+            flagged_this_window = false;
+        }
+        if (drop_since >= 0 && !flagged_this_window && t - drop_since > limit &&
+            deliv->value_at(s.time).value_or(0.0) > 0.5) {
+            out.push_back(Violation{
+                "pca/fail-safe-on-sensor-silence", t,
+                "pump delivering " + fmt(t - drop_since) +
+                    "s into an SpO2 dropout (fail-safe limit " + fmt(limit) +
+                    "s)"});
+            flagged_this_window = true;
+        }
+    }
+}
+
+/// GPCA R2 observed end-to-end: trailing-hour dose never exceeds the cap.
+void check_hourly_cap(const InvariantTolerances& tol,
+                      const PcaCheckContext& ctx,
+                      std::vector<Violation>& out) {
+    const Signal* hourly = ctx.trace.find("testkit/pump_hourly_mg");
+    if (!hourly) return;
+    const double cap =
+        ctx.cfg.prescription.max_hourly.as_mg() * tol.hourly_cap_factor + 0.05;
+    for (const auto& s : hourly->samples()) {
+        if (s.value > cap) {
+            out.push_back(Violation{
+                "pca/hourly-dose-cap", s.time.to_seconds(),
+                "trailing-hour dose " + fmt(s.value, 2) + " mg exceeds cap " +
+                    fmt(ctx.cfg.prescription.max_hourly.as_mg(), 2) + " mg"});
+            return;  // one report is enough; later samples are correlated
+        }
+    }
+}
+
+/// GPCA R5 observed end-to-end: no delivery from an empty reservoir.
+void check_reservoir(const InvariantTolerances&, const PcaCheckContext& ctx,
+                     std::vector<Violation>& out) {
+    const Signal* res = ctx.trace.find("testkit/pump_reservoir_mg");
+    const Signal* deliv = ctx.trace.find("pump/delivering");
+    if (!res || !deliv) return;
+    for (const auto& s : res->samples()) {
+        if (s.value <= 1e-6 && deliv->value_at(s.time).value_or(0.0) > 0.5) {
+            out.push_back(Violation{"pca/no-empty-reservoir-delivery",
+                                    s.time.to_seconds(),
+                                    "pump delivering with empty reservoir"});
+            return;
+        }
+    }
+}
+
+/// Alarms are never silently dropped by the middleware: every alarm a
+/// device raised was observed by the ideal-link probe.
+void check_alarm_delivery(const InvariantTolerances&,
+                          const PcaCheckContext& ctx,
+                          std::vector<Violation>& out) {
+    if (ctx.cfg.with_smart_alarm &&
+        ctx.probe_smart_alarms != ctx.result.smart_alarm_count) {
+        out.push_back(Violation{
+            "pca/alarms-never-silently-dropped", 0.0,
+            "smart alarm raised " + std::to_string(ctx.result.smart_alarm_count) +
+                " alarms but the ideal-link probe observed " +
+                std::to_string(ctx.probe_smart_alarms)});
+    }
+    if (ctx.cfg.with_monitor &&
+        ctx.probe_monitor_alarms != ctx.result.monitor_alarm_count) {
+        out.push_back(Violation{
+            "pca/alarms-never-silently-dropped", 0.0,
+            "monitor raised " + std::to_string(ctx.result.monitor_alarm_count) +
+                " alarms but the ideal-link probe observed " +
+                std::to_string(ctx.probe_monitor_alarms)});
+    }
+}
+
+}  // namespace
+
+InvariantChecker InvariantChecker::with_defaults(InvariantTolerances tol) {
+    InvariantChecker c;
+    c.add_pca("pca/respiratory-depression-interlock",
+              [tol](const PcaCheckContext& ctx, std::vector<Violation>& out) {
+                  check_depression_interlock(tol, ctx, out);
+              });
+    c.add_pca("pca/fail-safe-on-sensor-silence",
+              [tol](const PcaCheckContext& ctx, std::vector<Violation>& out) {
+                  check_data_loss_failsafe(tol, ctx, out);
+              });
+    c.add_pca("pca/hourly-dose-cap",
+              [tol](const PcaCheckContext& ctx, std::vector<Violation>& out) {
+                  check_hourly_cap(tol, ctx, out);
+              });
+    c.add_pca("pca/no-empty-reservoir-delivery",
+              [tol](const PcaCheckContext& ctx, std::vector<Violation>& out) {
+                  check_reservoir(tol, ctx, out);
+              });
+    c.add_pca("pca/alarms-never-silently-dropped",
+              [tol](const PcaCheckContext& ctx, std::vector<Violation>& out) {
+                  check_alarm_delivery(tol, ctx, out);
+              });
+    return c;
+}
+
+std::vector<Violation> InvariantChecker::check_xray(
+    const core::XrayScenarioConfig& cfg, const core::XrayScenarioResult& result,
+    InvariantTolerances tol) {
+    std::vector<Violation> out;
+    const double bound =
+        cfg.ventilator.max_pause.to_seconds() + tol.pause_slack_s;
+    if (result.max_apnea_s > bound) {
+        out.push_back(Violation{
+            "xray/vent-pause-bounded", 0.0,
+            "imposed apnea " + fmt(result.max_apnea_s) +
+                "s exceeds ventilator max_pause bound " + fmt(bound) + "s"});
+    }
+    return out;
+}
+
+}  // namespace mcps::testkit

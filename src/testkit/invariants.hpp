@@ -1,0 +1,94 @@
+/// \file invariants.hpp
+/// \brief Executable safety invariants checked over scenario traces.
+///
+/// Each invariant encodes one of the paper's safety properties as a
+/// predicate over a completed run's trace and metrics. Invariants are
+/// *clinical* requirements, deliberately independent of how any
+/// particular interlock configuration claims to meet them: a correctly
+/// functioning closed loop inside the claimed-safe configuration envelope
+/// always satisfies them (with generous timing slack), while a weakened
+/// or buggy loop does not. That asymmetry is what makes randomized
+/// fault-injection meaningful.
+///
+/// Adding an invariant: write a `void(const PcaCheckContext&,
+/// std::vector<Violation>&)` functor and register it with
+/// InvariantChecker::add_pca (see with_defaults() for idiomatic walks
+/// over the 1 Hz ground-truth signals).
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/pca_scenario.hpp"
+#include "core/xray_scenario.hpp"
+
+namespace mcps::testkit {
+
+/// One observed safety violation.
+struct Violation {
+    std::string invariant;  ///< stable invariant name
+    double at_s = 0.0;      ///< simulated time of the (first) offense
+    std::string detail;     ///< human-readable specifics
+
+    friend bool operator==(const Violation&, const Violation&) = default;
+};
+
+/// Clinical tolerances shared by the default invariants.
+struct InvariantTolerances {
+    /// SpO2 below this is severe hypoxemia — the hazard the interlock
+    /// must bound.
+    double severe_spo2 = 85.0;
+    /// Hard deadline: the pump must not still be delivering this long
+    /// after severe hypoxemia onset. Dominates worst-case detection
+    /// (persistence + staleness + sensor averaging + the fault-plan
+    /// denial budget + command retries) with margin.
+    double interlock_deadline_s = 180.0;
+    /// Extra reaction slack granted on top of the configured staleness
+    /// limit before sensor silence must have stopped the pump.
+    double data_loss_slack_s = 90.0;
+    /// Tolerance on the hourly dose cap (integration granularity).
+    double hourly_cap_factor = 1.02;
+    /// Slack over the ventilator's max_pause for the imposed-apnea bound.
+    double pause_slack_s = 3.0;
+};
+
+/// Everything the PCA invariants may inspect after an instrumented run.
+struct PcaCheckContext {
+    const core::PcaScenarioConfig& cfg;
+    const core::PcaScenarioResult& result;
+    const mcps::sim::TraceRecorder& trace;
+    /// Alarm messages observed by the ideal-link probe, per source.
+    std::uint64_t probe_smart_alarms = 0;
+    std::uint64_t probe_monitor_alarms = 0;
+};
+
+/// Named invariant registry.
+class InvariantChecker {
+public:
+    using PcaCheck =
+        std::function<void(const PcaCheckContext&, std::vector<Violation>&)>;
+
+    /// The default clinical invariant set (paper properties).
+    [[nodiscard]] static InvariantChecker with_defaults(
+        InvariantTolerances tol = {});
+
+    void add_pca(std::string name, PcaCheck check);
+
+    [[nodiscard]] std::vector<Violation> check_pca(
+        const PcaCheckContext& ctx) const;
+
+    /// X-ray workload invariants (result-level: the harness exposes no
+    /// trace): imposed apnea is bounded by the ventilator's max_pause.
+    [[nodiscard]] static std::vector<Violation> check_xray(
+        const core::XrayScenarioConfig& cfg,
+        const core::XrayScenarioResult& result, InvariantTolerances tol = {});
+
+    [[nodiscard]] std::vector<std::string> names() const;
+
+private:
+    std::vector<std::pair<std::string, PcaCheck>> pca_checks_;
+};
+
+}  // namespace mcps::testkit

@@ -1,0 +1,200 @@
+#include "replay.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcps::testkit {
+
+namespace {
+constexpr std::string_view kHeader = "mcps-repro v1";
+}
+
+std::string to_text(const Repro& r) {
+    std::ostringstream os;
+    os << kHeader << "\n";
+    os << "kind=" << to_string(r.kind) << "\n";
+    os << "seed=" << r.seed << "\n";
+    os << "index=" << r.index << "\n";
+    os << "weakened=" << (r.weakened ? 1 : 0) << "\n";
+    char fp[32];
+    std::snprintf(fp, sizeof fp, "0x%016" PRIx64, r.fingerprint);
+    os << "fingerprint=" << fp << "\n";
+    for (const auto& e : r.faults.events) {
+        char mag[64];
+        std::snprintf(mag, sizeof mag, "%.17g", e.magnitude);
+        os << "fault kind=" << to_string(e.kind) << " at_us=" << e.at.ticks()
+           << " dur_us=" << e.duration.ticks() << " mag=" << mag
+           << " target=" << e.target << "\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& why) {
+    throw std::runtime_error("repro: malformed file: " + why);
+}
+
+/// "key=value" split; returns false if '=' is absent.
+bool split_kv(std::string_view tok, std::string_view& key,
+              std::string_view& value) {
+    const auto eq = tok.find('=');
+    if (eq == std::string_view::npos) return false;
+    key = tok.substr(0, eq);
+    value = tok.substr(eq + 1);
+    return true;
+}
+
+std::uint64_t parse_u64(std::string_view v, const std::string& what) {
+    try {
+        return std::stoull(std::string{v}, nullptr, 0);
+    } catch (const std::exception&) {
+        malformed("bad integer for " + what);
+    }
+}
+
+std::int64_t parse_i64(std::string_view v, const std::string& what) {
+    try {
+        return std::stoll(std::string{v}, nullptr, 0);
+    } catch (const std::exception&) {
+        malformed("bad integer for " + what);
+    }
+}
+
+FaultEvent parse_fault_line(std::istringstream& line) {
+    FaultEvent e;
+    std::string tok;
+    bool have_kind = false;
+    while (line >> tok) {
+        std::string_view key, value;
+        if (!split_kv(tok, key, value)) malformed("fault token '" + tok + "'");
+        if (key == "kind") {
+            const auto k = fault_kind_from(value);
+            if (!k) malformed("unknown fault kind '" + std::string{value} + "'");
+            e.kind = *k;
+            have_kind = true;
+        } else if (key == "at_us") {
+            e.at = mcps::sim::SimDuration::micros(parse_i64(value, "at_us"));
+        } else if (key == "dur_us") {
+            e.duration =
+                mcps::sim::SimDuration::micros(parse_i64(value, "dur_us"));
+        } else if (key == "mag") {
+            e.magnitude = std::stod(std::string{value});
+        } else if (key == "target") {
+            e.target = std::string{value};
+        } else {
+            malformed("unknown fault field '" + std::string{key} + "'");
+        }
+    }
+    if (!have_kind) malformed("fault line without kind");
+    return e;
+}
+
+}  // namespace
+
+Repro repro_from_text(const std::string& text) {
+    std::istringstream is{text};
+    std::string line;
+    if (!std::getline(is, line) || line != kHeader) {
+        malformed("missing '" + std::string{kHeader} + "' header");
+    }
+    Repro r;
+    while (std::getline(is, line)) {
+        if (line.empty()) continue;
+        if (line.rfind("fault ", 0) == 0) {
+            std::istringstream rest{line.substr(6)};
+            r.faults.events.push_back(parse_fault_line(rest));
+            continue;
+        }
+        std::string_view key, value;
+        if (!split_kv(line, key, value)) malformed("line '" + line + "'");
+        if (key == "kind") {
+            if (value == "pca") {
+                r.kind = WorkloadKind::kPca;
+            } else if (value == "xray") {
+                r.kind = WorkloadKind::kXray;
+            } else {
+                malformed("unknown workload '" + std::string{value} + "'");
+            }
+        } else if (key == "seed") {
+            r.seed = parse_u64(value, "seed");
+        } else if (key == "index") {
+            r.index = parse_u64(value, "index");
+        } else if (key == "weakened") {
+            r.weakened = value == "1";
+        } else if (key == "fingerprint") {
+            r.fingerprint = parse_u64(value, "fingerprint");
+        } else {
+            malformed("unknown field '" + std::string{key} + "'");
+        }
+    }
+    return r;
+}
+
+void save_repro(const std::string& path, const Repro& r) {
+    std::ofstream os{path, std::ios::binary};
+    if (!os) throw std::runtime_error("repro: cannot write " + path);
+    os << to_text(r);
+}
+
+Repro load_repro(const std::string& path) {
+    std::ifstream is{path, std::ios::binary};
+    if (!is) throw std::runtime_error("repro: cannot read " + path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return repro_from_text(buf.str());
+}
+
+ReplayResult replay(const Repro& r, const InvariantChecker& checker) {
+    const ScenarioGenerator gen{r.seed};
+    ReplayResult out;
+    if (r.kind == WorkloadKind::kXray) {
+        const auto run = run_instrumented_xray(gen.xray(r.index).config);
+        out.violations = run.violations;
+        out.fingerprint = run.fingerprint;
+    } else {
+        const auto cfg = r.weakened ? gen.weakened_pca(r.index).config
+                                    : gen.pca(r.index).config;
+        const auto run = run_instrumented_pca(cfg, r.faults, checker);
+        out.violations = run.violations;
+        out.fingerprint = run.fingerprint;
+    }
+    out.byte_identical =
+        r.fingerprint != 0 && out.fingerprint == r.fingerprint;
+    return out;
+}
+
+Repro shrink(const Repro& r, const InvariantChecker& checker,
+             std::size_t* runs) {
+    std::size_t executed = 0;
+    Repro cur = r;
+    if (cur.kind == WorkloadKind::kPca) {
+        bool improved = true;
+        while (improved && !cur.faults.empty()) {
+            improved = false;
+            for (std::size_t i = 0; i < cur.faults.size(); ++i) {
+                Repro trial = cur;
+                trial.faults = cur.faults.without(i);
+                trial.fingerprint = 0;
+                const auto res = replay(trial, checker);
+                ++executed;
+                if (!res.violations.empty()) {
+                    trial.fingerprint = res.fingerprint;
+                    cur = std::move(trial);
+                    improved = true;
+                    break;
+                }
+            }
+        }
+    }
+    // Pin the canonical fingerprint to a run of exactly this repro.
+    cur.fingerprint = replay(cur, checker).fingerprint;
+    ++executed;
+    if (runs) *runs = executed;
+    return cur;
+}
+
+}  // namespace mcps::testkit

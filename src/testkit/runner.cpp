@@ -1,0 +1,114 @@
+#include "runner.hpp"
+
+#include <bit>
+
+namespace mcps::testkit {
+
+using mcps::sim::SimDuration;
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+
+constexpr std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+    h ^= v;
+    h *= 1099511628211ULL;
+    h ^= h >> 29;
+    return h;
+}
+
+std::uint64_t mix_string(std::uint64_t h, std::string_view s) noexcept {
+    h = mix(h, s.size());
+    for (char c : s) h = mix(h, static_cast<std::uint8_t>(c));
+    return h;
+}
+
+}  // namespace
+
+std::uint64_t trace_fingerprint(const mcps::sim::TraceRecorder& trace) {
+    std::uint64_t h = kFnvOffset;
+    for (const auto& name : trace.signal_names()) {
+        const auto* sig = trace.find(name);
+        h = mix_string(h, name);
+        for (const auto& s : sig->samples()) {
+            h = mix(h, static_cast<std::uint64_t>(s.time.ticks()));
+            h = mix(h, std::bit_cast<std::uint64_t>(s.value));
+        }
+    }
+    for (const auto& m : trace.marks()) {
+        h = mix(h, static_cast<std::uint64_t>(m.time.ticks()));
+        h = mix_string(h, m.label);
+    }
+    return h;
+}
+
+PcaRunOutcome run_instrumented_pca(const core::PcaScenarioConfig& cfg,
+                                   const FaultPlan& faults,
+                                   const InvariantChecker& checker) {
+    PcaRunOutcome out;
+    core::PcaScenario scenario{cfg};
+
+    // Ideal-link alarm probe: decides "was this alarm ever delivered"
+    // without riding the lossy links under test.
+    std::uint64_t probe_smart = 0, probe_monitor = 0;
+    scenario.bus().set_endpoint_channel("testkit.alarm_probe",
+                                        net::ChannelParameters::ideal());
+    scenario.bus().subscribe("testkit.alarm_probe", "alarm/*",
+                             [&](const net::Message& m) {
+                                 if (m.sender == "smart1") ++probe_smart;
+                                 if (m.sender == "monitor1") ++probe_monitor;
+                             });
+
+    // 1 Hz ground-truth recorders for invariants the core trace doesn't
+    // already cover.
+    scenario.simulation().schedule_periodic(
+        SimDuration::seconds(1),
+        [&scenario] {
+            const auto now = scenario.simulation().now();
+            auto& tr = scenario.trace();
+            tr.record("testkit/pump_hourly_mg", now,
+                      scenario.pump().delivered_last_hour().as_mg());
+            tr.record("testkit/pump_reservoir_mg", now,
+                      scenario.pump().reservoir_remaining().as_mg());
+            tr.record("testkit/oxi_dropout", now,
+                      scenario.oximeter().in_dropout() ? 1.0 : 0.0);
+        },
+        mcps::sim::EventPriority::kLate);
+
+    FaultInjector injector{scenario.simulation(), scenario.bus()};
+    injector.attach_oximeter(scenario.oximeter());
+    injector.attach_capnometer(scenario.capnometer());
+    injector.arm(faults);
+
+    out.result = scenario.run();
+    out.probe_smart_alarms = probe_smart;
+    out.probe_monitor_alarms = probe_monitor;
+
+    const PcaCheckContext ctx{cfg, out.result, scenario.trace(), probe_smart,
+                              probe_monitor};
+    out.violations = checker.check_pca(ctx);
+    out.fingerprint = trace_fingerprint(scenario.trace());
+    return out;
+}
+
+XrayRunOutcome run_instrumented_xray(const core::XrayScenarioConfig& cfg,
+                                     InvariantTolerances tol) {
+    XrayRunOutcome out;
+    out.result = core::run_xray_scenario(cfg);
+    out.violations = InvariantChecker::check_xray(cfg, out.result, tol);
+
+    // The x-ray harness doesn't expose its trace; fingerprint the result.
+    std::uint64_t h = kFnvOffset;
+    h = mix(h, out.result.procedures);
+    h = mix(h, out.result.completed);
+    h = mix(h, out.result.sharp_images);
+    h = mix(h, out.result.total_retries);
+    h = mix(h, out.result.safety_auto_resumes);
+    h = mix(h, std::bit_cast<std::uint64_t>(out.result.mean_apnea_s));
+    h = mix(h, std::bit_cast<std::uint64_t>(out.result.max_apnea_s));
+    h = mix(h, std::bit_cast<std::uint64_t>(out.result.min_spo2));
+    out.fingerprint = h;
+    return out;
+}
+
+}  // namespace mcps::testkit

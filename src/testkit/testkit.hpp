@@ -1,0 +1,19 @@
+/// \file testkit.hpp
+/// \brief Umbrella header for the scenario-fuzzing testkit.
+///
+/// The testkit closes the loop between the simulation framework and its
+/// safety claims: a ScenarioGenerator samples the claimed-safe
+/// configuration envelope, a FaultInjector replays adversarial network
+/// and device faults against live runs, an InvariantChecker evaluates
+/// the paper's safety properties over the recorded trace, and the
+/// replay/shrink facilities turn any violation into a minimal,
+/// byte-identically reproducible counterexample.
+
+#pragma once
+
+#include "fault_plan.hpp"
+#include "fuzzer.hpp"
+#include "invariants.hpp"
+#include "replay.hpp"
+#include "runner.hpp"
+#include "scenario_gen.hpp"

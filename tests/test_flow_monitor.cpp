@@ -9,6 +9,7 @@
 #include "net/net.hpp"
 #include "physio/population.hpp"
 #include "sim/simulation.hpp"
+#include "testkit/fault_plan.hpp"
 
 namespace {
 
@@ -125,6 +126,62 @@ TEST(FlowJitterTest, JitterProducesObservableReordering) {
     // monitor's periodic check keeps the queue alive forever).
     sim.run_for(2_s);
     EXPECT_EQ(mon.stats().messages, 500u);
+    EXPECT_GT(mon.stats().reordered, 0u);
+}
+
+TEST(FlowBurstTest, BurstyTrafficUnderInjectedFaults) {
+    // Bursty publisher (tight bursts separated by idle gaps) driven
+    // through a testkit fault plan: a delay spike stales one burst, an
+    // outage swallows another. The monitor must attribute misses to the
+    // injected windows, not to the bursts themselves.
+    sim::Simulation sim{13};
+    net::ChannelParameters link;
+    link.base_latency = 5_ms;
+    link.jitter_sd = 1_ms;
+    net::Bus bus{sim, link};
+
+    FlowConfig cfg;
+    cfg.topic_pattern = "vitals/bed1/*";
+    cfg.deadline = 8_s;
+    FlowMonitor mon{sim, bus, cfg};
+    mon.start();
+    bus.set_endpoint_channel("flow_monitor", link);
+
+    testkit::FaultPlan plan;
+    // +12 s latency over [65 s, 77 s): bursts sent in that window arrive
+    // ~12 s stale, opening an arrival gap longer than the deadline.
+    plan.events.push_back({testkit::FaultKind::kDelaySpike, 65_s, 12_s,
+                           "flow_monitor", 12000.0});
+    // Hard outage swallowing the bursts sent in [95 s, 110 s).
+    plan.events.push_back(
+        {testkit::FaultKind::kOutage, 95_s, 15_s, "flow_monitor", 0.0});
+    testkit::FaultInjector injector{sim, bus};
+    injector.arm(plan);
+    EXPECT_EQ(injector.armed(), 2u);
+
+    // 20 bursts of 10 messages at 100 ms spacing, one burst every 6 s —
+    // the ~5 s quiet gap between bursts stays under the 8 s deadline.
+    int sent = 0;
+    for (int burst = 0; burst < 20; ++burst) {
+        sim.run_until(sim::SimTime::origin() +
+                      sim::SimDuration::seconds(burst * 6));
+        for (int i = 0; i < 10; ++i) {
+            bus.publish("oxi", "vitals/bed1/spo2",
+                        net::VitalSignPayload{"spo2", 97.0, true});
+            ++sent;
+            sim.run_for(100_ms);
+        }
+    }
+    sim.run_for(30_s);
+
+    // One silent window per injected fault (plus the tail after the last
+    // burst); the bursts themselves never trip the deadline.
+    EXPECT_GE(mon.stats().deadline_misses, 2u);
+    EXPECT_LE(mon.stats().deadline_misses, 4u);
+    // The outage swallowed ~3 bursts; everything else arrived.
+    EXPECT_LT(mon.stats().messages, static_cast<std::uint64_t>(sent));
+    EXPECT_GE(mon.stats().messages, static_cast<std::uint64_t>(sent - 40));
+    // Spike-held messages arrive after later sends: observable reordering.
     EXPECT_GT(mon.stats().reordered, 0u);
 }
 

@@ -101,6 +101,64 @@ TEST(Channel, DuplicationRate) {
     EXPECT_NEAR(dup / 20000.0, 0.1, 0.02);
 }
 
+TEST(Channel, ReorderHoldbackDelaysWithinWindow) {
+    net::ChannelParameters p;
+    p.base_latency = sim::SimDuration::zero();
+    p.jitter_sd = sim::SimDuration::zero();
+    p.reorder_probability = 1.0;
+    p.reorder_window = 200_ms;
+    net::Channel ch{p, sim::RngStream{41}};
+    int held = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const auto plan = ch.plan_delivery(SimTime::origin());
+        ASSERT_FALSE(plan.dropped);
+        ASSERT_LE(plan.delay, 200_ms);
+        held += plan.delay > SimDuration::zero() ? 1 : 0;
+    }
+    // Holdback is uniform over the window; virtually all draws are > 0.
+    EXPECT_GT(held, 1900);
+}
+
+TEST(Channel, ReorderRateMatchesParameter) {
+    net::ChannelParameters p;
+    p.base_latency = sim::SimDuration::zero();
+    p.jitter_sd = sim::SimDuration::zero();
+    p.reorder_probability = 0.3;
+    net::Channel ch{p, sim::RngStream{43}};
+    int held = 0;
+    for (int i = 0; i < 20000; ++i) {
+        held += ch.plan_delivery(SimTime::origin()).delay >
+                        SimDuration::zero()
+                    ? 1
+                    : 0;
+    }
+    EXPECT_NEAR(held / 20000.0, 0.3, 0.02);
+}
+
+TEST(Channel, CorruptRateMatchesParameter) {
+    net::ChannelParameters p;
+    p.corrupt_probability = 0.2;
+    net::Channel ch{p, sim::RngStream{47}};
+    int corrupted = 0;
+    for (int i = 0; i < 20000; ++i) {
+        corrupted += ch.plan_delivery(SimTime::origin()).corrupted ? 1 : 0;
+    }
+    EXPECT_NEAR(corrupted / 20000.0, 0.2, 0.02);
+}
+
+TEST(ChannelParameters, ReorderAndCorruptValidation) {
+    net::ChannelParameters p;
+    p.reorder_probability = 1.5;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = {};
+    p.corrupt_probability = -0.1;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = {};
+    p.reorder_probability = 0.5;
+    p.reorder_window = -(1_ms);
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
 TEST(Channel, OutageDropsEverything) {
     net::Channel ch{net::ChannelParameters::ideal(), sim::RngStream{5}};
     ch.add_outage(SimTime::origin() + 10_s, SimTime::origin() + 20_s);
@@ -238,6 +296,73 @@ TEST(Bus, DuplicationDeliversTwice) {
     s.run_all();
     EXPECT_EQ(got, 2);
     EXPECT_EQ(bus.stats().duplicated, 1u);
+}
+
+TEST(Bus, CorruptionGarblesVitalsOnly) {
+    sim::Simulation s;
+    net::ChannelParameters corrupting;
+    corrupting.base_latency = sim::SimDuration::zero();
+    corrupting.jitter_sd = sim::SimDuration::zero();
+    corrupting.corrupt_probability = 1.0;
+    net::Bus bus{s, corrupting};
+    std::vector<double> vitals;
+    int commands = 0;
+    bus.subscribe("sub", "vitals/*", [&](const net::Message& m) {
+        vitals.push_back(net::payload_as<net::VitalSignPayload>(m)->value);
+    });
+    bus.subscribe("sub", "cmd/p", [&](const net::Message& m) {
+        ASSERT_NE(net::payload_as<net::CommandPayload>(m), nullptr);
+        ++commands;
+    });
+    bus.publish("oxi", "vitals/bed1/spo2", net::VitalSignPayload{"spo2", 97.0, true});
+    bus.publish("sup", "cmd/p", net::CommandPayload{"stop_infusion", {}, 1});
+    s.run_all();
+    ASSERT_EQ(vitals.size(), 1u);
+    // Vital garbled to a value unrelated to the original...
+    EXPECT_NE(vitals[0], 97.0);
+    EXPECT_GE(vitals[0], 0.0);
+    EXPECT_LE(vitals[0], 250.0);
+    // ...while the CRC-protected command payload passes intact.
+    EXPECT_EQ(commands, 1);
+    EXPECT_EQ(bus.stats().corrupted, 1u);
+}
+
+TEST(Bus, CorruptionIsDeterministicPerSequence) {
+    const auto run = [] {
+        sim::Simulation s;
+        net::ChannelParameters corrupting;
+        corrupting.corrupt_probability = 1.0;
+        net::Bus bus{s, corrupting};
+        std::vector<double> got;
+        bus.subscribe("sub", "v", [&](const net::Message& m) {
+            got.push_back(net::payload_as<net::VitalSignPayload>(m)->value);
+        });
+        for (int i = 0; i < 5; ++i) {
+            bus.publish("p", "v", net::VitalSignPayload{"spo2", 97.0, true});
+        }
+        s.run_all();
+        return got;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Bus, PartitionSilencesAllEndpointsIncludingLateOnes) {
+    sim::Simulation s;
+    net::Bus bus{s, net::ChannelParameters::ideal()};
+    int got_a = 0, got_b = 0;
+    bus.subscribe("a", "t", [&](const net::Message&) { ++got_a; });
+    bus.add_partition(SimTime::origin() + 10_s, SimTime::origin() + 20_s);
+    // Endpoint whose channel is created lazily *after* the partition was
+    // declared must still observe it.
+    bus.subscribe("b", "t", [&](const net::Message&) { ++got_b; });
+    bus.publish("p", "t", net::StatusPayload{});  // before: delivered
+    s.run_for(15_s);
+    bus.publish("p", "t", net::StatusPayload{});  // inside: dropped
+    s.run_for(10_s);
+    bus.publish("p", "t", net::StatusPayload{});  // after: delivered
+    s.run_all();
+    EXPECT_EQ(got_a, 2);
+    EXPECT_EQ(got_b, 2);
 }
 
 TEST(Bus, EmptyHandlerRejected) {

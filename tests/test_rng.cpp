@@ -139,6 +139,42 @@ TEST(Rng, PickCoversAllIndices) {
     EXPECT_EQ(seen.size(), 7u);
 }
 
+TEST(Rng, GoldenNamedStreamOutputs) {
+    // Pinned first-8 outputs of three load-bearing named streams at master
+    // seed 42. Repro files store only (seed, index, fault plan), so replay
+    // correctness depends on these sequences never changing — any edit to
+    // fnv1a64, splitmix64, the name-mixing recipe, or xoshiro256** itself
+    // must fail here before it silently invalidates every saved repro.
+    struct Golden {
+        const char* name;
+        std::array<std::uint64_t, 8> expect;
+    };
+    const Golden goldens[] = {
+        {"pulse_ox.noise",
+         {8042518850680043089ULL, 12764411259325908868ULL,
+          16935458375409564944ULL, 10698249278326238841ULL,
+          5556389389599706592ULL, 4820580469644862056ULL,
+          8344410375188828766ULL, 2677695248741123308ULL}},
+        {"bus.channel.pca_interlock",
+         {2674068870250153596ULL, 18202182861198879209ULL,
+          7788602141849266167ULL, 13878506630138028683ULL,
+          8667519860386545056ULL, 4270383487487131621ULL,
+          16609378373268768168ULL, 11357180842951850523ULL}},
+        {"fuzz/pca/0",
+         {15208323256328592790ULL, 335675618186822804ULL,
+          2826810545848909527ULL, 8414392422944684294ULL,
+          2879191728336563177ULL, 8178251373362621357ULL,
+          18358594369995035529ULL, 15612759425190725019ULL}},
+    };
+    for (const auto& g : goldens) {
+        RngStream r{42, g.name};
+        for (std::size_t i = 0; i < g.expect.size(); ++i) {
+            EXPECT_EQ(r.next(), g.expect[i])
+                << "stream '" << g.name << "' output " << i;
+        }
+    }
+}
+
 TEST(Rng, Fnv1aStable) {
     // Regression guard: the hash feeds stream derivation, so its values
     // must never change across refactors.

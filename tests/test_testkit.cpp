@@ -1,0 +1,246 @@
+/// \file test_testkit.cpp
+/// \brief Tests for the fuzzing testkit: fault plans and injection,
+/// invariants, repro serialization, deterministic replay, and shrinking.
+
+#include <gtest/gtest.h>
+
+#include "net/net.hpp"
+#include "sim/simulation.hpp"
+#include "testkit/testkit.hpp"
+
+namespace {
+
+using namespace mcps;
+using namespace mcps::sim::literals;
+using namespace mcps::testkit;
+using sim::SimDuration;
+using sim::SimTime;
+
+TEST(FaultPlan, WithoutRemovesExactlyOneEvent) {
+    FaultPlan plan;
+    plan.events.push_back({FaultKind::kOutage, 10_s, 5_s, "a", 0.0});
+    plan.events.push_back({FaultKind::kLossBurst, 20_s, 5_s, "b", 0.7});
+    plan.events.push_back({FaultKind::kOxiDropout, 30_s, 5_s, "", 0.0});
+    const FaultPlan p = plan.without(1);
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p.events[0].kind, FaultKind::kOutage);
+    EXPECT_EQ(p.events[1].kind, FaultKind::kOxiDropout);
+}
+
+TEST(FaultPlan, KindNamesRoundTrip) {
+    for (auto k : {FaultKind::kOutage, FaultKind::kPartition,
+                   FaultKind::kLossBurst, FaultKind::kDelaySpike,
+                   FaultKind::kDupBurst, FaultKind::kReorderBurst,
+                   FaultKind::kCorruptBurst, FaultKind::kOxiDropout,
+                   FaultKind::kCapDropout, FaultKind::kPumpCmdLoss}) {
+        const auto back = fault_kind_from(to_string(k));
+        ASSERT_TRUE(back.has_value()) << to_string(k);
+        EXPECT_EQ(*back, k);
+    }
+    EXPECT_FALSE(fault_kind_from("nonsense").has_value());
+}
+
+TEST(FaultInjector, LossBurstConfinedToWindow) {
+    sim::Simulation s;
+    net::Bus bus{s, net::ChannelParameters::ideal()};
+    int got = 0;
+    bus.subscribe("sub", "t", [&](const net::Message&) { ++got; });
+
+    FaultPlan plan;
+    plan.events.push_back({FaultKind::kLossBurst, 10_s, 10_s, "sub", 1.0});
+    FaultInjector injector{s, bus};
+    injector.arm(plan);
+    EXPECT_EQ(injector.armed(), 1u);
+    EXPECT_EQ(injector.skipped(), 0u);
+
+    // One message per second for 30 s: only the burst window is lost.
+    for (int i = 0; i < 30; ++i) {
+        s.run_until(SimTime::origin() + SimDuration::seconds(i));
+        bus.publish("p", "t", net::StatusPayload{});
+    }
+    s.run_all();
+    EXPECT_EQ(got, 20);
+}
+
+TEST(FaultInjector, DeviceFaultsSkippedWithoutDevices) {
+    sim::Simulation s;
+    net::Bus bus{s, net::ChannelParameters::ideal()};
+    FaultPlan plan;
+    plan.events.push_back({FaultKind::kOxiDropout, 10_s, 5_s, "", 0.0});
+    plan.events.push_back({FaultKind::kCapDropout, 20_s, 5_s, "", 0.0});
+    plan.events.push_back({FaultKind::kOutage, 30_s, 5_s, "x", 0.0});
+    FaultInjector injector{s, bus};
+    injector.arm(plan);
+    EXPECT_EQ(injector.armed(), 1u);
+    EXPECT_EQ(injector.skipped(), 2u);
+}
+
+TEST(Repro, TextRoundTripPreservesEverything) {
+    Repro r;
+    r.kind = WorkloadKind::kPca;
+    r.seed = 0xDEADBEEF12345678ULL;
+    r.index = 77;
+    r.weakened = true;
+    r.fingerprint = 0x0123456789ABCDEFULL;
+    r.faults.events.push_back(
+        {FaultKind::kDelaySpike, 61_s, 17_s, "pca_interlock", 1234.5});
+    r.faults.events.push_back(
+        {FaultKind::kLossBurst, 200_s, 30_s, "pump1", 0.30000000000000004});
+
+    const Repro back = repro_from_text(to_text(r));
+    EXPECT_EQ(back.kind, r.kind);
+    EXPECT_EQ(back.seed, r.seed);
+    EXPECT_EQ(back.index, r.index);
+    EXPECT_EQ(back.weakened, r.weakened);
+    EXPECT_EQ(back.fingerprint, r.fingerprint);
+    ASSERT_EQ(back.faults.size(), 2u);
+    EXPECT_EQ(back.faults.events[0].kind, FaultKind::kDelaySpike);
+    EXPECT_EQ(back.faults.events[0].at, 61_s);
+    EXPECT_EQ(back.faults.events[0].duration, 17_s);
+    EXPECT_EQ(back.faults.events[0].target, "pca_interlock");
+    EXPECT_DOUBLE_EQ(back.faults.events[0].magnitude, 1234.5);
+    // %.17g round-trips doubles exactly, ulp included.
+    EXPECT_EQ(back.faults.events[1].magnitude, 0.30000000000000004);
+}
+
+TEST(Repro, MalformedTextThrows) {
+    EXPECT_THROW(repro_from_text(""), std::runtime_error);
+    EXPECT_THROW(repro_from_text("not a repro\n"), std::runtime_error);
+    EXPECT_THROW(repro_from_text("mcps-repro v1\nkind=laser\n"),
+                 std::runtime_error);
+    EXPECT_THROW(repro_from_text("mcps-repro v1\nseed=banana\n"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        repro_from_text("mcps-repro v1\nfault kind=warp at_us=1 dur_us=1\n"),
+        std::runtime_error);
+    EXPECT_THROW(repro_from_text("mcps-repro v1\nfault at_us=1\n"),
+                 std::runtime_error);
+}
+
+TEST(Generator, SameSeedAndIndexIsIdentical) {
+    const ScenarioGenerator a{42}, b{42};
+    const auto ga = a.pca(5);
+    const auto gb = b.pca(5);
+    EXPECT_EQ(ga.config.seed, gb.config.seed);
+    EXPECT_EQ(ga.config.duration, gb.config.duration);
+    EXPECT_EQ(ga.faults.size(), gb.faults.size());
+    // Different indices draw from different streams.
+    EXPECT_NE(ga.config.seed, a.pca(6).config.seed);
+}
+
+TEST(Generator, SafeEnvelopeIsFailSafe) {
+    const ScenarioGenerator gen{7};
+    for (std::uint64_t i = 0; i < 20; ++i) {
+        const auto g = gen.pca(i);
+        ASSERT_TRUE(g.config.interlock.has_value());
+        EXPECT_EQ(g.config.interlock->data_loss,
+                  core::DataLossPolicy::kFailSafe);
+    }
+}
+
+TEST(Runner, SameScenarioSameFingerprint) {
+    const ScenarioGenerator gen{42};
+    const auto g = gen.pca(0);
+    const auto checker = InvariantChecker::with_defaults();
+    const auto r1 = run_instrumented_pca(g.config, g.faults, checker);
+    const auto r2 = run_instrumented_pca(g.config, g.faults, checker);
+    EXPECT_EQ(r1.fingerprint, r2.fingerprint);
+    EXPECT_EQ(r1.violations, r2.violations);
+}
+
+TEST(Runner, FaultPlanChangesTheRun) {
+    const ScenarioGenerator gen{42};
+    const auto g = gen.pca(1);
+    const auto checker = InvariantChecker::with_defaults();
+    FaultPlan heavy;
+    heavy.events.push_back(
+        {FaultKind::kLossBurst, 120_s, 60_s, "pca_interlock", 1.0});
+    const auto base = run_instrumented_pca(g.config, FaultPlan{}, checker);
+    const auto faulted = run_instrumented_pca(g.config, heavy, checker);
+    EXPECT_NE(base.fingerprint, faulted.fingerprint);
+}
+
+TEST(Invariants, DefaultsCoverTheSafetyProperties) {
+    const auto names = InvariantChecker::with_defaults().names();
+    ASSERT_EQ(names.size(), 5u);
+    EXPECT_EQ(names[0], "pca/respiratory-depression-interlock");
+}
+
+TEST(Invariants, XrayApneaBound) {
+    core::XrayScenarioConfig cfg;
+    core::XrayScenarioResult ok;
+    ok.max_apnea_s = cfg.ventilator.max_pause.to_seconds();
+    EXPECT_TRUE(InvariantChecker::check_xray(cfg, ok).empty());
+
+    core::XrayScenarioResult bad;
+    bad.max_apnea_s = cfg.ventilator.max_pause.to_seconds() + 10.0;
+    const auto violations = InvariantChecker::check_xray(cfg, bad);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].invariant, "xray/vent-pause-bounded");
+}
+
+TEST(Replay, ReplayIsByteIdentical) {
+    const ScenarioGenerator gen{42};
+    const auto g = gen.pca(2);
+    const auto checker = InvariantChecker::with_defaults();
+    const auto run = run_instrumented_pca(g.config, g.faults, checker);
+
+    Repro r;
+    r.seed = 42;
+    r.index = 2;
+    r.faults = g.faults;
+    r.fingerprint = run.fingerprint;
+    const auto replayed = replay(r, checker);
+    EXPECT_TRUE(replayed.byte_identical);
+    EXPECT_EQ(replayed.fingerprint, run.fingerprint);
+}
+
+TEST(Replay, WeakenedFixtureViolatesAndShrinks) {
+    const ScenarioGenerator gen{42};
+    const auto checker = InvariantChecker::with_defaults();
+    const auto g = gen.weakened_pca(0);
+    const auto run = run_instrumented_pca(g.config, g.faults, checker);
+    ASSERT_FALSE(run.violations.empty())
+        << "the weakened interlock must violate an invariant";
+
+    Repro r;
+    r.seed = 42;
+    r.index = 0;
+    r.weakened = true;
+    r.faults = g.faults;
+    std::size_t shrink_runs = 0;
+    const Repro minimal = shrink(r, checker, &shrink_runs);
+    EXPECT_LE(minimal.faults.size(), 5u);
+    EXPECT_GT(shrink_runs, 0u);
+
+    // The shrunk repro still violates and replays byte-identically.
+    const auto replayed = replay(minimal, checker);
+    EXPECT_FALSE(replayed.violations.empty());
+    EXPECT_TRUE(replayed.byte_identical);
+}
+
+TEST(Fuzzer, SmokeRunOverSafeEnvelopeIsClean) {
+    FuzzOptions opts;
+    opts.seed = 42;
+    opts.scenarios = 25;
+    const auto outcome = run_fuzz(opts);
+    EXPECT_EQ(outcome.scenarios_run, 25u);
+    EXPECT_EQ(outcome.pca_runs + outcome.xray_runs, 25u);
+    EXPECT_TRUE(outcome.clean());
+}
+
+TEST(Fuzzer, WeakenedModeReportsShrunkFailures) {
+    FuzzOptions opts;
+    opts.seed = 42;
+    opts.scenarios = 1;
+    opts.weakened = true;
+    const auto outcome = run_fuzz(opts);
+    ASSERT_FALSE(outcome.failures.empty());
+    const auto& f = outcome.failures.front();
+    EXPECT_TRUE(f.replay_byte_identical);
+    EXPECT_LE(f.repro.faults.size(), 5u);
+    EXPECT_FALSE(f.violations.empty());
+    EXPECT_TRUE(f.repro_path.empty());  // no repro_dir configured
+}
+
+}  // namespace

@@ -1,0 +1,195 @@
+/// \file mcps_fuzz.cpp
+/// \brief CLI for the scenario fuzzer: fuzz, replay, and self-check modes.
+///
+/// Exit codes: 0 = success (no violations, or — with --expect-violation —
+/// violations found, shrunk, and replayed byte-identically), 1 = the run
+/// did not meet its expectation, 2 = usage or I/O error.
+
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "testkit/testkit.hpp"
+
+namespace tk = mcps::testkit;
+
+namespace {
+
+void usage(std::ostream& os) {
+    os << "usage: mcps_fuzz [options]\n"
+          "  --scenarios N        scenarios to run (default 200)\n"
+          "  --seed N             master seed (default 42)\n"
+          "  --intensity X        fault-plan intensity scale (default 1.0)\n"
+          "  --xray-fraction X    fraction of x-ray workloads (default 0.15)\n"
+          "  --weakened           fuzz the weakened-interlock fixture\n"
+          "  --expect-violation   succeed only if a violation is found,\n"
+          "                       replays byte-identically, and shrinks to\n"
+          "                       a small fault plan\n"
+          "  --replay FILE        replay one repro file and report\n"
+          "  --repro-dir DIR      write repro files here (default: repros)\n"
+          "  --no-shrink          keep failing fault plans unshrunk\n"
+          "  --quiet              suppress per-failure progress output\n"
+          "  --help               this text\n";
+}
+
+struct CliError {
+    std::string message;
+};
+
+std::uint64_t parse_u64_arg(std::string_view flag, std::string_view v) {
+    std::uint64_t out = 0;
+    const auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+    if (ec != std::errc{} || p != v.data() + v.size()) {
+        throw CliError{std::string{flag} + ": expected an integer, got '" +
+                       std::string{v} + "'"};
+    }
+    return out;
+}
+
+double parse_double_arg(std::string_view flag, std::string_view v) {
+    try {
+        std::size_t used = 0;
+        const double out = std::stod(std::string{v}, &used);
+        if (used != v.size()) throw std::invalid_argument{""};
+        return out;
+    } catch (const std::exception&) {
+        throw CliError{std::string{flag} + ": expected a number, got '" +
+                       std::string{v} + "'"};
+    }
+}
+
+int replay_mode(const std::string& path) {
+    const auto checker = tk::InvariantChecker::with_defaults();
+    const tk::Repro repro = tk::load_repro(path);
+    const auto result = tk::replay(repro, checker);
+    std::cout << "repro: " << path << "\n"
+              << "  workload:   " << tk::to_string(repro.kind)
+              << (repro.weakened ? " (weakened fixture)" : "") << "\n"
+              << "  seed/index: " << repro.seed << "/" << repro.index << "\n"
+              << "  faults:     " << repro.faults.size() << "\n";
+    char fp[32];
+    std::snprintf(fp, sizeof fp, "0x%016llx",
+                  static_cast<unsigned long long>(result.fingerprint));
+    std::cout << "  fingerprint " << fp << " ("
+              << (result.byte_identical ? "byte-identical" : "MISMATCH")
+              << ")\n";
+    for (const auto& v : result.violations) {
+        std::cout << "  violation: " << v.invariant << " @" << v.at_s
+                  << "s: " << v.detail << "\n";
+    }
+    if (result.violations.empty()) {
+        std::cout << "  no invariant violations reproduced\n";
+        return 1;
+    }
+    return result.byte_identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    tk::FuzzOptions opts;
+    opts.repro_dir = "repros";
+    bool expect_violation = false;
+    bool quiet = false;
+    std::string replay_path;
+
+    try {
+        const std::vector<std::string_view> args{argv + 1, argv + argc};
+        for (std::size_t i = 0; i < args.size(); ++i) {
+            const auto arg = args[i];
+            const auto value = [&]() -> std::string_view {
+                if (i + 1 >= args.size()) {
+                    throw CliError{std::string{arg} + ": missing value"};
+                }
+                return args[++i];
+            };
+            if (arg == "--scenarios") {
+                opts.scenarios = parse_u64_arg(arg, value());
+            } else if (arg == "--seed") {
+                opts.seed = parse_u64_arg(arg, value());
+            } else if (arg == "--intensity") {
+                opts.fault_intensity = parse_double_arg(arg, value());
+            } else if (arg == "--xray-fraction") {
+                opts.xray_fraction = parse_double_arg(arg, value());
+            } else if (arg == "--weakened") {
+                opts.weakened = true;
+            } else if (arg == "--expect-violation") {
+                expect_violation = true;
+            } else if (arg == "--replay") {
+                replay_path = std::string{value()};
+            } else if (arg == "--repro-dir") {
+                opts.repro_dir = std::string{value()};
+            } else if (arg == "--no-shrink") {
+                opts.shrink = false;
+            } else if (arg == "--quiet") {
+                quiet = true;
+            } else if (arg == "--help" || arg == "-h") {
+                usage(std::cout);
+                return 0;
+            } else {
+                throw CliError{"unknown option '" + std::string{arg} + "'"};
+            }
+        }
+
+        if (!replay_path.empty()) return replay_mode(replay_path);
+
+        if (!opts.repro_dir.empty()) {
+            std::filesystem::create_directories(opts.repro_dir);
+        }
+        if (!quiet) {
+            opts.log = [](const std::string& line) {
+                std::cout << line << "\n";
+            };
+        }
+
+        const auto outcome = tk::run_fuzz(opts);
+        std::cout << "fuzz: " << outcome.scenarios_run << " scenarios ("
+                  << outcome.pca_runs << " pca, " << outcome.xray_runs
+                  << " xray), seed " << opts.seed << ", "
+                  << outcome.failures.size() << " violating\n";
+
+        if (!expect_violation) {
+            if (!outcome.clean()) {
+                std::cout << "FAIL: invariant violations found (repro files "
+                             "above replay them)\n";
+                return 1;
+            }
+            std::cout << "OK: no invariant violations\n";
+            return 0;
+        }
+
+        // Self-check mode: the weakened fixture must fail, replay
+        // byte-identically, and shrink to a handful of fault events.
+        if (outcome.clean()) {
+            std::cout << "FAIL: expected an invariant violation, found none\n";
+            return 1;
+        }
+        for (const auto& f : outcome.failures) {
+            if (!f.replay_byte_identical) {
+                std::cout << "FAIL: repro for scenario " << f.repro.index
+                          << " did not replay byte-identically\n";
+                return 1;
+            }
+            if (opts.shrink && f.repro.faults.size() > 5) {
+                std::cout << "FAIL: scenario " << f.repro.index
+                          << " shrank only to " << f.repro.faults.size()
+                          << " fault events (want <= 5)\n";
+                return 1;
+            }
+        }
+        std::cout << "OK: violations found, shrunk, and replayed "
+                     "byte-identically\n";
+        return 0;
+    } catch (const CliError& e) {
+        std::cerr << "mcps_fuzz: " << e.message << "\n";
+        usage(std::cerr);
+        return 2;
+    } catch (const std::exception& e) {
+        std::cerr << "mcps_fuzz: " << e.what() << "\n";
+        return 2;
+    }
+}
