@@ -20,6 +20,7 @@
 
 #include <iostream>
 
+#include "bench_io.hpp"
 #include "core/core.hpp"
 #include "sim/table.hpp"
 
@@ -102,7 +103,8 @@ CellResult run_cell(physio::Archetype arch, LoopConfig loop,
     return cell;
 }
 
-void run_table(core::DemandMode demand, const std::string& title) {
+void run_table(core::DemandMode demand, const std::string& title,
+               const std::string& tag, mcps::benchio::JsonReporter& json) {
     sim::Table table({"archetype", "config", "severe_rate", "min_spo2",
                       "min_below90", "drug_mg", "pain", "stops"});
     for (const auto arch : physio::all_archetypes()) {
@@ -118,6 +120,11 @@ void run_table(core::DemandMode demand, const std::string& title) {
                 .cell(cell.mean_drug_mg, 2)
                 .cell(cell.mean_pain, 1)
                 .cell(cell.mean_stops, 1);
+            const std::string prefix = tag + "." +
+                                       std::string{to_string(arch)} + "." +
+                                       name_of(loop);
+            json.metric(prefix + ".severe_rate", cell.severe_rate, "ratio");
+            json.metric(prefix + ".mean_pain", cell.mean_pain, "score");
         }
     }
     table.print(std::cout, title);
@@ -126,19 +133,24 @@ void run_table(core::DemandMode demand, const std::string& title) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    mcps::benchio::JsonReporter json{argc, argv, "e1_pca_interlock"};
+    json.set_seed(kMasterSeed);
     std::cout << "E1: PCA closed-loop safety interlock vs open-loop PCA\n"
               << "(" << kPatientsPerCell
               << " sampled patients per cell, 4 simulated hours each)\n\n";
     run_table(core::DemandMode::kProxy,
-              "E1a: PCA-by-proxy demand (intrinsic PCA safety defeated)");
+              "E1a: PCA-by-proxy demand (intrinsic PCA safety defeated)",
+              "proxy", json);
     run_table(core::DemandMode::kNormal,
-              "E1b: normal pain-driven demand (therapy preserved)");
+              "E1b: normal pain-driven demand (therapy preserved)", "normal",
+              json);
     std::cout
         << "Expected shape: open-loop shows severe hypoxemia for sensitive/\n"
            "high-risk archetypes under proxy pressing; both interlocks\n"
            "eliminate it, with the dual-sensor variant acting earlier; under\n"
            "normal demand all configurations are equally safe and deliver\n"
            "comparable analgesia (the interlock does not fight therapy).\n";
+    json.write();
     return 0;
 }

@@ -14,6 +14,7 @@
 
 #include <iostream>
 
+#include "bench_io.hpp"
 #include "core/core.hpp"
 #include "sim/table.hpp"
 
@@ -69,7 +70,9 @@ CellResult run_cell(sim::SimDuration latency, double loss,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    mcps::benchio::JsonReporter json{argc, argv, "e2_network"};
+    json.set_seed(9000);
     std::cout << "E2: network quality vs closed-loop PCA safety\n"
               << "(opioid-sensitive patient, proxy demand, dual-sensor "
                  "interlock, "
@@ -87,6 +90,9 @@ int main() {
                 .cell(c.min_below90, 2)
                 .cell(c.severe_rate, 2)
                 .cell(c.drug_mg, 2);
+            const std::string prefix = "latency." + latency.to_string();
+            json.metric(prefix + ".stop_latency_ms", c.stop_latency_ms, "ms");
+            json.metric(prefix + ".severe_rate", c.severe_rate, "ratio");
         }
         t.print(std::cout, "E2a: latency sweep (loss = 0, fail-operational)");
         std::cout << '\n';
@@ -105,6 +111,13 @@ int main() {
                 .cell(c.severe_rate, 2)
                 .cell(c.drug_mg, 2)
                 .cell(c.dataloss_stops, 1);
+            const std::string prefix =
+                std::string{"loss."} + std::string{core::to_string(policy)} +
+                "." + std::to_string(static_cast<int>(loss * 100)) + "pct";
+            json.metric(prefix + ".severe_rate", c.severe_rate, "ratio");
+            json.metric(prefix + ".drug_mg", c.drug_mg, "mg");
+            json.metric(prefix + ".staleness_stops", c.dataloss_stops,
+                        "stops");
         }
         t.print(std::cout, std::string{"E2b: loss sweep (latency = 50 ms, "} +
                                std::string{core::to_string(policy)} + ")");
@@ -117,5 +130,6 @@ int main() {
            "fail-safe, the same loss leaves SpO2 untouched but starves\n"
            "therapy (drug_mg falls, staleness stops rise) — availability is\n"
            "traded, never safety.\n";
+    json.write();
     return 0;
 }

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_io.hpp"
 #include "core/core.hpp"
 #include "sim/table.hpp"
 
@@ -45,7 +46,9 @@ core::PcaScenarioConfig base_cfg(bool overdose, std::uint64_t seed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    mcps::benchio::JsonReporter json{argc, argv, "e3_smart_alarm"};
+    json.set_seed(100);
     std::cout << "E3: threshold alarms vs fused smart alarm\n("
               << kSeeds << " seeds per cell, 6 simulated hours each)\n\n";
 
@@ -68,6 +71,12 @@ int main() {
                 .cell(mon.mean(), 2)
                 .cell(smart.mean(), 2)
                 .cell(crit.mean(), 2);
+            const std::string prefix =
+                "fa.artifact_" +
+                std::to_string(static_cast<int>(prob * 10000.0)) + "e-4";
+            json.metric(prefix + ".threshold_fa_per_h", mon.mean(),
+                        "alarms/h");
+            json.metric(prefix + ".smart_fa_per_h", smart.mean(), "alarms/h");
         }
         t.print(std::cout,
                 "E3a: false alarms per hour, stable patient with motion "
@@ -128,6 +137,15 @@ int main() {
         t.print(std::cout, "E3b: true overdose detection (" +
                                std::to_string(events) + " events)");
         std::cout << '\n';
+        json.metric("detect.events", static_cast<double>(events), "events");
+        json.metric("detect.threshold_detected",
+                    static_cast<double>(mon_detected), "events");
+        json.metric("detect.smart_detected",
+                    static_cast<double>(smart_detected), "events");
+        json.metric("detect.threshold_mean_latency_s",
+                    mon_latency.empty() ? 0.0 : mon_latency.mean(), "s");
+        json.metric("detect.smart_mean_latency_s",
+                    smart_latency.empty() ? 0.0 : smart_latency.mean(), "s");
     }
 
     std::cout
@@ -140,5 +158,6 @@ int main() {
            "flood of E3a); the fused alarm confirms via corroboration +\n"
            "persistence and still fires well before the SpO2-90 crossing\n"
            "(negative latency), via capnometry.\n";
+    json.write();
     return 0;
 }

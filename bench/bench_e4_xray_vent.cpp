@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "bench_io.hpp"
 #include "core/core.hpp"
 #include "sim/table.hpp"
 
@@ -22,7 +23,9 @@ namespace {
 constexpr std::size_t kProcedures = 60;
 }
 
-int main() {
+int main(int argc, char** argv) {
+    mcps::benchio::JsonReporter json{argc, argv, "e4_xray_vent"};
+    json.set_seed(41);
     std::cout << "E4: X-ray/ventilator synchronization — automated vs manual\n("
               << kProcedures << " procedures per cell)\n\n";
 
@@ -30,8 +33,8 @@ int main() {
     {
         sim::Table t({"coordination", "sharp_rate", "mean_apnea_s",
                       "max_apnea_s", "auto_resumes", "retries"});
-        auto add = [&t](const std::string& label,
-                        const core::XrayScenarioResult& r) {
+        auto add = [&t, &json](const std::string& label, const std::string& key,
+                               const core::XrayScenarioResult& r) {
             t.row()
                 .cell(label)
                 .cell(r.sharp_rate, 3)
@@ -39,27 +42,30 @@ int main() {
                 .cell(r.max_apnea_s, 2)
                 .cell(static_cast<std::uint64_t>(r.safety_auto_resumes))
                 .cell(static_cast<std::uint64_t>(r.total_retries));
+            json.metric("coord." + key + ".sharp_rate", r.sharp_rate, "ratio");
+            json.metric("coord." + key + ".max_apnea_s", r.max_apnea_s, "s");
         };
 
         core::XrayScenarioConfig cfg;
         cfg.seed = 41;
         cfg.procedures = kProcedures;
         cfg.mode = core::CoordinationMode::kAutomated;
-        add("automated (ICE app)", core::run_xray_scenario(cfg));
+        add("automated (ICE app)", "automated", core::run_xray_scenario(cfg));
 
         struct Level {
             const char* label;
+            const char* key;
             double premature, distraction;
         };
         for (const auto& lvl :
-             {Level{"manual (careful)", 0.03, 0.02},
-              Level{"manual (typical)", 0.12, 0.08},
-              Level{"manual (rushed)", 0.30, 0.20}}) {
+             {Level{"manual (careful)", "manual_careful", 0.03, 0.02},
+              Level{"manual (typical)", "manual_typical", 0.12, 0.08},
+              Level{"manual (rushed)", "manual_rushed", 0.30, 0.20}}) {
             core::XrayScenarioConfig m = cfg;
             m.mode = core::CoordinationMode::kManual;
             m.manual.premature_shot_probability = lvl.premature;
             m.manual.distraction_probability = lvl.distraction;
-            add(lvl.label, core::run_xray_scenario(m));
+            add(lvl.label, lvl.key, core::run_xray_scenario(m));
         }
         t.print(std::cout, "E4a: coordination quality");
         std::cout << '\n';
@@ -89,6 +95,14 @@ int main() {
                 .cell(r.max_apnea_s, 2)
                 .cell(static_cast<std::uint64_t>(r.total_retries))
                 .cell(static_cast<std::uint64_t>(r.safety_auto_resumes));
+            const std::string prefix =
+                "loss." + std::to_string(static_cast<int>(loss * 100)) +
+                "pct";
+            json.metric(prefix + ".completed_rate",
+                        static_cast<double>(r.completed) /
+                            static_cast<double>(r.procedures),
+                        "ratio");
+            json.metric(prefix + ".max_apnea_s", r.max_apnea_s, "s");
         }
         t.print(std::cout, "E4b: automated coordination on a lossy network");
         std::cout << '\n';
@@ -100,5 +114,6 @@ int main() {
            "(blurred repeats, long apneas rescued only by the ventilator's\n"
            "auto-resume). Under loss the app retries: completion stays high,\n"
            "apnea stays bounded by the device-local max-pause.\n";
+    json.write();
     return 0;
 }

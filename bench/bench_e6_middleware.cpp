@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_io.hpp"
 #include "core/core.hpp"
 #include "ice/ice.hpp"
 #include "sim/stats.hpp"
@@ -34,7 +35,9 @@ double wall_ms(const std::function<void()>& f) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    mcps::benchio::JsonReporter json{argc, argv, "e6_middleware"};
+    json.set_seed(7);
     std::cout << "E6: ICE middleware scalability\n\n";
 
     // ---- E6a: device-count sweep --------------------------------------
@@ -86,6 +89,9 @@ int main() {
                           ? 0.0
                           : bus.stats().delivery_latency_ms.mean(),
                       2);
+            const std::string key =
+                "devices." + std::to_string(n) + ".wall_ms_per_sim_min";
+            json.metric(key, ms, "ms");
         }
         t.print(std::cout, "E6a: device-count sweep (1 simulated minute)");
         std::cout << '\n';
@@ -145,6 +151,11 @@ int main() {
                                   : -1.0,
                       2)
                 .cell(60.0 / period.to_seconds(), 1);
+            json.metric("heartbeat." + period.to_string() +
+                            ".detect_latency_s",
+                        app.lost_at ? (*app.lost_at - crash_at).to_seconds()
+                                    : -1.0,
+                        "s");
         }
         t.print(std::cout,
                 "E6b: heartbeat period vs crash-detection latency");
@@ -156,5 +167,6 @@ int main() {
            "count (topic filtering keeps delivery targeted); crash-detection\n"
            "latency tracks ~timeout (3x heartbeat period), making the\n"
            "bandwidth/latency trade explicit.\n";
+    json.write();
     return 0;
 }

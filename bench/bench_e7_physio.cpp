@@ -6,6 +6,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_io.hpp"
 #include "physio/physio.hpp"
 #include "sim/stats.hpp"
 #include "sim/table.hpp"
@@ -13,7 +14,9 @@
 using namespace mcps;
 using namespace mcps::physio;
 
-int main() {
+int main(int argc, char** argv) {
+    mcps::benchio::JsonReporter json{argc, argv, "e7_physio"};
+    json.set_seed(77);
     std::cout << "E7: patient-model validation\n\n";
 
     // ---- E7a: integrator accuracy vs analytic PK ----------------------
@@ -43,6 +46,9 @@ int main() {
             std::snprintf(err, sizeof err, "%.2e", max_rel);
             t.row().cell(dt, 1).cell(std::string{err}).cell(
                 std::int64_t{steps});
+            char key[48];
+            std::snprintf(key, sizeof key, "rk4.dt_%.1fs.max_rel_error", dt);
+            json.metric(key, max_rel, "ratio");
         }
         t.print(std::cout,
                 "E7a: RK4 plasma-concentration error vs analytic bolus decay "
@@ -107,6 +113,13 @@ int main() {
                 .cell(tta.empty() ? -1.0 : tta.quantile(0.1), 1)
                 .cell(tta.empty() ? -1.0 : tta.median(), 1)
                 .cell(tta.empty() ? -1.0 : tta.quantile(0.9), 1);
+            const std::string key = "tta." + std::string{to_string(arch)};
+            json.metric(key + ".apnea_rate",
+                        static_cast<double>(apneas) /
+                            static_cast<double>(pop.size()),
+                        "ratio");
+            json.metric(key + ".median_min",
+                        tta.empty() ? -1.0 : tta.median(), "min");
         }
         t.print(std::cout,
                 "E7c: time-to-apnea under a 6 mg/h runaway infusion "
@@ -121,5 +134,6 @@ int main() {
            "desaturation over minutes); sensitive/high-risk archetypes reach\n"
            "apnea earliest with wide biological spread — the reason\n"
            "population-level in-silico validation is required.\n";
+    json.write();
     return 0;
 }

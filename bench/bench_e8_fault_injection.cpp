@@ -23,6 +23,7 @@
 
 #include <iostream>
 
+#include "bench_io.hpp"
 #include "core/core.hpp"
 #include "sim/table.hpp"
 
@@ -69,7 +70,9 @@ std::vector<Fault> faults() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    mcps::benchio::JsonReporter json{argc, argv, "e8_fault_injection"};
+    json.set_seed(7000);
     std::cout << "E8: fault injection during a developing overdose\n("
               << kSeeds << " seeds per cell, fault at t = 10 min)\n\n";
 
@@ -108,6 +111,11 @@ int main() {
                 .cell(dls.mean(), 1)
                 .cell(drug.mean(), 2)
                 .cell(stops.mean(), 1);
+            const std::string key = std::string{core::to_string(policy)} +
+                                    "." + fault.label;
+            json.metric(key + ".severe_rate",
+                        static_cast<double>(severe) / kSeeds, "ratio");
+            json.metric(key + ".drug_mg", drug.mean(), "mg");
         }
         t.print(std::cout, std::string{"E8: policy = "} +
                                std::string{core::to_string(policy)});
@@ -120,5 +128,6 @@ int main() {
            "instead); under fail-operational the dropout/crash faults open a\n"
            "blind window in which the overdose can progress unchecked —\n"
            "the quantitative argument for the fail-safe default.\n";
+    json.write();
     return 0;
 }

@@ -17,6 +17,7 @@
 
 #include <iostream>
 
+#include "bench_io.hpp"
 #include "core/core.hpp"
 #include "core/nurse_response.hpp"
 #include "sim/table.hpp"
@@ -97,7 +98,9 @@ CellResult run_cell(bool use_smart_alarm, double artifact_prob) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    mcps::benchio::JsonReporter json{argc, argv, "e9_alarm_fatigue"};
+    json.set_seed(5000);
     std::cout << "E9 (ablation): alarm quality -> nurse fatigue -> outcome\n("
               << kSeeds
               << " seeds per cell, 6 h, sensitive patient, proxy demand, NO "
@@ -120,6 +123,11 @@ int main() {
                 .cell(c.rescues, 1)
                 .cell(c.severe_rate, 2)
                 .cell(c.mean_min_spo2, 1);
+            const std::string key =
+                std::string{smart ? "smart" : "threshold"} + ".artifact_" +
+                std::to_string(static_cast<int>(prob * 10000.0)) + "e-4";
+            json.metric(key + ".alarms_per_h", c.alarms_per_h, "alarms/h");
+            json.metric(key + ".severe_rate", c.severe_rate, "ratio");
         }
     }
     t.print(std::cout, "E9: patient outcome by alarm source");
@@ -130,5 +138,6 @@ int main() {
            "arrive later, and severe-hypoxemia rate / min SpO2 worsen,\n"
            "while the smart-alarm nurse stays fast — alarm specificity is\n"
            "a *patient-outcome* property, not a comfort feature.\n";
+    json.write();
     return 0;
 }

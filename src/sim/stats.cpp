@@ -40,6 +40,36 @@ void Histogram::add(double x) noexcept {
     ++counts_[idx];
 }
 
+void Histogram::merge(const Histogram& o) {
+    if (!same_binning(o)) {
+        throw std::invalid_argument(
+            "Histogram::merge: binning mismatch (lo/width/bins)");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+    underflow_ += o.underflow_;
+    overflow_ += o.overflow_;
+    total_ += o.total_;
+}
+
+double Histogram::quantile(double q) const {
+    if (total_ == 0) throw std::out_of_range("Histogram::quantile: empty");
+    if (q < 0.0 || q > 1.0) {
+        throw std::out_of_range("Histogram::quantile: q outside [0,1]");
+    }
+    const double target = q * static_cast<double>(total_);
+    double cum = static_cast<double>(underflow_);
+    if (underflow_ > 0 && target <= cum) return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double c = static_cast<double>(counts_[i]);
+        if (c > 0.0 && target <= cum + c) {
+            return bin_low(i) + width_ * ((target - cum) / c);
+        }
+        cum += c;
+    }
+    // Only overflow mass remains: clamp to the histogram's upper edge.
+    return lo_ + width_ * static_cast<double>(counts_.size());
+}
+
 std::string Histogram::to_string(std::size_t max_bar_width) const {
     std::uint64_t peak = 1;
     for (auto c : counts_) peak = std::max(peak, c);

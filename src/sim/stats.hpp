@@ -101,7 +101,9 @@ private:
 };
 
 /// Fixed-bin histogram over [lo, hi); out-of-range samples land in
-/// saturating underflow/overflow bins.
+/// saturating underflow/overflow bins. Histograms with identical binning
+/// merge exactly (integer counts), which makes them safe reduction state
+/// for parallel runs: merge order never changes the result.
 class Histogram {
 public:
     Histogram(double lo, double hi, std::size_t bins);
@@ -121,6 +123,24 @@ public:
     [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
     [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
     [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+    /// True if \p o shares this histogram's lo/width/bin-count.
+    [[nodiscard]] bool same_binning(const Histogram& o) const noexcept {
+        return lo_ == o.lo_ && width_ == o.width_ &&
+               counts_.size() == o.counts_.size();
+    }
+
+    /// Bin-wise merge (exact and associative: counts are integers).
+    /// \throws std::invalid_argument if binnings differ.
+    void merge(const Histogram& o);
+
+    /// Estimated quantile (\p q in [0,1]) by linear interpolation inside
+    /// the covering bin. Underflow mass clamps to lo, overflow to hi —
+    /// an estimate, unlike SampleSet::quantile, but O(bins) memory.
+    /// \throws std::out_of_range on an empty histogram or bad q.
+    [[nodiscard]] double quantile(double q) const;
+    /// quantile() with \p p in percent, e.g. percentile(99.0).
+    [[nodiscard]] double percentile(double p) const { return quantile(p / 100.0); }
 
     /// ASCII rendering for bench output (one line per bin).
     [[nodiscard]] std::string to_string(std::size_t max_bar_width = 40) const;

@@ -10,7 +10,9 @@ void emit(const FuzzOptions& opts, const std::string& line) {
     if (opts.log) opts.log(line);
 }
 
-std::string describe(const std::vector<Violation>& vs) {
+}  // namespace
+
+std::string describe_violations(const std::vector<Violation>& vs) {
     std::ostringstream os;
     for (std::size_t i = 0; i < vs.size(); ++i) {
         if (i) os << "; ";
@@ -19,8 +21,9 @@ std::string describe(const std::vector<Violation>& vs) {
     return os.str();
 }
 
-FuzzFailure capture(const FuzzOptions& opts, const InvariantChecker& checker,
-                    Repro repro, std::vector<Violation> violations) {
+FuzzFailure capture_failure(const FuzzOptions& opts,
+                            const InvariantChecker& checker, Repro repro,
+                            std::vector<Violation> violations) {
     FuzzFailure f;
     f.original_fault_events = repro.faults.size();
     f.violations = std::move(violations);
@@ -43,8 +46,6 @@ FuzzFailure capture(const FuzzOptions& opts, const InvariantChecker& checker,
     }
     return f;
 }
-
-}  // namespace
 
 FuzzOutcome run_fuzz(const FuzzOptions& opts, const InvariantChecker& checker) {
     const ScenarioGenerator gen{opts.seed, opts.fault_intensity};
@@ -82,9 +83,9 @@ FuzzOutcome run_fuzz(const FuzzOptions& opts, const InvariantChecker& checker) {
 
         emit(opts, "scenario " + std::to_string(i) + " (" +
                        std::string{to_string(kind)} +
-                       ") violated: " + describe(violations));
-        auto failure =
-            capture(opts, checker, std::move(repro), std::move(violations));
+                       ") violated: " + describe_violations(violations));
+        auto failure = capture_failure(opts, checker, std::move(repro),
+                                       std::move(violations));
         if (opts.shrink) {
             emit(opts, "  shrunk " +
                            std::to_string(failure.original_fault_events) +

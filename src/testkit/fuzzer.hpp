@@ -62,4 +62,17 @@ struct FuzzOutcome {
 /// Convenience: run_fuzz with InvariantChecker::with_defaults().
 [[nodiscard]] FuzzOutcome run_fuzz(const FuzzOptions& opts);
 
+/// "name @t: detail; ..." rendering shared by the fuzz loop's log lines
+/// and external drivers (e.g. the ward engine's parallel fuzz).
+[[nodiscard]] std::string describe_violations(const std::vector<Violation>& vs);
+
+/// Turn one violating run into a finished FuzzFailure: shrink (if
+/// enabled), pin the canonical violations, verify byte-identical replay,
+/// and write the repro file. Factored out so parallel drivers can run
+/// scenarios concurrently yet capture failures in canonical index order.
+[[nodiscard]] FuzzFailure capture_failure(const FuzzOptions& opts,
+                                          const InvariantChecker& checker,
+                                          Repro repro,
+                                          std::vector<Violation> violations);
+
 }  // namespace mcps::testkit

@@ -1,0 +1,118 @@
+#include "fuzz_driver.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "thread_pool.hpp"
+
+namespace mcps::ward {
+
+using testkit::FuzzOptions;
+using testkit::FuzzOutcome;
+using testkit::InvariantChecker;
+using testkit::Repro;
+using testkit::ScenarioGenerator;
+using testkit::Violation;
+using testkit::WorkloadKind;
+
+namespace {
+
+/// What the parallel sweep records per scenario index.
+struct IndexedRun {
+    WorkloadKind kind = WorkloadKind::kPca;
+    std::uint64_t fingerprint = 0;
+    testkit::FaultPlan faults;
+    std::vector<Violation> violations;
+};
+
+void emit(const FuzzOptions& opts, const std::string& line) {
+    if (opts.log) opts.log(line);
+}
+
+}  // namespace
+
+FuzzOutcome run_fuzz(const FuzzOptions& opts, const InvariantChecker& checker,
+                     unsigned jobs) {
+    if (jobs <= 1) return testkit::run_fuzz(opts, checker);
+
+    const ScenarioGenerator gen{opts.seed, opts.fault_intensity};
+    const std::size_t n = static_cast<std::size_t>(opts.scenarios);
+    std::vector<IndexedRun> runs(n);
+
+    // Phase 1 — execute every scenario in parallel. Results land in a
+    // per-index slot, so worker scheduling cannot reorder anything.
+    const std::size_t shards = std::min<std::size_t>(
+        n, static_cast<std::size_t>(jobs) * 4);
+    parallel_shards(shards, jobs, [&](std::size_t s) {
+        const ShardRange r = shard_range(n, shards, s);
+        for (std::size_t i = r.first; i < r.last; ++i) {
+            auto& slot = runs[i];
+            slot.kind = opts.weakened
+                            ? WorkloadKind::kPca
+                            : gen.kind_of(i, opts.xray_fraction);
+            if (slot.kind == WorkloadKind::kXray) {
+                const auto run = testkit::run_instrumented_xray(gen.xray(i).config);
+                slot.violations = run.violations;
+                slot.fingerprint = run.fingerprint;
+            } else {
+                const auto g = opts.weakened ? gen.weakened_pca(i) : gen.pca(i);
+                const auto run =
+                    testkit::run_instrumented_pca(g.config, g.faults, checker);
+                slot.violations = run.violations;
+                slot.faults = g.faults;
+                slot.fingerprint = run.fingerprint;
+            }
+        }
+    });
+
+    // Phase 2 — canonical-order capture, identical to the serial loop
+    // (shrinking re-runs scenarios; it stays sequential so repro files
+    // and log lines appear in the same deterministic order).
+    FuzzOutcome out;
+    for (std::size_t i = 0; i < n; ++i) {
+        ++out.scenarios_run;
+        auto& slot = runs[i];
+        if (slot.kind == WorkloadKind::kXray) {
+            ++out.xray_runs;
+        } else {
+            ++out.pca_runs;
+        }
+        if (slot.violations.empty()) continue;
+
+        Repro repro;
+        repro.seed = opts.seed;
+        repro.index = i;
+        repro.kind = slot.kind;
+        repro.weakened = opts.weakened;
+        repro.faults = std::move(slot.faults);
+        repro.fingerprint = slot.fingerprint;
+
+        emit(opts, "scenario " + std::to_string(i) + " (" +
+                       std::string{to_string(slot.kind)} + ") violated: " +
+                       testkit::describe_violations(slot.violations));
+        auto failure = testkit::capture_failure(
+            opts, checker, std::move(repro), std::move(slot.violations));
+        if (opts.shrink) {
+            emit(opts, "  shrunk " +
+                           std::to_string(failure.original_fault_events) +
+                           " -> " + std::to_string(failure.repro.faults.size()) +
+                           " fault events in " +
+                           std::to_string(failure.shrink_runs) + " runs");
+        }
+        emit(opts, std::string{"  replay byte-identical: "} +
+                       (failure.replay_byte_identical ? "yes" : "NO"));
+        if (!failure.repro_path.empty()) {
+            emit(opts, "  repro saved: " + failure.repro_path);
+        }
+        out.failures.push_back(std::move(failure));
+    }
+    return out;
+}
+
+FuzzOutcome run_fuzz(const FuzzOptions& opts, unsigned jobs) {
+    return run_fuzz(opts, InvariantChecker::with_defaults(), jobs);
+}
+
+}  // namespace mcps::ward

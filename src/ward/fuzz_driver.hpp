@@ -1,0 +1,28 @@
+/// \file fuzz_driver.hpp
+/// \brief Ward-parallel front end for the testkit fuzz loop.
+///
+/// Fans the PR-1 fuzzer's scenario sweep out over the ward thread pool.
+/// Scenario *execution* is embarrassingly parallel (each run is a pure
+/// function of (seed, index)); failure *capture* — shrinking, replay
+/// verification, repro files, log lines — is replayed sequentially in
+/// ascending index order afterwards, so the outcome (failures, repro
+/// files, log text) is identical to testkit::run_fuzz with the same
+/// options, for any job count.
+
+#pragma once
+
+#include "testkit/fuzzer.hpp"
+
+namespace mcps::ward {
+
+/// Parallel run_fuzz. With jobs <= 1 this delegates to the sequential
+/// testkit loop; otherwise results are bit-identical to it.
+[[nodiscard]] testkit::FuzzOutcome run_fuzz(const testkit::FuzzOptions& opts,
+                                            const testkit::InvariantChecker& checker,
+                                            unsigned jobs);
+
+/// Convenience overload with InvariantChecker::with_defaults().
+[[nodiscard]] testkit::FuzzOutcome run_fuzz(const testkit::FuzzOptions& opts,
+                                            unsigned jobs);
+
+}  // namespace mcps::ward

@@ -1,0 +1,94 @@
+/// \file thread_pool.hpp
+/// \brief Work-stealing thread pool for ward-scale scenario execution.
+///
+/// The pool exists to run many *independent* scenario kernels at once:
+/// each task is a whole single-threaded simulation, so tasks are coarse
+/// (milliseconds to seconds) and the pool optimizes for simplicity and
+/// clean shutdown rather than nanosecond dispatch. Every worker owns a
+/// deque; owners pop newest-first (cache-warm), idle workers steal
+/// oldest-first from a victim scanned in a fixed cyclic order. Scheduling
+/// order is *not* deterministic — determinism is the job of the ward
+/// engine's sharding, which makes every task a pure function of its index
+/// and reduces results in a canonical order.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcps::ward {
+
+class ThreadPool {
+public:
+    using Task = std::function<void()>;
+
+    /// Spawns \p workers threads (at least 1).
+    explicit ThreadPool(unsigned workers);
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Joins all workers; pending tasks are completed first.
+    ~ThreadPool();
+
+    /// Enqueue a task (round-robin across worker deques).
+    void submit(Task task);
+
+    /// Block until every submitted task has finished.
+    void wait_idle();
+
+    [[nodiscard]] unsigned worker_count() const noexcept {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /// Number of tasks obtained by stealing (diagnostic; racy read).
+    [[nodiscard]] std::uint64_t steals() const noexcept { return steals_; }
+
+private:
+    struct WorkerQueue {
+        std::mutex mu;
+        std::deque<Task> tasks;
+    };
+
+    void worker_loop(std::size_t id);
+    bool try_pop(std::size_t id, Task& out);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex state_mu_;
+    std::condition_variable work_cv_;   ///< wakes idle workers
+    std::condition_variable idle_cv_;   ///< wakes wait_idle()
+    std::size_t unfinished_ = 0;        ///< submitted, not yet completed
+    std::size_t queued_ = 0;            ///< submitted, not yet started
+    bool stopping_ = false;
+
+    std::size_t next_queue_ = 0;        ///< round-robin submit cursor
+    std::uint64_t steals_ = 0;          ///< guarded by state_mu_
+};
+
+/// Run \p body(shard) for every shard in [0, shard_count), spread over
+/// \p jobs workers (inline when jobs <= 1 or there is a single shard).
+/// The first exception thrown by any shard is rethrown to the caller
+/// after all shards finish.
+void parallel_shards(std::size_t shard_count, unsigned jobs,
+                     const std::function<void(std::size_t)>& body);
+
+/// Deterministic contiguous shard bounds: shard \p s of \p shard_count
+/// covers indices [first, last) of \p items, with remainders spread over
+/// the leading shards. Pure arithmetic — never depends on the job count.
+struct ShardRange {
+    std::size_t first = 0;
+    std::size_t last = 0;
+};
+[[nodiscard]] ShardRange shard_range(std::size_t items, std::size_t shard_count,
+                                     std::size_t s) noexcept;
+
+}  // namespace mcps::ward

@@ -119,6 +119,81 @@ TEST(Histogram, InvalidConstruction) {
     EXPECT_THROW(Histogram(10.0, 0.0, 5), std::invalid_argument);
 }
 
+TEST(Histogram, MergeEqualsConcatenation) {
+    Histogram a{0.0, 10.0, 5}, b{0.0, 10.0, 5}, all{0.0, 10.0, 5};
+    for (int i = 0; i < 100; ++i) {
+        const double v = -2.0 + 0.15 * i;  // spans under/in/overflow
+        (i % 3 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.total(), all.total());
+    EXPECT_EQ(a.underflow(), all.underflow());
+    EXPECT_EQ(a.overflow(), all.overflow());
+    for (std::size_t i = 0; i < all.bins(); ++i) {
+        EXPECT_EQ(a.bin_count(i), all.bin_count(i));
+    }
+}
+
+TEST(Histogram, MergeIsAssociative) {
+    // (a + b) + c must equal a + (b + c) bin-for-bin — the property the
+    // ward engine's shard reduction relies on.
+    Histogram a{0.0, 8.0, 4}, b{0.0, 8.0, 4}, c{0.0, 8.0, 4};
+    for (int i = 0; i < 30; ++i) a.add(0.3 * i);
+    for (int i = 0; i < 20; ++i) b.add(0.5 * i - 1.0);
+    for (int i = 0; i < 25; ++i) c.add(0.4 * i + 2.0);
+
+    Histogram left = a;   // (a + b) + c
+    left.merge(b);
+    left.merge(c);
+    Histogram bc = b;     // a + (b + c)
+    bc.merge(c);
+    Histogram right = a;
+    right.merge(bc);
+
+    EXPECT_EQ(left.total(), right.total());
+    EXPECT_EQ(left.underflow(), right.underflow());
+    EXPECT_EQ(left.overflow(), right.overflow());
+    for (std::size_t i = 0; i < left.bins(); ++i) {
+        EXPECT_EQ(left.bin_count(i), right.bin_count(i));
+    }
+}
+
+TEST(Histogram, MergeRejectsMismatchedBinning) {
+    Histogram a{0.0, 10.0, 5};
+    EXPECT_FALSE(a.same_binning(Histogram{0.0, 10.0, 10}));
+    EXPECT_FALSE(a.same_binning(Histogram{1.0, 11.0, 5}));
+    EXPECT_TRUE(a.same_binning(Histogram{0.0, 10.0, 5}));
+    Histogram narrower{0.0, 5.0, 5};
+    EXPECT_THROW(a.merge(narrower), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBin) {
+    Histogram h{0.0, 10.0, 10};
+    for (int i = 0; i < 10; ++i) h.add(i + 0.5);  // one sample per bin
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+    EXPECT_NEAR(h.quantile(0.5), 5.0, 1e-9);
+    EXPECT_NEAR(h.quantile(0.95), 9.5, 1e-9);
+    EXPECT_NEAR(h.percentile(50.0), h.quantile(0.5), 1e-12);
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeMass) {
+    Histogram h{0.0, 10.0, 5};
+    h.add(-5.0);  // underflow -> reported as lo
+    h.add(20.0);  // overflow  -> reported as hi
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileErrors) {
+    Histogram h{0.0, 10.0, 5};
+    EXPECT_THROW((void)h.quantile(0.5), std::out_of_range);
+    h.add(5.0);
+    EXPECT_THROW((void)h.quantile(-0.1), std::out_of_range);
+    EXPECT_THROW((void)h.quantile(1.1), std::out_of_range);
+}
+
 TEST(Histogram, ToStringContainsBars) {
     Histogram h{0.0, 2.0, 2};
     h.add(0.5);

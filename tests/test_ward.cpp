@@ -1,0 +1,283 @@
+/// \file test_ward.cpp
+/// \brief Ward engine determinism: the parallel campaign must be
+/// bit-identical to the serial one — fingerprint AND every merged
+/// statistic — for any job count, across scenario mixes and with
+/// adversarial fault plans enabled.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "ward/ward.hpp"
+
+namespace {
+
+using namespace mcps;
+using namespace mcps::ward;
+
+// ---- thread pool -----------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+    ThreadPool pool{4};
+    EXPECT_EQ(pool.worker_count(), 4u);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i) {
+        pool.submit([&ran] { ++ran; });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+    ThreadPool pool{2};
+    pool.wait_idle();  // must not hang
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ++ran; });
+    pool.wait_idle();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ParallelShards, CoversEveryShardExactlyOnce) {
+    for (const unsigned jobs : {1u, 3u, 8u}) {
+        std::vector<std::atomic<int>> hits(17);
+        parallel_shards(hits.size(), jobs,
+                        [&hits](std::size_t s) { ++hits[s]; });
+        for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ParallelShards, PropagatesFirstException) {
+    EXPECT_THROW(
+        parallel_shards(8, 4,
+                        [](std::size_t s) {
+                            if (s == 5) throw std::runtime_error{"boom"};
+                        }),
+        std::runtime_error);
+}
+
+TEST(ShardRange, PartitionsContiguouslyAndCompletely) {
+    for (const std::size_t items : {0u, 1u, 7u, 64u, 65u}) {
+        for (const std::size_t shards : {1u, 3u, 8u, 64u}) {
+            std::size_t expect_first = 0;
+            for (std::size_t s = 0; s < shards; ++s) {
+                const auto r = shard_range(items, shards, s);
+                EXPECT_EQ(r.first, expect_first);
+                EXPECT_LE(r.first, r.last);
+                expect_first = r.last;
+            }
+            EXPECT_EQ(expect_first, items);
+        }
+    }
+}
+
+// ---- config / mix ----------------------------------------------------
+
+TEST(ScenarioMix, ParseRoundTrip) {
+    const auto mix = parse_mix("pca=2,xray=1,ward=1");
+    const auto n = mix.normalized();
+    EXPECT_DOUBLE_EQ(n.pca, 0.5);
+    EXPECT_DOUBLE_EQ(n.xray, 0.25);
+    EXPECT_DOUBLE_EQ(n.alarm_ward, 0.25);
+    EXPECT_EQ(to_string(n), "pca=0.500,xray=0.250,ward=0.250");
+    // alarm_ward is an accepted alias for ward.
+    EXPECT_EQ(parse_mix("alarm_ward=1"), parse_mix("ward=1"));
+}
+
+TEST(ScenarioMix, RejectsBadSpecs) {
+    EXPECT_THROW((void)parse_mix("pca=0.5,bogus=1"), WardConfigError);
+    EXPECT_THROW((void)parse_mix("pca=abc"), WardConfigError);
+    const ScenarioMix all_zero{0, 0, 0};
+    const ScenarioMix negative{-1, 2, 0};
+    EXPECT_THROW((void)all_zero.normalized(), WardConfigError);
+    EXPECT_THROW((void)negative.normalized(), WardConfigError);
+}
+
+TEST(WardConfig, ValidateRejectsDegenerateCampaigns) {
+    WardConfig cfg;
+    cfg.patients = 0;
+    EXPECT_THROW(cfg.validate(), WardConfigError);
+    cfg.patients = 4;
+    cfg.shards = 0;
+    EXPECT_THROW(cfg.validate(), WardConfigError);
+    cfg.shards = 4;
+    cfg.fault_intensity = -0.5;
+    EXPECT_THROW(cfg.validate(), WardConfigError);
+}
+
+TEST(WardScenarioFactory, KindChoiceIsDeterministicAndMixWeighted) {
+    WardConfig cfg;
+    cfg.seed = 777;
+    cfg.patients = 200;
+    const WardScenarioFactory a{cfg}, b{cfg};
+    std::size_t pca = 0, xray = 0, alarm = 0;
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        const auto k = a.kind_of(i);
+        EXPECT_EQ(k, b.kind_of(i));  // pure function of (seed, index)
+        switch (k) {
+            case WardScenarioKind::kPcaClosedLoop: ++pca; break;
+            case WardScenarioKind::kXraySync: ++xray; break;
+            case WardScenarioKind::kAlarmWard: ++alarm; break;
+        }
+    }
+    // Default mix is 70/15/15; with 200 draws every kind must appear and
+    // PCA must dominate.
+    EXPECT_GT(pca, xray);
+    EXPECT_GT(pca, alarm);
+    EXPECT_GT(xray, 0u);
+    EXPECT_GT(alarm, 0u);
+}
+
+// ---- engine determinism ----------------------------------------------
+
+/// Bitwise equality for merged doubles: the determinism contract is
+/// bit-identical reduction, not approximate agreement.
+bool bits_equal(double a, double b) {
+    std::uint64_t ua = 0, ub = 0;
+    std::memcpy(&ua, &a, sizeof a);
+    std::memcpy(&ub, &b, sizeof b);
+    return ua == ub;
+}
+
+void expect_reports_identical(const WardReport& s, const WardReport& p) {
+    EXPECT_EQ(s.fingerprint, p.fingerprint);
+    EXPECT_EQ(s.pca_runs, p.pca_runs);
+    EXPECT_EQ(s.xray_runs, p.xray_runs);
+    EXPECT_EQ(s.alarm_ward_runs, p.alarm_ward_runs);
+    EXPECT_EQ(s.demands_denied, p.demands_denied);
+    EXPECT_EQ(s.interlock_stops, p.interlock_stops);
+    EXPECT_EQ(s.monitor_alarms, p.monitor_alarms);
+    EXPECT_EQ(s.smart_alarms, p.smart_alarms);
+    EXPECT_EQ(s.smart_critical, p.smart_critical);
+    EXPECT_EQ(s.violations, p.violations);
+    EXPECT_EQ(s.events_dispatched, p.events_dispatched);
+
+    EXPECT_EQ(s.drug_mg.count(), p.drug_mg.count());
+    EXPECT_TRUE(bits_equal(s.drug_mg.mean(), p.drug_mg.mean()));
+    EXPECT_TRUE(bits_equal(s.drug_mg.variance(), p.drug_mg.variance()));
+    EXPECT_TRUE(bits_equal(s.min_spo2.mean(), p.min_spo2.mean()));
+    EXPECT_TRUE(bits_equal(s.mean_pain.mean(), p.mean_pain.mean()));
+    EXPECT_TRUE(bits_equal(s.detection_latency_s.mean(),
+                           p.detection_latency_s.mean()));
+
+    EXPECT_EQ(s.dose_hist.total(), p.dose_hist.total());
+    for (std::size_t i = 0; i < s.dose_hist.bins(); ++i) {
+        EXPECT_EQ(s.dose_hist.bin_count(i), p.dose_hist.bin_count(i));
+    }
+    EXPECT_EQ(s.latency_hist.total(), p.latency_hist.total());
+}
+
+TEST(WardEngine, ParallelRunIsBitIdenticalAcrossMixes) {
+    // Three mixes: PCA-heavy, x-ray-heavy, alarm-heavy.
+    const ScenarioMix mixes[] = {
+        {0.8, 0.1, 0.1}, {0.2, 0.6, 0.2}, {0.2, 0.2, 0.6}};
+    for (const auto& mix : mixes) {
+        WardConfig cfg;
+        cfg.seed = 4242;
+        cfg.patients = 10;
+        cfg.shards = 5;
+        cfg.mix = mix;
+
+        cfg.jobs = 1;
+        const auto serial = WardEngine{cfg}.run();
+        cfg.jobs = 8;
+        const auto parallel = WardEngine{cfg}.run();
+        expect_reports_identical(serial, parallel);
+    }
+}
+
+TEST(WardEngine, ParallelRunIsBitIdenticalWithFaultPlans) {
+    WardConfig cfg;
+    cfg.seed = 31337;
+    cfg.patients = 12;
+    cfg.shards = 6;
+    cfg.fault_intensity = 1.0;  // adversarial fault plans enabled
+
+    cfg.jobs = 1;
+    const auto serial = WardEngine{cfg}.run();
+    cfg.jobs = 8;
+    const auto parallel = WardEngine{cfg}.run();
+    expect_reports_identical(serial, parallel);
+}
+
+TEST(WardEngine, FingerprintDependsOnSeedAndMix) {
+    WardConfig cfg;
+    cfg.patients = 6;
+    cfg.shards = 3;
+    cfg.seed = 1;
+    const auto fp1 = WardEngine{cfg}.run().fingerprint;
+    cfg.seed = 2;
+    const auto fp2 = WardEngine{cfg}.run().fingerprint;
+    EXPECT_NE(fp1, fp2);
+    cfg.seed = 1;
+    cfg.mix = {0.0, 1.0, 0.0};  // all x-ray
+    const auto fp3 = WardEngine{cfg}.run().fingerprint;
+    EXPECT_NE(fp1, fp3);
+}
+
+TEST(WardEngine, ShardCountFixesTheReduction) {
+    // Changing the job count must not change the report; the shard count
+    // is what pins the reduction tree, and the fingerprint (integer
+    // chain in index order) is invariant to it too.
+    WardConfig cfg;
+    cfg.seed = 99;
+    cfg.patients = 9;
+    cfg.shards = 9;
+    cfg.jobs = 1;
+    const auto nine = WardEngine{cfg}.run();
+    cfg.shards = 2;
+    cfg.jobs = 4;
+    const auto two = WardEngine{cfg}.run();
+    EXPECT_EQ(nine.fingerprint, two.fingerprint);
+    EXPECT_EQ(nine.events_dispatched, two.events_dispatched);
+}
+
+TEST(WardEngine, ReportSerializesBothWays) {
+    WardConfig cfg;
+    cfg.patients = 4;
+    cfg.shards = 2;
+    const auto rep = WardEngine{cfg}.run();
+    std::ostringstream text, jsn;
+    rep.print(text);
+    rep.write_json(jsn);
+    EXPECT_NE(text.str().find("fingerprint"), std::string::npos);
+    EXPECT_NE(jsn.str().find("\"fingerprint\""), std::string::npos);
+    EXPECT_NE(jsn.str().find("\"scenarios_per_sec\""), std::string::npos);
+}
+
+// ---- parallel fuzz driver --------------------------------------------
+
+TEST(WardFuzzDriver, MatchesSequentialTestkitOutcome) {
+    testkit::FuzzOptions opts;
+    opts.seed = 2026;
+    opts.scenarios = 12;
+    opts.fault_intensity = 1.0;
+    opts.shrink = false;  // keep the test fast; capture is still canonical
+    std::vector<std::string> serial_log, parallel_log;
+    opts.log = [&serial_log](const std::string& l) {
+        serial_log.push_back(l);
+    };
+    const auto serial = testkit::run_fuzz(opts);
+    opts.log = [&parallel_log](const std::string& l) {
+        parallel_log.push_back(l);
+    };
+    const auto parallel = ward::run_fuzz(opts, /*jobs=*/4);
+
+    EXPECT_EQ(serial.scenarios_run, parallel.scenarios_run);
+    EXPECT_EQ(serial.pca_runs, parallel.pca_runs);
+    EXPECT_EQ(serial.xray_runs, parallel.xray_runs);
+    ASSERT_EQ(serial.failures.size(), parallel.failures.size());
+    for (std::size_t i = 0; i < serial.failures.size(); ++i) {
+        EXPECT_EQ(serial.failures[i].repro.fingerprint,
+                  parallel.failures[i].repro.fingerprint);
+        EXPECT_EQ(serial.failures[i].violations.size(),
+                  parallel.failures[i].violations.size());
+    }
+    EXPECT_EQ(serial_log, parallel_log);  // byte-identical log stream
+}
+
+}  // namespace

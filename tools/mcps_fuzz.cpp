@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "testkit/testkit.hpp"
+#include "ward/fuzz_driver.hpp"
 
 namespace tk = mcps::testkit;
 
@@ -24,6 +25,8 @@ void usage(std::ostream& os) {
           "  --scenarios N        scenarios to run (default 200)\n"
           "  --seed N             master seed (default 42)\n"
           "  --intensity X        fault-plan intensity scale (default 1.0)\n"
+          "  --jobs N             run scenarios over N ward workers; the\n"
+          "                       outcome is identical to --jobs 1\n"
           "  --xray-fraction X    fraction of x-ray workloads (default 0.15)\n"
           "  --weakened           fuzz the weakened-interlock fixture\n"
           "  --expect-violation   succeed only if a violation is found,\n"
@@ -93,6 +96,7 @@ int replay_mode(const std::string& path) {
 int main(int argc, char** argv) {
     tk::FuzzOptions opts;
     opts.repro_dir = "repros";
+    unsigned jobs = 1;
     bool expect_violation = false;
     bool quiet = false;
     std::string replay_path;
@@ -113,6 +117,8 @@ int main(int argc, char** argv) {
                 opts.seed = parse_u64_arg(arg, value());
             } else if (arg == "--intensity") {
                 opts.fault_intensity = parse_double_arg(arg, value());
+            } else if (arg == "--jobs") {
+                jobs = static_cast<unsigned>(parse_u64_arg(arg, value()));
             } else if (arg == "--xray-fraction") {
                 opts.xray_fraction = parse_double_arg(arg, value());
             } else if (arg == "--weakened") {
@@ -146,7 +152,7 @@ int main(int argc, char** argv) {
             };
         }
 
-        const auto outcome = tk::run_fuzz(opts);
+        const auto outcome = mcps::ward::run_fuzz(opts, jobs);
         std::cout << "fuzz: " << outcome.scenarios_run << " scenarios ("
                   << outcome.pca_runs << " pca, " << outcome.xray_runs
                   << " xray), seed " << opts.seed << ", "

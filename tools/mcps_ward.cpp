@@ -1,0 +1,157 @@
+/// \file mcps_ward.cpp
+/// \brief CLI for the ward-scale parallel execution engine.
+///
+/// Runs N patient scenarios over a work-stealing pool and prints (or
+/// emits as JSON) the ward-level aggregate report. `--verify-serial`
+/// re-runs the campaign single-threaded and requires the deterministic
+/// ward fingerprint to match — the engine's core promise.
+///
+/// Exit codes: 0 = success, 1 = --verify-serial fingerprint mismatch,
+/// 2 = usage or I/O error.
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ward/ward.hpp"
+
+namespace ward = mcps::ward;
+
+namespace {
+
+void usage(std::ostream& os) {
+    os << "usage: mcps_ward [options]\n"
+          "  --patients N       scenarios to run (default 64)\n"
+          "  --jobs N           worker threads (default 1)\n"
+          "  --shards N         reduction shards (default 64; fixes the\n"
+          "                     merge order, so keep it constant when\n"
+          "                     comparing runs)\n"
+          "  --mix SPEC         workload weights, e.g. pca=0.7,xray=0.15,\n"
+          "                     ward=0.15 (normalized; default shown)\n"
+          "  --seed N           master seed (default 42)\n"
+          "  --intensity X      fault-plan intensity for PCA-family\n"
+          "                     scenarios (default 0 = no injected faults)\n"
+          "  --json PATH        write the machine-readable report to PATH\n"
+          "  --verify-serial    also run with jobs=1 and require an\n"
+          "                     identical ward fingerprint\n"
+          "  --quiet            suppress the report tables\n"
+          "  --help             this text\n";
+}
+
+struct CliError {
+    std::string message;
+};
+
+std::uint64_t parse_u64_arg(std::string_view flag, std::string_view v) {
+    std::uint64_t out = 0;
+    const auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+    if (ec != std::errc{} || p != v.data() + v.size()) {
+        throw CliError{std::string{flag} + ": expected an integer, got '" +
+                       std::string{v} + "'"};
+    }
+    return out;
+}
+
+double parse_double_arg(std::string_view flag, std::string_view v) {
+    try {
+        std::size_t used = 0;
+        const double out = std::stod(std::string{v}, &used);
+        if (used != v.size()) throw std::invalid_argument{""};
+        return out;
+    } catch (const std::exception&) {
+        throw CliError{std::string{flag} + ": expected a number, got '" +
+                       std::string{v} + "'"};
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ward::WardConfig cfg;
+    bool verify_serial = false;
+    bool quiet = false;
+    std::string json_path;
+
+    try {
+        const std::vector<std::string_view> args{argv + 1, argv + argc};
+        for (std::size_t i = 0; i < args.size(); ++i) {
+            const auto arg = args[i];
+            const auto value = [&]() -> std::string_view {
+                if (i + 1 >= args.size()) {
+                    throw CliError{std::string{arg} + ": missing value"};
+                }
+                return args[++i];
+            };
+            if (arg == "--patients") {
+                cfg.patients =
+                    static_cast<std::size_t>(parse_u64_arg(arg, value()));
+            } else if (arg == "--jobs") {
+                cfg.jobs = static_cast<unsigned>(parse_u64_arg(arg, value()));
+            } else if (arg == "--shards") {
+                cfg.shards =
+                    static_cast<std::size_t>(parse_u64_arg(arg, value()));
+            } else if (arg == "--mix") {
+                cfg.mix = ward::parse_mix(value());
+            } else if (arg == "--seed") {
+                cfg.seed = parse_u64_arg(arg, value());
+            } else if (arg == "--intensity") {
+                cfg.fault_intensity = parse_double_arg(arg, value());
+            } else if (arg == "--json") {
+                json_path = std::string{value()};
+            } else if (arg == "--verify-serial") {
+                verify_serial = true;
+            } else if (arg == "--quiet") {
+                quiet = true;
+            } else if (arg == "--help" || arg == "-h") {
+                usage(std::cout);
+                return 0;
+            } else {
+                throw CliError{"unknown option '" + std::string{arg} + "'"};
+            }
+        }
+
+        const ward::WardEngine engine{cfg};
+        const auto report = engine.run();
+        if (!quiet) report.print(std::cout);
+
+        if (!json_path.empty()) {
+            std::ofstream out{json_path};
+            if (!out) {
+                throw CliError{"--json: cannot open '" + json_path +
+                               "' for writing"};
+            }
+            report.write_json(out);
+            if (!quiet) std::cout << "json report: " << json_path << "\n";
+        }
+
+        if (verify_serial) {
+            ward::WardConfig serial = cfg;
+            serial.jobs = 1;
+            const auto check = ward::WardEngine{serial}.run();
+            char a[32], b[32];
+            std::snprintf(a, sizeof a, "0x%016llx",
+                          static_cast<unsigned long long>(report.fingerprint));
+            std::snprintf(b, sizeof b, "0x%016llx",
+                          static_cast<unsigned long long>(check.fingerprint));
+            if (report.fingerprint != check.fingerprint) {
+                std::cout << "FAIL: jobs=" << cfg.jobs << " fingerprint " << a
+                          << " != serial fingerprint " << b << "\n";
+                return 1;
+            }
+            std::cout << "OK: jobs=" << cfg.jobs << " and jobs=1 agree ("
+                      << a << ")\n";
+        }
+        return 0;
+    } catch (const CliError& e) {
+        std::cerr << "mcps_ward: " << e.message << "\n";
+        usage(std::cerr);
+        return 2;
+    } catch (const std::exception& e) {
+        std::cerr << "mcps_ward: " << e.what() << "\n";
+        return 2;
+    }
+}
