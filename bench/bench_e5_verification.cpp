@@ -47,7 +47,9 @@ int main(int argc, char** argv) {
                 if (!cex.empty()) cex += " ; ";
                 cex += step;
             }
-            if (cex.empty()) cex = "-";
+            // push_back, not `cex = "-"`: GCC 12's -Wrestrict misfires
+            // on the char* assignment after the append loop (PR 105329).
+            if (cex.empty()) cex.push_back('-');
             t.row()
                 .cell(prop)
                 .cell(model)

@@ -1,0 +1,46 @@
+#include "analyzer.hpp"
+
+namespace mcps::analysis {
+
+Analyzer::Analyzer(SuppressionSet suppressions)
+    : suppressions_{suppressions} {}
+
+void Analyzer::absorb(std::vector<Finding> findings) {
+    for (Finding& f : findings) {
+        if (suppressions_.is_suppressed(f.rule)) {
+            ++report_.suppressed_findings;
+        } else {
+            report_.findings.push_back(std::move(f));
+        }
+    }
+}
+
+void Analyzer::check_automaton(const std::string& display_name,
+                               const ta::TimedAutomaton& ta,
+                               const TaLintOptions& opts) {
+    report_.analyzed.push_back("ta:" + display_name);
+    absorb(lint_automaton(ta, opts));
+}
+
+void Analyzer::check_assembly(const AssemblySpec& spec) {
+    report_.analyzed.push_back("ice:" + spec.name);
+    absorb(lint_assembly(spec));
+}
+
+void Analyzer::check_hazards(const assurance::HazardLog& log,
+                             const assurance::AssuranceCase* gsn) {
+    report_.analyzed.push_back("assurance:hazard-log(" +
+                               std::to_string(log.count()) + ")");
+    coverage_ = lint_hazard_coverage(log, gsn);
+    absorb(coverage_.findings);
+}
+
+void Analyzer::scan_sources(const std::filesystem::path& root) {
+    ScanResult r = scan_source_tree(root);
+    report_.analyzed.push_back("src:" + root.generic_string() + "(" +
+                               std::to_string(r.files_scanned) + " files)");
+    report_.suppressed_findings += r.suppressed;
+    absorb(std::move(r.findings));
+}
+
+}  // namespace mcps::analysis

@@ -1,0 +1,60 @@
+/// \file analyzer.hpp
+/// \brief The analysis driver: runs rules over targets, applies
+/// suppressions, accumulates one AnalysisReport.
+///
+/// Usage (mirrors tools/mcps_analyze):
+///
+///   Analyzer a{suppressions};
+///   a.check_automaton("pump_lockout", model, {.expected_unreachable =
+///       {"Violation"}});
+///   a.check_assembly(spec);
+///   a.check_hazards(log, &gsn_case);
+///   a.scan_sources("src");
+///   const AnalysisReport& r = a.report();  // r.clean() gates CI
+
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "assurance_lint.hpp"
+#include "finding.hpp"
+#include "ice_lint.hpp"
+#include "source_scan.hpp"
+#include "ta_lint.hpp"
+
+namespace mcps::analysis {
+
+class Analyzer {
+public:
+    explicit Analyzer(SuppressionSet suppressions = {});
+
+    /// TA1–TA4 on one closed automaton.
+    void check_automaton(const std::string& display_name,
+                         const ta::TimedAutomaton& ta,
+                         const TaLintOptions& opts = {});
+    /// ICE1 on one assembly.
+    void check_assembly(const AssemblySpec& spec);
+    /// AS1 on a hazard log (+ optional GSN case). The coverage matrix
+    /// of the LAST call is kept for reporting.
+    void check_hazards(const assurance::HazardLog& log,
+                       const assurance::AssuranceCase* gsn = nullptr);
+    /// SIM1 over a source tree.
+    void scan_sources(const std::filesystem::path& root);
+
+    [[nodiscard]] const AnalysisReport& report() const noexcept {
+        return report_;
+    }
+    [[nodiscard]] const HazardCoverage& last_coverage() const noexcept {
+        return coverage_;
+    }
+
+private:
+    void absorb(std::vector<Finding> findings);
+
+    SuppressionSet suppressions_;
+    AnalysisReport report_;
+    HazardCoverage coverage_;
+};
+
+}  // namespace mcps::analysis

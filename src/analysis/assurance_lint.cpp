@@ -1,0 +1,90 @@
+#include "assurance_lint.hpp"
+
+#include <cctype>
+
+namespace mcps::analysis {
+
+namespace {
+
+/// True if \p id occurs in \p text as a standalone token ("H1" must not
+/// match inside "H10" or "SH1x").
+bool mentions_id(const std::string& text, const std::string& id) {
+    std::size_t pos = 0;
+    while ((pos = text.find(id, pos)) != std::string::npos) {
+        const bool left_ok =
+            pos == 0 || !std::isalnum(static_cast<unsigned char>(
+                            text[pos - 1]));
+        const std::size_t end = pos + id.size();
+        const bool right_ok =
+            end >= text.size() ||
+            !std::isalnum(static_cast<unsigned char>(text[end]));
+        if (left_ok && right_ok) return true;
+        pos += 1;
+    }
+    return false;
+}
+
+}  // namespace
+
+std::string HazardCoverage::to_text() const {
+    std::string out = "hazard\tmechanisms\tgsn\tcovered\n";
+    for (const auto& row : rows) {
+        out += row.hazard_id + "\t";
+        for (std::size_t i = 0; i < row.mechanisms.size(); ++i) {
+            out += (i ? "," : "") + row.mechanisms[i];
+        }
+        out += "\t";
+        for (std::size_t i = 0; i < row.gsn_nodes.size(); ++i) {
+            out += (i ? "," : "") + row.gsn_nodes[i];
+        }
+        out += row.covered() ? "\tyes\n" : "\tNO\n";
+    }
+    return out;
+}
+
+HazardCoverage lint_hazard_coverage(const assurance::HazardLog& log,
+                                    const assurance::AssuranceCase* gsn) {
+    HazardCoverage cov;
+    const auto gsn_nodes =
+        gsn != nullptr ? gsn->all_nodes()
+                       : std::vector<const assurance::Node*>{};
+
+    for (const assurance::Hazard& h : log.hazards()) {
+        HazardCoverageRow row;
+        row.hazard_id = h.id;
+
+        for (const assurance::Mitigation& m : h.mitigations) {
+            if (m.implemented_by.empty()) {
+                cov.findings.push_back(
+                    {RuleId::kAS1, FindingSeverity::kWarning, h.id, "", 0,
+                     "mitigation '" + m.description +
+                         "' names no implementing mechanism "
+                         "(implemented_by is empty)"});
+                continue;
+            }
+            row.mechanisms.push_back(m.implemented_by);
+        }
+        for (const assurance::Node* n : gsn_nodes) {
+            if (n->kind != assurance::NodeKind::kGoal &&
+                n->kind != assurance::NodeKind::kSolution) {
+                continue;
+            }
+            if (mentions_id(n->statement, h.id) ||
+                mentions_id(n->artifact, h.id)) {
+                row.gsn_nodes.push_back(n->id);
+            }
+        }
+
+        if (!row.covered()) {
+            cov.findings.push_back(
+                {RuleId::kAS1, FindingSeverity::kError, h.id, "", 0,
+                 "hazard '" + h.description +
+                     "' is covered by no implemented mitigation and no "
+                     "GSN goal (uncovered risk)"});
+        }
+        cov.rows.push_back(std::move(row));
+    }
+    return cov;
+}
+
+}  // namespace mcps::analysis

@@ -1,0 +1,52 @@
+/// \file assurance_lint.hpp
+/// \brief Rule AS1: hazard-coverage analysis over the assurance layer.
+///
+/// Certification hinges on every identified hazard being *argued
+/// against*: mitigated by an implemented mechanism (interlock, device
+/// rule, supervisor policy) and/or addressed by a goal of the GSN
+/// assurance case. AS1 cross-checks the hazard log against both and
+/// produces the hazard-coverage matrix regulators ask for; a hazard
+/// with neither an implemented mitigation nor a GSN goal mentioning it
+/// is an uncovered risk and is reported.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "assurance/gsn.hpp"
+#include "assurance/hazard.hpp"
+#include "finding.hpp"
+
+namespace mcps::analysis {
+
+/// One row of the hazard-coverage matrix.
+struct HazardCoverageRow {
+    std::string hazard_id;
+    /// Mechanisms named by mitigations (Mitigation::implemented_by).
+    std::vector<std::string> mechanisms;
+    /// GSN node ids whose statement or artifact references the hazard
+    /// (by id or by a significant fragment of its description).
+    std::vector<std::string> gsn_nodes;
+    [[nodiscard]] bool covered() const noexcept {
+        return !mechanisms.empty() || !gsn_nodes.empty();
+    }
+};
+
+struct HazardCoverage {
+    std::vector<HazardCoverageRow> rows;
+    std::vector<Finding> findings;
+
+    /// Tab-separated matrix (id, mechanisms, GSN nodes, covered).
+    [[nodiscard]] std::string to_text() const;
+};
+
+/// Run AS1. \p gsn may be null (coverage then rests on mitigations
+/// alone). A mitigation counts only if implemented_by names a
+/// mechanism; an empty implemented_by is itself reported (a mitigation
+/// nobody implements is wishful thinking).
+[[nodiscard]] HazardCoverage lint_hazard_coverage(
+    const assurance::HazardLog& log,
+    const assurance::AssuranceCase* gsn = nullptr);
+
+}  // namespace mcps::analysis

@@ -1,0 +1,190 @@
+#include "source_scan.hpp"
+
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace mcps::analysis {
+
+namespace {
+
+struct BannedPattern {
+    std::string_view needle;
+    /// Needle must start at an identifier boundary (char before is not
+    /// [A-Za-z0-9_]).
+    bool identifier = true;
+    std::string_view message;
+};
+
+// Matching happens on comment- and string-stripped text, so these
+// literals cannot match themselves here or in documentation.
+constexpr std::array<BannedPattern, 10> kBanned{{
+    {"rand(", true,
+     "raw rand() is banned in deterministic sim code; use sim::RngStream"},
+    {"srand(", true,
+     "srand() is banned in deterministic sim code; seeds flow through "
+     "sim::RngStream"},
+    {"system_clock", true,
+     "wall-clock time source; deterministic sim code must use sim::SimTime"},
+    {"steady_clock", true,
+     "wall-clock time source; deterministic sim code must use sim::SimTime"},
+    {"high_resolution_clock", true,
+     "wall-clock time source; deterministic sim code must use sim::SimTime"},
+    {"gettimeofday", true,
+     "wall-clock time source; deterministic sim code must use sim::SimTime"},
+    {"clock_gettime", true,
+     "wall-clock time source; deterministic sim code must use sim::SimTime"},
+    {"time(nullptr)", true,
+     "wall-clock time source; deterministic sim code must use sim::SimTime"},
+    {"random_device", true,
+     "std::random_device is nondeterministic; derive seeds from the "
+     "campaign master seed"},
+    {"mt19937", true,
+     "std::mt19937 seeding/distributions vary across standard libraries; "
+     "use sim::RngStream"},
+}};
+
+bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Strip // and /* */ comments plus "..." and '...' literals from one
+/// line, carrying block-comment state across lines. Stripped spans are
+/// replaced by spaces so columns stay stable.
+std::string strip_line(const std::string& line, bool& in_block_comment) {
+    std::string out(line.size(), ' ');
+    for (std::size_t i = 0; i < line.size();) {
+        if (in_block_comment) {
+            if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+                in_block_comment = false;
+                i += 2;
+            } else {
+                ++i;
+            }
+            continue;
+        }
+        const char c = line[i];
+        if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+        if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+            in_block_comment = true;
+            i += 2;
+            continue;
+        }
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            ++i;
+            while (i < line.size()) {
+                if (line[i] == '\\') {
+                    i += 2;
+                    continue;
+                }
+                if (line[i] == quote) {
+                    ++i;
+                    break;
+                }
+                ++i;
+            }
+            continue;
+        }
+        out[i] = c;
+        ++i;
+    }
+    return out;
+}
+
+bool has_allow_marker(const std::string& raw_line) {
+    return raw_line.find("mcps-analyze: allow(SIM1") != std::string::npos;
+}
+
+bool has_allow_file_marker(const std::string& raw_line) {
+    return raw_line.find("mcps-analyze: allow-file(SIM1") != std::string::npos;
+}
+
+bool is_source_file(const std::filesystem::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
+           ext == ".cxx";
+}
+
+}  // namespace
+
+ScanResult scan_source_file(const std::filesystem::path& file) {
+    ScanResult result;
+    if (!is_source_file(file)) return result;
+    std::ifstream in{file};
+    if (!in) return result;
+    result.files_scanned = 1;
+
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);) {
+        lines.push_back(std::move(line));
+    }
+
+    bool file_allowed = false;
+    for (const std::string& l : lines) {
+        if (has_allow_file_marker(l)) {
+            file_allowed = true;
+            break;
+        }
+    }
+
+    bool in_block = false;
+    for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+        const std::string stripped = strip_line(lines[ln], in_block);
+        for (const BannedPattern& p : kBanned) {
+            std::size_t pos = 0;
+            while ((pos = stripped.find(p.needle, pos)) !=
+                   std::string::npos) {
+                const bool boundary_ok =
+                    !p.identifier || pos == 0 ||
+                    !is_ident_char(stripped[pos - 1]);
+                pos += p.needle.size();
+                if (!boundary_ok) continue;
+                const bool allowed =
+                    file_allowed || has_allow_marker(lines[ln]) ||
+                    (ln > 0 && has_allow_marker(lines[ln - 1]));
+                if (allowed) {
+                    ++result.suppressed;
+                    continue;
+                }
+                result.findings.push_back(
+                    {RuleId::kSIM1, FindingSeverity::kError,
+                     std::string{p.needle.substr(
+                         0, p.needle.find('('))},
+                     file.generic_string(), ln + 1,
+                     std::string{p.message}});
+            }
+        }
+    }
+    return result;
+}
+
+ScanResult scan_source_tree(const std::filesystem::path& root) {
+    ScanResult result;
+    if (!std::filesystem::exists(root)) return result;
+    if (std::filesystem::is_regular_file(root)) {
+        return scan_source_file(root);
+    }
+    auto it = std::filesystem::recursive_directory_iterator{root};
+    const auto end = std::filesystem::end(it);
+    for (; it != end; ++it) {
+        const std::filesystem::path& p = it->path();
+        const std::string fname = p.filename().string();
+        if (it->is_directory() &&
+            (fname.rfind("build", 0) == 0 ||
+             (fname.size() > 1 && fname[0] == '.'))) {
+            it.disable_recursion_pending();
+            continue;
+        }
+        if (!it->is_regular_file()) continue;
+        ScanResult one = scan_source_file(p);
+        result.files_scanned += one.files_scanned;
+        result.suppressed += one.suppressed;
+        for (auto& f : one.findings) result.findings.push_back(std::move(f));
+    }
+    return result;
+}
+
+}  // namespace mcps::analysis

@@ -1,0 +1,47 @@
+/// \file source_scan.hpp
+/// \brief Rule SIM1: banned-construct scan over simulation source code.
+///
+/// The framework's reproducibility contract (DESIGN.md, src/sim/rng.hpp)
+/// requires that deterministic simulation code never consults wall-clock
+/// time or platform-varying RNGs. SIM1 scans source trees for the
+/// banned constructs:
+///
+///   * raw C RNG: rand(), srand()
+///   * wall-clock time: std::chrono::{system,steady,high_resolution}_clock,
+///     time(nullptr)/time(NULL), gettimeofday, clock_gettime
+///   * platform-varying / unseeded RNG: std::random_device, std::mt19937
+///
+/// Comments and string literals are stripped before matching, so
+/// documentation may mention the constructs freely. Legitimate uses
+/// (e.g. wall-clock *measurement* of the analyzer itself) are
+/// annotated inline:
+///
+///   // mcps-analyze: allow(SIM1): wall-clock perf metric only
+///
+/// on the offending line or the line above suppresses the finding;
+/// `mcps-analyze: allow-file(SIM1)` anywhere in a file suppresses the
+/// whole file. Suppressed findings are counted, not silently dropped.
+
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "finding.hpp"
+
+namespace mcps::analysis {
+
+struct ScanResult {
+    std::vector<Finding> findings;
+    std::size_t suppressed = 0;
+    std::size_t files_scanned = 0;
+};
+
+/// Scan one file. Non-source files (by extension) are ignored.
+[[nodiscard]] ScanResult scan_source_file(const std::filesystem::path& file);
+
+/// Recursively scan a tree (*.cpp *.hpp *.h *.cc *.cxx); directories
+/// named "build*" and hidden directories are skipped.
+[[nodiscard]] ScanResult scan_source_tree(const std::filesystem::path& root);
+
+}  // namespace mcps::analysis

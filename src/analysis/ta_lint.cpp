@@ -1,0 +1,465 @@
+#include "ta_lint.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "ta/dbm.hpp"
+
+namespace mcps::analysis {
+
+namespace {
+
+using ta::Dbm;
+using ta::Edge;
+using ta::Guard;
+using ta::SyncKind;
+using ta::TimedAutomaton;
+
+bool apply_guard(Dbm& z, const Guard& g) {
+    for (const auto& c : g) {
+        if (!z.constrain(c.i, c.j, c.bound)) return false;
+    }
+    return true;
+}
+
+/// Split a product location name "a|b|c" into components.
+std::vector<std::string> split_components(const std::string& name) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t bar = name.find('|', pos);
+        if (bar == std::string::npos) {
+            out.push_back(name.substr(pos));
+            return out;
+        }
+        out.push_back(name.substr(pos, bar - pos));
+        pos = bar + 1;
+    }
+}
+
+bool matches_any(const std::string& name,
+                 const std::vector<std::string>& needles) {
+    return std::any_of(needles.begin(), needles.end(),
+                       [&name](const std::string& n) {
+                           return name.find(n) != std::string::npos;
+                       });
+}
+
+/// Result of the shared zone-graph exploration.
+struct Exploration {
+    /// Per location: stored (canonical, extrapolated) zones.
+    std::vector<std::vector<Dbm>> zones;
+    std::vector<bool> location_reached;
+    /// Per index into `internal_edges`: did it ever fire?
+    std::vector<bool> edge_fired;
+    /// Indices into ta.edges() of the internal (explorable) edges.
+    std::vector<std::size_t> internal_edges;
+};
+
+Exploration explore(const TimedAutomaton& ta, const TaLintOptions& opts) {
+    const std::int32_t k = ta.max_constant();
+
+    Exploration ex;
+    ex.zones.resize(ta.num_locations());
+    ex.location_reached.assign(ta.num_locations(), false);
+
+    for (std::size_t i = 0; i < ta.edges().size(); ++i) {
+        if (ta.edges()[i].sync == SyncKind::kInternal) {
+            ex.internal_edges.push_back(i);
+        }
+    }
+    ex.edge_fired.assign(ex.internal_edges.size(), false);
+
+    // Out-edge adjacency over the internal edges (by lint-local index).
+    std::vector<std::vector<std::size_t>> out(ta.num_locations());
+    for (std::size_t li = 0; li < ex.internal_edges.size(); ++li) {
+        out[ta.edges()[ex.internal_edges[li]].src].push_back(li);
+    }
+
+    struct Node {
+        std::size_t loc;
+        Dbm zone;
+    };
+    std::vector<Node> nodes;
+    std::deque<std::size_t> waiting;
+
+    auto try_add = [&](std::size_t loc, Dbm zone) {
+        zone.extrapolate(k);
+        if (zone.empty()) return;
+        for (const Dbm& stored : ex.zones[loc]) {
+            if (stored.includes(zone)) return;  // subsumed
+        }
+        if (nodes.size() >= opts.max_states) {
+            throw std::runtime_error(
+                "lint_automaton: exceeded max_states (" +
+                std::to_string(opts.max_states) + ") on '" + ta.name() + "'");
+        }
+        ex.zones[loc].push_back(zone);
+        ex.location_reached[loc] = true;
+        nodes.push_back(Node{loc, std::move(zone)});
+        waiting.push_back(nodes.size() - 1);
+    };
+
+    {
+        Dbm z0 = Dbm::zero(ta.num_clocks());
+        if (apply_guard(z0, ta.invariant(ta.initial()))) {
+            z0.up();
+            apply_guard(z0, ta.invariant(ta.initial()));
+            try_add(ta.initial(), std::move(z0));
+        }
+    }
+
+    while (!waiting.empty()) {
+        const std::size_t cur = waiting.front();
+        waiting.pop_front();
+        const std::size_t loc = nodes[cur].loc;
+        for (std::size_t li : out[loc]) {
+            const Edge& e = ta.edges()[ex.internal_edges[li]];
+            Dbm z = nodes[cur].zone;
+            if (!apply_guard(z, e.guard)) continue;
+            for (ta::ClockId r : e.resets) z.reset(r);
+            if (!apply_guard(z, ta.invariant(e.dst))) continue;
+            ex.edge_fired[li] = true;
+            z.up();
+            if (!apply_guard(z, ta.invariant(e.dst))) continue;
+            try_add(e.dst, std::move(z));
+        }
+    }
+    return ex;
+}
+
+std::string edge_desc(const TimedAutomaton& ta, const Edge& e) {
+    return ta.location_name(e.src) + " -> " + ta.location_name(e.dst) +
+           " [" + e.label + "]";
+}
+
+// ---------------------------------------------------------------- TA1 --
+
+void check_ta1(const TimedAutomaton& ta, const Exploration& ex,
+               const TaLintOptions& opts, std::vector<Finding>& out) {
+    // Component-wise location reachability. All product names have the
+    // same component count by construction; a hand-built automaton is
+    // the 1-component case.
+    std::map<std::pair<std::size_t, std::string>, bool> component_reached;
+    for (std::size_t loc = 0; loc < ta.num_locations(); ++loc) {
+        const auto comps = split_components(ta.location_name(loc));
+        for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+            auto& r = component_reached[{ci, comps[ci]}];
+            r = r || ex.location_reached[loc];
+        }
+    }
+    for (const auto& [key, reached] : component_reached) {
+        const std::string& cname = key.second;
+        const bool expected_unreach =
+            matches_any(cname, opts.expected_unreachable);
+        if (!reached && !expected_unreach) {
+            out.push_back({RuleId::kTA1, FindingSeverity::kError,
+                           ta.name() + "/" + cname, "", 0,
+                           "location is unreachable from the initial state"});
+        } else if (reached && expected_unreach) {
+            out.push_back(
+                {RuleId::kTA1, FindingSeverity::kError,
+                 ta.name() + "/" + cname, "", 0,
+                 "location is expected to be unreachable (safety property) "
+                 "but IS reachable"});
+        }
+    }
+
+    // Dead transitions, grouped by label so the interleaved copies a
+    // product creates do not each report (a label is dead only if *no*
+    // copy ever fires). Edges into expected-unreachable locations are
+    // exempt: they exist precisely to witness the violation.
+    std::map<std::string, std::pair<bool, bool>> by_label;  // fired, exempt
+    for (std::size_t li = 0; li < ex.internal_edges.size(); ++li) {
+        const Edge& e = ta.edges()[ex.internal_edges[li]];
+        auto& [fired, all_exempt] = by_label.try_emplace(
+            e.label, false, true).first->second;
+        fired = fired || ex.edge_fired[li];
+        if (!matches_any(ta.location_name(e.dst), opts.expected_unreachable)) {
+            all_exempt = false;
+        }
+    }
+    for (const auto& [label, state] : by_label) {
+        const auto& [fired, all_exempt] = state;
+        if (fired || all_exempt) continue;
+        out.push_back({RuleId::kTA1, FindingSeverity::kError,
+                       ta.name() + "/[" + label + "]", "", 0,
+                       "transition can never fire (dead edge)"});
+    }
+
+    // Channels whose send or receive side is missing entirely: such
+    // edges cannot fire in this model nor in any later composition.
+    std::map<std::string, std::pair<bool, bool>> chans;  // send, receive
+    for (const Edge& e : ta.edges()) {
+        if (e.sync == SyncKind::kInternal) continue;
+        auto& [snd, rcv] = chans[e.channel];
+        snd = snd || e.sync == SyncKind::kSend;
+        rcv = rcv || e.sync == SyncKind::kReceive;
+    }
+    for (const auto& [chan, sides] : chans) {
+        const auto& [snd, rcv] = sides;
+        if (snd && rcv) continue;
+        out.push_back({RuleId::kTA1, FindingSeverity::kWarning,
+                       ta.name() + "/channel '" + chan + "'", "", 0,
+                       std::string{"channel has "} +
+                           (snd ? "senders but no receivers"
+                                : "receivers but no senders") +
+                           "; its edges can never fire"});
+    }
+}
+
+// ---------------------------------------------------------------- TA2 --
+
+/// Which component slots of the product-location name change along an
+/// edge. Interleaved copies of a component edge change only their own
+/// slot(s); two same-label edges touching DISJOINT slots are
+/// interleavings of independent events, not a nondeterministic choice.
+std::set<std::size_t> changed_slots(const TimedAutomaton& ta, const Edge& e) {
+    const auto src = split_components(ta.location_name(e.src));
+    const auto dst = split_components(ta.location_name(e.dst));
+    std::set<std::size_t> out;
+    if (src.size() != dst.size()) {
+        for (std::size_t i = 0; i < src.size(); ++i) out.insert(i);
+        return out;
+    }
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        if (src[i] != dst[i]) out.insert(i);
+    }
+    return out;
+}
+
+void check_ta2(const TimedAutomaton& ta, const Exploration& ex,
+               std::vector<Finding>& out) {
+    // Group internal out-edges per (source, label): same event.
+    std::map<std::pair<std::size_t, std::string>, std::vector<const Edge*>>
+        groups;
+    for (std::size_t li : ex.internal_edges) {
+        const Edge& e = ta.edges()[li];
+        groups[{e.src, e.label}].push_back(&e);
+    }
+    for (const auto& [key, edges] : groups) {
+        if (edges.size() < 2) continue;
+        const std::size_t src = key.first;
+        for (std::size_t i = 0; i < edges.size(); ++i) {
+            for (std::size_t j = i + 1; j < edges.size(); ++j) {
+                if (edges[i]->dst == edges[j]->dst &&
+                    edges[i]->resets == edges[j]->resets &&
+                    edges[i]->guard.size() == edges[j]->guard.size()) {
+                    // Identical-effect duplicates are interleaving
+                    // artifacts of composition, not nondeterminism.
+                    bool same = true;
+                    for (std::size_t c = 0; c < edges[i]->guard.size(); ++c) {
+                        const auto& a = edges[i]->guard[c];
+                        const auto& b = edges[j]->guard[c];
+                        if (a.i != b.i || a.j != b.j ||
+                            a.bound.raw() != b.bound.raw()) {
+                            same = false;
+                            break;
+                        }
+                    }
+                    if (same) continue;
+                }
+                {
+                    const auto slots_i = changed_slots(ta, *edges[i]);
+                    const auto slots_j = changed_slots(ta, *edges[j]);
+                    if (!slots_i.empty() && !slots_j.empty()) {
+                        bool disjoint = true;
+                        for (std::size_t s : slots_i) {
+                            if (slots_j.count(s) != 0) {
+                                disjoint = false;
+                                break;
+                            }
+                        }
+                        if (disjoint) continue;  // independent interleaving
+                    }
+                }
+                // Overlap check against every reachable zone at src.
+                for (const Dbm& z : ex.zones[src]) {
+                    Dbm both = z;
+                    if (!apply_guard(both, edges[i]->guard)) continue;
+                    if (!apply_guard(both, edges[j]->guard)) continue;
+                    out.push_back(
+                        {RuleId::kTA2, FindingSeverity::kError,
+                         ta.name() + "/" + ta.location_name(src), "", 0,
+                         "nondeterministic choice on event '" + key.second +
+                             "': guards of " + edge_desc(ta, *edges[i]) +
+                             " and " + edge_desc(ta, *edges[j]) +
+                             " overlap in a reachable zone"});
+                    break;  // one report per pair
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- TA3 --
+
+void check_ta3(const TimedAutomaton& ta, const Exploration& ex,
+               std::vector<Finding>& out) {
+    // Strongly-non-zeno syntactic criterion (Tripakis): every structural
+    // cycle should contain a clock that is BOTH reset on the cycle and
+    // bounded from below by >= 1 on some cycle edge. We check it per
+    // SCC of the reachable internal-edge graph; an SCC violating it can
+    // loop without letting time diverge (zeno run / livelock).
+    const std::size_t n = ta.num_locations();
+
+    // Edges considered: internal, source reachable, guard satisfiable
+    // somewhere (fired is the cheapest sound proxy: unfired edges are
+    // TA1's problem, counting them here would double-report).
+    struct CycEdge {
+        std::size_t src, dst;
+        const Edge* e;
+    };
+    std::vector<CycEdge> edges;
+    std::vector<std::vector<std::size_t>> adj(n);
+    for (std::size_t li = 0; li < ex.internal_edges.size(); ++li) {
+        if (!ex.edge_fired[li]) continue;
+        const Edge& e = ta.edges()[ex.internal_edges[li]];
+        adj[e.src].push_back(edges.size());
+        edges.push_back({e.src, e.dst, &e});
+    }
+
+    // Tarjan SCC over locations (iterative).
+    std::vector<std::size_t> comp(n, SIZE_MAX), low(n), idx(n, SIZE_MAX);
+    std::vector<bool> on_stack(n, false);
+    std::vector<std::size_t> stack;
+    std::size_t counter = 0, ncomp = 0;
+    for (std::size_t root = 0; root < n; ++root) {
+        if (idx[root] != SIZE_MAX) continue;
+        // frame: (node, next child position)
+        std::vector<std::pair<std::size_t, std::size_t>> frames{{root, 0}};
+        while (!frames.empty()) {
+            auto& [v, child] = frames.back();
+            if (child == 0) {
+                idx[v] = low[v] = counter++;
+                stack.push_back(v);
+                on_stack[v] = true;
+            }
+            bool descended = false;
+            while (child < adj[v].size()) {
+                const std::size_t w = edges[adj[v][child]].dst;
+                ++child;
+                if (idx[w] == SIZE_MAX) {
+                    frames.emplace_back(w, 0);
+                    descended = true;
+                    break;
+                }
+                if (on_stack[w]) low[v] = std::min(low[v], idx[w]);
+            }
+            if (descended) continue;
+            if (low[v] == idx[v]) {
+                while (true) {
+                    const std::size_t w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = false;
+                    comp[w] = ncomp;
+                    if (w == v) break;
+                }
+                ++ncomp;
+            }
+            const std::size_t done = v;
+            frames.pop_back();
+            if (!frames.empty()) {
+                const std::size_t parent = frames.back().first;
+                low[parent] = std::min(low[parent], low[done]);
+            }
+        }
+    }
+
+    // Per SCC: gather internal edges, reset clocks, lower-bounded clocks.
+    struct SccInfo {
+        std::vector<const Edge*> edges;
+        std::set<ta::ClockId> resets;
+        std::set<ta::ClockId> lower_bounded;  ///< by >= 1 (or stricter)
+        std::size_t sample_loc = SIZE_MAX;
+    };
+    std::map<std::size_t, SccInfo> sccs;
+    for (const CycEdge& ce : edges) {
+        if (comp[ce.src] != comp[ce.dst]) continue;
+        auto& info = sccs[comp[ce.src]];
+        info.edges.push_back(ce.e);
+        info.sample_loc = ce.src;
+        for (ta::ClockId r : ce.e->resets) info.resets.insert(r);
+        for (const auto& c : ce.e->guard) {
+            // Lower bound "x >= k" is encoded as 0 - x <= -k (or < -k);
+            // k >= 1 guarantees at least one time unit per lap.
+            if (c.i == 0 && c.j != 0 && !c.bound.is_infinite() &&
+                c.bound.value() <= -1) {
+                info.lower_bounded.insert(c.j);
+            }
+        }
+    }
+    for (const auto& [cid, info] : sccs) {
+        (void)cid;
+        if (info.edges.empty()) continue;
+        bool progress = false;
+        for (ta::ClockId x : info.resets) {
+            if (info.lower_bounded.count(x) != 0) {
+                progress = true;
+                break;
+            }
+        }
+        if (progress) continue;
+        out.push_back(
+            {RuleId::kTA3, FindingSeverity::kWarning,
+             ta.name() + "/" + ta.location_name(info.sample_loc), "", 0,
+             "cycle through " + std::to_string(info.edges.size()) +
+                 " edge(s) has no clock that is both reset and bounded "
+                 "below (>= 1) on the cycle: time need not progress "
+                 "(potential zeno loop / livelock)"});
+    }
+}
+
+// ---------------------------------------------------------------- TA4 --
+
+void check_ta4(const TimedAutomaton& ta, std::vector<Finding>& out) {
+    // Location invariants: unsatisfiable over the clock universe.
+    for (std::size_t loc = 0; loc < ta.num_locations(); ++loc) {
+        Dbm z{ta.num_clocks()};
+        if (!apply_guard(z, ta.invariant(loc))) {
+            out.push_back({RuleId::kTA4, FindingSeverity::kError,
+                           ta.name() + "/" + ta.location_name(loc), "", 0,
+                           "location invariant is contradictory (empty zone)"});
+        }
+    }
+    // Edges: guard ∧ src invariant, then resets ∧ dst invariant.
+    for (const Edge& e : ta.edges()) {
+        Dbm z{ta.num_clocks()};
+        const bool inv_ok = apply_guard(z, ta.invariant(e.src));
+        if (!inv_ok) continue;  // already reported above
+        if (!apply_guard(z, e.guard)) {
+            out.push_back({RuleId::kTA4, FindingSeverity::kError,
+                           ta.name() + "/" + edge_desc(ta, e), "", 0,
+                           "guard contradicts itself or the source "
+                           "invariant (empty zone): edge can never fire"});
+            continue;
+        }
+        for (ta::ClockId r : e.resets) z.reset(r);
+        if (!apply_guard(z, ta.invariant(e.dst))) {
+            out.push_back({RuleId::kTA4, FindingSeverity::kError,
+                           ta.name() + "/" + edge_desc(ta, e), "", 0,
+                           "target invariant is unsatisfiable after the "
+                           "edge's resets: edge can never complete"});
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<Finding> lint_automaton(const TimedAutomaton& ta,
+                                    const TaLintOptions& opts) {
+    ta.validate();
+    std::vector<Finding> out;
+    const Exploration ex = explore(ta, opts);
+    check_ta1(ta, ex, opts, out);
+    check_ta2(ta, ex, out);
+    check_ta3(ta, ex, out);
+    check_ta4(ta, out);
+    return out;
+}
+
+}  // namespace mcps::analysis

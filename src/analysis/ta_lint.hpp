@@ -1,0 +1,48 @@
+/// \file ta_lint.hpp
+/// \brief Model-level lint rules TA1–TA4 over timed automata.
+///
+/// These rules re-use the DBM zone machinery of src/ta to check a model
+/// *statically* — no simulation tick is executed. One zone-graph
+/// exploration (same algorithm as ta::check_reachability, but recording
+/// per-location zones and per-edge firing) feeds TA1/TA2/TA3; TA4 is a
+/// purely local satisfiability check.
+///
+/// Composition awareness: product locations are named "a|b|c" by
+/// ta::parallel_compose. TA1 reports a *component* location as
+/// unreachable only if it appears in no reachable product location at
+/// its position — unreachable product *combinations* are expected and
+/// not defects. Safety-property locations (e.g. "Violation", "Overdue")
+/// are intentionally unreachable: list them in
+/// TaLintOptions::expected_unreachable and TA1 will instead verify they
+/// stay unreachable (reporting an error if one is reachable).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "finding.hpp"
+#include "ta/automaton.hpp"
+
+namespace mcps::analysis {
+
+struct TaLintOptions {
+    /// Exploration cap (zone-graph states); exceeding it throws.
+    std::size_t max_states = 500'000;
+    /// Location-name substrings that are *supposed* to be unreachable
+    /// (requirement-monitor bad states). Matching locations are exempt
+    /// from TA1 unreachability findings; if one is reachable that is
+    /// itself reported as an error. Edges into them are exempt from the
+    /// dead-transition check.
+    std::vector<std::string> expected_unreachable;
+};
+
+/// Run TA1–TA4 on one (closed) automaton. Sync edges that were left
+/// unfused by composition are ignored by the exploration, exactly as
+/// ta::check_reachability ignores them; channels whose send/receive
+/// sides do not both exist anywhere in the model are reported (TA1
+/// warning: such edges can never fire in any composition).
+[[nodiscard]] std::vector<Finding> lint_automaton(
+    const ta::TimedAutomaton& ta, const TaLintOptions& opts = {});
+
+}  // namespace mcps::analysis

@@ -109,6 +109,13 @@ const Node* AssuranceCase::find(const NodeId& id) const {
     return it == nodes_.end() ? nullptr : &it->second;
 }
 
+std::vector<const Node*> AssuranceCase::all_nodes() const {
+    std::vector<const Node*> out;
+    out.reserve(nodes_.size());
+    for (const auto& [id, node] : nodes_) out.push_back(&node);
+    return out;
+}
+
 const std::vector<NodeId>& AssuranceCase::children(const NodeId& id) const {
     static const std::vector<NodeId> kEmpty;
     const auto it = children_.find(id);

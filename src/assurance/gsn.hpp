@@ -104,6 +104,9 @@ public:
 
     [[nodiscard]] const Node* find(const NodeId& id) const;
     [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+    /// All nodes in id order (for whole-case analyses, e.g. the
+    /// hazard-coverage linter).
+    [[nodiscard]] std::vector<const Node*> all_nodes() const;
     [[nodiscard]] const std::vector<NodeId>& children(const NodeId& id) const;
 
     /// The root (first goal added). \throws std::logic_error if none.

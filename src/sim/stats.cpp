@@ -32,12 +32,15 @@ void Histogram::add(double x) noexcept {
         ++underflow_;
         return;
     }
-    const auto idx = static_cast<std::size_t>((x - lo_) / width_);
-    if (idx >= counts_.size()) {
+    // Range-check BEFORE the integer cast: for x far above the range
+    // (or NaN) the quotient exceeds size_t and float->int conversion
+    // would be undefined behaviour.
+    const double pos = (x - lo_) / width_;
+    if (!(pos < static_cast<double>(counts_.size()))) {
         ++overflow_;
         return;
     }
-    ++counts_[idx];
+    ++counts_[static_cast<std::size_t>(pos)];
 }
 
 void Histogram::merge(const Histogram& o) {

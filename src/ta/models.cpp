@@ -109,8 +109,11 @@ TimedAutomaton build_pump_farm(std::size_t n, const PumpModelParams& p) {
     if (n == 0) throw std::invalid_argument("build_pump_farm: n must be >= 1");
     TimedAutomaton farm = build_pump_lockout_model(p, "_0");
     for (std::size_t i = 1; i < n; ++i) {
-        farm = parallel_compose(
-            farm, build_pump_lockout_model(p, "_" + std::to_string(i)));
+        // Two-step concatenation sidesteps GCC 12's -Wrestrict false
+        // positive on `const char* + std::string&&` (PR 105329).
+        std::string suffix{"_"};
+        suffix += std::to_string(i);
+        farm = parallel_compose(farm, build_pump_lockout_model(p, suffix));
     }
     return farm;
 }

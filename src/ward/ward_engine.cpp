@@ -86,6 +86,9 @@ WardReport WardEngine::run(const testkit::InvariantChecker& checker) const {
     const WardScenarioFactory factory{cfg_};
 
     std::vector<ShardAccumulator> accs(shards);
+    // Wall clock measures the engine itself (throughput metric); it never
+    // feeds scenario state or fingerprints.
+    // mcps-analyze: allow(SIM1): wall-clock perf metric only
     const auto t0 = std::chrono::steady_clock::now();
     parallel_shards(shards, cfg_.jobs, [&](std::size_t s) {
         const ShardRange r = shard_range(n, shards, s);
@@ -95,6 +98,7 @@ WardReport WardEngine::run(const testkit::InvariantChecker& checker) const {
             acc.add(factory.run(i, checker));
         }
     });
+    // mcps-analyze: allow(SIM1): wall-clock perf metric only (see above).
     const auto t1 = std::chrono::steady_clock::now();
 
     WardReport rep;

@@ -1,0 +1,233 @@
+/// \file test_analysis_as_sim.cpp
+/// \brief Seeded-defect fixtures for AS1 (hazard coverage) and SIM1
+/// (banned-construct scan), plus suppression and JSON report tests.
+///
+/// SIM1 fixtures live under tests/analysis_fixtures/ — real files with
+/// real defects, never compiled, so the scanner is exercised on disk
+/// exactly as the CI gate runs it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "analysis/analysis.hpp"
+#include "assurance/assurance.hpp"
+
+#ifndef MCPS_ANALYSIS_FIXTURE_DIR
+#error "MCPS_ANALYSIS_FIXTURE_DIR must be defined by the build"
+#endif
+
+namespace {
+
+using namespace mcps;
+using analysis::Finding;
+using analysis::RuleId;
+
+const std::filesystem::path kFixtures{MCPS_ANALYSIS_FIXTURE_DIR};
+
+bool has_message(const std::vector<Finding>& fs, RuleId r,
+                 const std::string& needle) {
+    return std::any_of(fs.begin(), fs.end(), [&](const Finding& f) {
+        return f.rule == r && f.message.find(needle) != std::string::npos;
+    });
+}
+
+// -------------------------------------------------------------- AS1 ----
+
+TEST(AnalysisAS1, FlagsUncoveredHazard) {
+    assurance::HazardLog log;
+    assurance::Hazard h;
+    h.id = "H9";
+    h.description = "Unmitigated hazard";
+    log.add(h);
+
+    const auto cov = analysis::lint_hazard_coverage(log);
+    ASSERT_EQ(cov.findings.size(), 1u);
+    EXPECT_EQ(cov.findings[0].rule, RuleId::kAS1);
+    EXPECT_EQ(cov.findings[0].severity, analysis::FindingSeverity::kError);
+    EXPECT_TRUE(has_message(cov.findings, RuleId::kAS1, "uncovered risk"));
+    ASSERT_EQ(cov.rows.size(), 1u);
+    EXPECT_FALSE(cov.rows[0].covered());
+}
+
+TEST(AnalysisAS1, MitigationWithoutMechanismIsWarned) {
+    assurance::HazardLog log;
+    assurance::Hazard h;
+    h.id = "H9";
+    h.description = "Wishful mitigation";
+    h.mitigations.push_back({"someone should handle this",
+                             assurance::Likelihood::kRemote, ""});
+    log.add(h);
+
+    const auto cov = analysis::lint_hazard_coverage(log);
+    // The empty implemented_by draws a warning AND the hazard stays
+    // uncovered (an unimplemented mitigation covers nothing).
+    EXPECT_TRUE(
+        has_message(cov.findings, RuleId::kAS1, "no implementing mechanism"));
+    EXPECT_TRUE(has_message(cov.findings, RuleId::kAS1, "uncovered risk"));
+}
+
+TEST(AnalysisAS1, GsnGoalCoversHazardById) {
+    assurance::HazardLog log;
+    assurance::Hazard h;
+    h.id = "H9";
+    h.description = "Argued hazard";
+    log.add(h);
+
+    assurance::AssuranceCase ac{"case"};
+    ac.add_goal("G1", "Hazard H9 is controlled by design");
+
+    const auto cov = analysis::lint_hazard_coverage(log, &ac);
+    EXPECT_TRUE(cov.findings.empty());
+    ASSERT_EQ(cov.rows.size(), 1u);
+    ASSERT_EQ(cov.rows[0].gsn_nodes.size(), 1u);
+    EXPECT_EQ(cov.rows[0].gsn_nodes[0], "G1");
+}
+
+TEST(AnalysisAS1, IdMatchRespectsTokenBoundaries) {
+    // A goal about H10 must not cover H1.
+    assurance::HazardLog log;
+    assurance::Hazard h;
+    h.id = "H1";
+    h.description = "Needs its own goal";
+    log.add(h);
+
+    assurance::AssuranceCase ac{"case"};
+    ac.add_goal("G1", "Hazard H10 is controlled");
+
+    const auto cov = analysis::lint_hazard_coverage(log, &ac);
+    EXPECT_TRUE(has_message(cov.findings, RuleId::kAS1, "uncovered risk"));
+}
+
+TEST(AnalysisAS1, ShippedHazardLogIsFullyCovered) {
+    const auto log = assurance::build_gpca_hazard_log();
+    const auto gsn = assurance::build_gpca_case_skeleton();
+    const auto cov = analysis::lint_hazard_coverage(log, &gsn);
+    EXPECT_TRUE(cov.findings.empty());
+    for (const auto& row : cov.rows) {
+        EXPECT_TRUE(row.covered()) << row.hazard_id;
+    }
+    // The matrix must enumerate every hazard.
+    EXPECT_EQ(cov.rows.size(), log.count());
+    EXPECT_NE(cov.to_text().find("H1"), std::string::npos);
+}
+
+// ------------------------------------------------------------- SIM1 ----
+
+TEST(AnalysisSIM1, FlagsRawRand) {
+    const auto r =
+        analysis::scan_source_file(kFixtures / "sim1_rand.cpp");
+    ASSERT_EQ(r.files_scanned, 1u);
+    EXPECT_TRUE(has_message(r.findings, RuleId::kSIM1, "raw rand()"));
+    EXPECT_TRUE(has_message(r.findings, RuleId::kSIM1, "srand()"));
+    // Findings carry file/line anchors.
+    ASSERT_FALSE(r.findings.empty());
+    EXPECT_GT(r.findings[0].line, 0u);
+    EXPECT_NE(r.findings[0].file.find("sim1_rand.cpp"), std::string::npos);
+}
+
+TEST(AnalysisSIM1, FlagsWallClock) {
+    const auto r =
+        analysis::scan_source_file(kFixtures / "sim1_wallclock.cpp");
+    EXPECT_GE(r.findings.size(), 2u);
+    EXPECT_TRUE(has_message(r.findings, RuleId::kSIM1, "wall-clock"));
+}
+
+TEST(AnalysisSIM1, FlagsUnseededRng) {
+    const auto r =
+        analysis::scan_source_file(kFixtures / "sim1_unseeded_rng.cpp");
+    EXPECT_TRUE(has_message(r.findings, RuleId::kSIM1, "random_device"));
+    EXPECT_TRUE(has_message(r.findings, RuleId::kSIM1, "mt19937"));
+}
+
+TEST(AnalysisSIM1, CommentsAndStringsDoNotTrigger) {
+    const auto r =
+        analysis::scan_source_file(kFixtures / "sim1_clean.cpp");
+    EXPECT_TRUE(r.findings.empty());
+    EXPECT_EQ(r.suppressed, 0u);
+}
+
+TEST(AnalysisSIM1, InlineAllowSuppresses) {
+    const auto r =
+        analysis::scan_source_file(kFixtures / "sim1_suppressed.cpp");
+    EXPECT_TRUE(r.findings.empty());
+    EXPECT_EQ(r.suppressed, 2u);  // same-line + preceding-line markers
+}
+
+TEST(AnalysisSIM1, AllowFileSuppressesWholeFile) {
+    const auto r =
+        analysis::scan_source_file(kFixtures / "sim1_allow_file.cpp");
+    EXPECT_TRUE(r.findings.empty());
+    EXPECT_GE(r.suppressed, 2u);
+}
+
+TEST(AnalysisSIM1, TreeScanVisitsAllFixtures) {
+    const auto r = analysis::scan_source_tree(kFixtures);
+    EXPECT_GE(r.files_scanned, 6u);
+    EXPECT_FALSE(r.findings.empty());
+}
+
+TEST(AnalysisSIM1, ShippedSourceTreeIsClean) {
+    // The same gate the CI script runs: src/ must scan clean.
+    const std::filesystem::path src =
+        std::filesystem::weakly_canonical(kFixtures).parent_path()
+            .parent_path() / "src";
+    ASSERT_TRUE(std::filesystem::exists(src));
+    const auto r = analysis::scan_source_tree(src);
+    EXPECT_TRUE(r.findings.empty())
+        << r.findings.size() << " finding(s), first: "
+        << r.findings.front().to_string();
+    EXPECT_GT(r.files_scanned, 100u);
+}
+
+// ----------------------------------------------- suppressions & JSON ----
+
+TEST(AnalysisSuppression, ParseListRejectsUnknownRules) {
+    analysis::SuppressionSet s;
+    EXPECT_FALSE(s.parse_list("TA1,nope"));
+    EXPECT_EQ(s.size(), 0u);  // unchanged on failure
+    EXPECT_TRUE(s.parse_list("ta1, SIM1"));
+    EXPECT_TRUE(s.is_suppressed(RuleId::kTA1));
+    EXPECT_TRUE(s.is_suppressed(RuleId::kSIM1));
+    EXPECT_FALSE(s.is_suppressed(RuleId::kTA2));
+}
+
+TEST(AnalysisSuppression, AnalyzerCountsSuppressedFindings) {
+    analysis::SuppressionSet s;
+    ASSERT_TRUE(s.parse_list("SIM1"));
+    analysis::Analyzer a{s};
+    a.scan_sources((kFixtures / "sim1_rand.cpp").string());
+    EXPECT_TRUE(a.report().clean());
+    EXPECT_GT(a.report().suppressed_findings, 0u);
+}
+
+TEST(AnalysisReport, JsonReportIsWellFormed) {
+    analysis::Analyzer a;
+    a.scan_sources((kFixtures / "sim1_rand.cpp").string());
+    std::ostringstream out;
+    a.report().write_json(out);
+    const std::string json = out.str();
+    EXPECT_NE(json.find("\"tool\": \"mcps_analyze\""), std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"SIM1\""), std::string::npos);
+    EXPECT_NE(json.find("\"line\": "), std::string::npos);
+    // Balanced braces/brackets (cheap well-formedness probe).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(AnalysisReport, RuleCatalogIsComplete) {
+    EXPECT_EQ(analysis::all_rules().size(), analysis::kNumRules);
+    for (analysis::RuleId r : analysis::all_rules()) {
+        EXPECT_FALSE(analysis::rule_name(r).empty());
+        EXPECT_FALSE(analysis::rule_summary(r).empty());
+        analysis::RuleId parsed;
+        EXPECT_TRUE(analysis::parse_rule(analysis::rule_name(r), parsed));
+        EXPECT_EQ(parsed, r);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,269 @@
+/// \file test_analysis_ta.cpp
+/// \brief Seeded-defect fixtures for lint rules TA1–TA4, plus the
+/// clean-model guarantees: every shipped TA model must lint clean.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/analysis.hpp"
+#include "ta/ta.hpp"
+
+namespace {
+
+using namespace mcps;
+using analysis::Finding;
+using analysis::RuleId;
+using analysis::TaLintOptions;
+using ta::Constraint;
+using ta::TimedAutomaton;
+
+std::size_t count_rule(const std::vector<Finding>& fs, RuleId r) {
+    return static_cast<std::size_t>(
+        std::count_if(fs.begin(), fs.end(),
+                      [r](const Finding& f) { return f.rule == r; }));
+}
+
+bool has_message(const std::vector<Finding>& fs, RuleId r,
+                 const std::string& needle) {
+    return std::any_of(fs.begin(), fs.end(), [&](const Finding& f) {
+        return f.rule == r && f.message.find(needle) != std::string::npos;
+    });
+}
+
+// ------------------------------------------------------------- TA1 ----
+
+TEST(AnalysisTA1, FlagsUnreachableLocation) {
+    TimedAutomaton a{"orphan"};
+    a.add_clock("x");
+    const auto init = a.add_location("Init");
+    a.add_location("Orphan");  // no edge reaches it
+    a.set_initial(init);
+
+    const auto fs = analysis::lint_automaton(a);
+    ASSERT_EQ(count_rule(fs, RuleId::kTA1), 1u);
+    EXPECT_TRUE(has_message(fs, RuleId::kTA1, "unreachable"));
+    EXPECT_NE(fs[0].entity.find("Orphan"), std::string::npos);
+}
+
+TEST(AnalysisTA1, FlagsDeadTransition) {
+    // B is entered only with x >= 10; the B->C edge demands x <= 3 and
+    // x is never reset, so the edge is dead (and C unreachable).
+    TimedAutomaton a{"deadedge"};
+    const auto x = a.add_clock("x");
+    const auto ia = a.add_location("A");
+    const auto ib = a.add_location("B");
+    const auto ic = a.add_location("C");
+    a.set_initial(ia);
+    a.add_edge(ia, ib, {Constraint::ge(x, 10)}, {}, "arm");
+    a.add_edge(ib, ic, {Constraint::le(x, 3)}, {}, "late");
+
+    const auto fs = analysis::lint_automaton(a);
+    EXPECT_TRUE(has_message(fs, RuleId::kTA1, "dead edge"));
+    EXPECT_TRUE(has_message(fs, RuleId::kTA1, "unreachable"));
+}
+
+TEST(AnalysisTA1, ExpectedUnreachableIsExemptButVerified) {
+    TimedAutomaton a{"mon"};
+    const auto x = a.add_clock("x");
+    const auto ok = a.add_location("Ok");
+    const auto bad = a.add_location("Violation");
+    a.set_initial(ok);
+    a.add_edge(ok, bad, {Constraint::ge(x, 5)}, {}, "boom");
+
+    // Not exempted: the reachable bad state is only a TA1 finding when
+    // declared expected-unreachable.
+    TaLintOptions opts;
+    opts.expected_unreachable = {"Violation"};
+    const auto fs = analysis::lint_automaton(a, opts);
+    ASSERT_EQ(count_rule(fs, RuleId::kTA1), 1u);
+    EXPECT_TRUE(has_message(fs, RuleId::kTA1, "IS reachable"));
+
+    // A genuinely unreachable bad state is exempt: clean.
+    TimedAutomaton b{"mon2"};
+    const auto y = b.add_clock("y");
+    const auto good = b.add_location("Ok");
+    b.add_location("Violation");
+    b.set_initial(good);
+    b.add_edge(good, good, {Constraint::ge(y, 1)}, {y}, "tick");
+    const auto fs2 = analysis::lint_automaton(b, opts);
+    EXPECT_EQ(count_rule(fs2, RuleId::kTA1), 0u);
+}
+
+TEST(AnalysisTA1, FlagsChannelWithoutPartner) {
+    TimedAutomaton a{"haltsender"};
+    a.add_clock("x");
+    const auto ia = a.add_location("A");
+    const auto ib = a.add_location("B");
+    a.set_initial(ia);
+    a.add_sync_edge(ia, ib, {}, {}, "halt", ta::SyncKind::kSend);
+
+    const auto fs = analysis::lint_automaton(a);
+    EXPECT_TRUE(has_message(fs, RuleId::kTA1, "no receivers"));
+}
+
+// ------------------------------------------------------------- TA2 ----
+
+TEST(AnalysisTA2, FlagsOverlappingGuardsOnSameEvent) {
+    TimedAutomaton a{"ndet"};
+    const auto x = a.add_clock("x");
+    const auto ia = a.add_location("A");
+    const auto ib = a.add_location("B");
+    const auto ic = a.add_location("C");
+    a.set_initial(ia);
+    a.add_edge(ia, ib, {Constraint::le(x, 5)}, {}, "go");
+    a.add_edge(ia, ic, {Constraint::ge(x, 3)}, {}, "go");
+
+    const auto fs = analysis::lint_automaton(a);
+    ASSERT_EQ(count_rule(fs, RuleId::kTA2), 1u);
+    EXPECT_TRUE(has_message(fs, RuleId::kTA2, "nondeterministic"));
+}
+
+TEST(AnalysisTA2, DisjointGuardsAreDeterministic) {
+    TimedAutomaton a{"det"};
+    const auto x = a.add_clock("x");
+    const auto ia = a.add_location("A");
+    const auto ib = a.add_location("B");
+    const auto ic = a.add_location("C");
+    a.set_initial(ia);
+    a.add_edge(ia, ib, {Constraint::le(x, 2)}, {}, "go");
+    a.add_edge(ia, ic, {Constraint::ge(x, 3)}, {}, "go");
+
+    EXPECT_EQ(count_rule(analysis::lint_automaton(a), RuleId::kTA2), 0u);
+}
+
+TEST(AnalysisTA2, DifferentEventsMayOverlap) {
+    TimedAutomaton a{"choice"};
+    const auto ia = a.add_location("A");
+    const auto ib = a.add_location("B");
+    const auto ic = a.add_location("C");
+    const auto x = a.add_clock("x");
+    a.set_initial(ia);
+    a.add_edge(ia, ib, {Constraint::ge(x, 1), Constraint::le(x, 9)}, {x},
+               "left");
+    a.add_edge(ia, ic, {Constraint::ge(x, 1), Constraint::le(x, 9)}, {x},
+               "right");
+
+    EXPECT_EQ(count_rule(analysis::lint_automaton(a), RuleId::kTA2), 0u);
+}
+
+// ------------------------------------------------------------- TA3 ----
+
+TEST(AnalysisTA3, FlagsZenoSelfLoop) {
+    TimedAutomaton a{"zeno"};
+    a.add_clock("x");
+    const auto ia = a.add_location("Spin");
+    a.set_initial(ia);
+    a.add_edge(ia, ia, {}, {}, "spin");
+
+    const auto fs = analysis::lint_automaton(a);
+    ASSERT_EQ(count_rule(fs, RuleId::kTA3), 1u);
+    EXPECT_TRUE(has_message(fs, RuleId::kTA3, "zeno"));
+}
+
+TEST(AnalysisTA3, BoundedResetCycleIsClean) {
+    // The canonical non-zeno loop: reset x, demand x >= 1 to go round.
+    TimedAutomaton a{"ticker"};
+    const auto x = a.add_clock("x");
+    const auto ia = a.add_location("Tick");
+    a.set_initial(ia);
+    a.add_edge(ia, ia, {Constraint::ge(x, 1)}, {x}, "tick");
+
+    EXPECT_EQ(count_rule(analysis::lint_automaton(a), RuleId::kTA3), 0u);
+}
+
+TEST(AnalysisTA3, ResetWithoutLowerBoundIsFlagged) {
+    // x is reset on the cycle but never bounded below: laps can take
+    // zero time.
+    TimedAutomaton a{"reset_only"};
+    const auto x = a.add_clock("x");
+    const auto ia = a.add_location("A");
+    const auto ib = a.add_location("B");
+    a.set_initial(ia);
+    a.add_edge(ia, ib, {Constraint::le(x, 10)}, {x}, "fwd");
+    a.add_edge(ib, ia, {}, {}, "back");
+
+    EXPECT_EQ(count_rule(analysis::lint_automaton(a), RuleId::kTA3), 1u);
+}
+
+// ------------------------------------------------------------- TA4 ----
+
+TEST(AnalysisTA4, FlagsContradictoryGuard) {
+    TimedAutomaton a{"contra"};
+    const auto x = a.add_clock("x");
+    const auto ia = a.add_location("A");
+    const auto ib = a.add_location("B");
+    a.set_initial(ia);
+    a.add_edge(ia, ib, {Constraint::le(x, 2), Constraint::ge(x, 5)}, {},
+               "impossible");
+
+    const auto fs = analysis::lint_automaton(a);
+    EXPECT_GE(count_rule(fs, RuleId::kTA4), 1u);
+    EXPECT_TRUE(has_message(fs, RuleId::kTA4, "never fire"));
+}
+
+TEST(AnalysisTA4, FlagsUnsatisfiableInvariant) {
+    TimedAutomaton a{"badinv"};
+    const auto x = a.add_clock("x");
+    const auto ia = a.add_location("A", {Constraint::le(x, -1)});
+    a.set_initial(ia);
+
+    const auto fs = analysis::lint_automaton(a);
+    EXPECT_TRUE(has_message(fs, RuleId::kTA4, "invariant is contradictory"));
+}
+
+TEST(AnalysisTA4, FlagsTargetInvariantUnsatisfiableAfterReset) {
+    // Edge resets x then enters a location demanding x >= 5: the zone
+    // is empty at entry, so the edge can never complete.
+    TimedAutomaton a{"resetcontra"};
+    const auto x = a.add_clock("x");
+    const auto ia = a.add_location("A");
+    const auto ib = a.add_location("B", {Constraint::ge(x, 5)});
+    a.set_initial(ia);
+    a.add_edge(ia, ib, {}, {x}, "enter");
+
+    const auto fs = analysis::lint_automaton(a);
+    EXPECT_TRUE(has_message(fs, RuleId::kTA4, "never complete"));
+}
+
+// ---------------------------------------------------- shipped models ----
+
+TEST(AnalysisShippedModels, PumpLockoutLintsClean) {
+    TaLintOptions opts;
+    opts.expected_unreachable = {"Violation"};
+    const auto fs =
+        analysis::lint_automaton(ta::build_pump_lockout_model(), opts);
+    EXPECT_TRUE(fs.empty()) << fs.size() << " finding(s), first: "
+                            << fs.front().to_string();
+}
+
+TEST(AnalysisShippedModels, ClosedLoopLintsClean) {
+    TaLintOptions opts;
+    opts.expected_unreachable = {"Overdue"};
+    const auto fs =
+        analysis::lint_automaton(ta::build_closed_loop_model(), opts);
+    EXPECT_TRUE(fs.empty()) << fs.size() << " finding(s), first: "
+                            << fs.front().to_string();
+}
+
+TEST(AnalysisShippedModels, PumpFarmLintsClean) {
+    TaLintOptions opts;
+    opts.expected_unreachable = {"Violation"};
+    const auto fs = analysis::lint_automaton(ta::build_pump_farm(2), opts);
+    EXPECT_TRUE(fs.empty()) << fs.size() << " finding(s), first: "
+                            << fs.front().to_string();
+}
+
+TEST(AnalysisShippedModels, FaultyPumpModelIsCaughtByTA1) {
+    // The classic firmware defect (re-grant path skips the lockout
+    // guard) makes Violation reachable; the linter must say so.
+    ta::PumpModelParams p;
+    p.faulty_no_lockout_guard = true;
+    TaLintOptions opts;
+    opts.expected_unreachable = {"Violation"};
+    const auto fs =
+        analysis::lint_automaton(ta::build_pump_lockout_model(p), opts);
+    EXPECT_TRUE(has_message(fs, RuleId::kTA1, "IS reachable"));
+}
+
+}  // namespace

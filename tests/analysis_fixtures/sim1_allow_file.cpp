@@ -1,0 +1,14 @@
+// SIM1 fixture: file-level waiver. A single allow-file marker anywhere
+// in the file suppresses every SIM1 finding in it (all still counted).
+//
+// mcps-analyze: allow-file(SIM1): benchmark harness fixture
+
+#include <chrono>
+#include <cstdlib>
+
+double wall_seconds() {
+    const auto t = std::chrono::high_resolution_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+int jitter() { return std::rand() % 10; }

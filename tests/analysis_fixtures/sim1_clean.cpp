@@ -1,0 +1,24 @@
+// SIM1 fixture: a file that talks ABOUT banned constructs without using
+// them. The scanner strips comments and string literals before
+// matching, and requires identifier boundaries, so nothing below may
+// be flagged.
+//
+// Banned in sim code: rand(), srand(), std::random_device, mt19937,
+// system_clock, steady_clock, time(nullptr).
+
+#include <string>
+
+/* Block comments are stripped too: gettimeofday, clock_gettime. */
+
+std::string help_text() {
+    return "never call rand() or srand(); steady_clock and mt19937 are "
+           "banned in deterministic code";
+}
+
+// Identifier boundaries: these contain banned needles as substrings but
+// are legitimate identifiers of their own.
+int my_rand(int x) { return x; }
+int strand(int x) { return my_rand(x); }
+struct operand_t {
+    int operand(int v) { return v; }
+};

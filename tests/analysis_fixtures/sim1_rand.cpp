@@ -1,0 +1,9 @@
+// SIM1 fixture: raw C RNG. Never compiled; scanned by the analysis
+// tests, which assert both constructs below are flagged.
+
+#include <cstdlib>
+
+int roll_dice() {
+    std::srand(42);
+    return std::rand() % 6 + 1;
+}

@@ -1,0 +1,17 @@
+// SIM1 fixture: legitimate uses annotated inline. The tests assert the
+// file scans clean with exactly two SUPPRESSED findings (one same-line
+// marker, one preceding-line marker).
+
+#include <chrono>
+#include <random>
+
+long bench_clock() {
+    const auto t = std::chrono::steady_clock::now();  // mcps-analyze: allow(SIM1): perf metric fixture
+    return t.time_since_epoch().count();
+}
+
+unsigned lottery() {
+    // mcps-analyze: allow(SIM1): fixture exercises preceding-line marker
+    std::mt19937 gen{12345u};
+    return gen();
+}

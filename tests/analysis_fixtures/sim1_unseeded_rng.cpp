@@ -1,0 +1,11 @@
+// SIM1 fixture: platform-varying RNG. Never compiled; scanned by the
+// analysis tests.
+
+#include <random>
+
+double noisy_sample() {
+    std::random_device rd;
+    std::mt19937 gen{rd()};
+    std::uniform_real_distribution<double> dist{0.0, 1.0};
+    return dist(gen);
+}

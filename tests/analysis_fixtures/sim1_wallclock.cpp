@@ -1,0 +1,19 @@
+// SIM1 fixture: wall-clock time sources leaking into sim code.
+// Never compiled; scanned by the analysis tests.
+
+#include <chrono>
+#include <ctime>
+
+long stamp_ms() {
+    const auto now = std::chrono::system_clock::now();
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               now.time_since_epoch())
+        .count();
+}
+
+long elapsed(long t0) {
+    const auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return t.count() - t0;
+}
+
+long unix_seconds() { return static_cast<long>(time(nullptr)); }

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "sim/stats.hpp"
@@ -112,6 +113,19 @@ TEST(Histogram, BinsAndOverflow) {
     EXPECT_EQ(h.total(), 5u);
     EXPECT_DOUBLE_EQ(h.bin_low(1), 2.0);
     EXPECT_DOUBLE_EQ(h.bin_high(1), 4.0);
+}
+
+TEST(Histogram, ExtremeValuesLandInOverflowWithoutUb) {
+    // Regression: values whose bin index exceeds size_t (or NaN) must be
+    // classified as overflow BEFORE the float->int cast, which would
+    // otherwise be undefined behaviour.
+    Histogram h{0.0, 10.0, 5};
+    h.add(1e300);
+    h.add(std::numeric_limits<double>::infinity());
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(h.overflow(), 3u);
+    EXPECT_EQ(h.total(), 3u);
+    for (std::size_t i = 0; i < h.bins(); ++i) EXPECT_EQ(h.bin_count(i), 0u);
 }
 
 TEST(Histogram, InvalidConstruction) {

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# The full analysis gate, in one command:
+#
+#   1. warning-clean build:  MCPS_WERROR=ON (-Wconversion -Wshadow -Werror)
+#   2. model linter:         mcps_analyze over shipped models + src/ scan
+#   3. analysis test label:  per-rule seeded-defect fixtures
+#   4. clang-tidy:           tools/run_tidy.sh (SKIPPED if not installed)
+#   5. ASan+UBSan:           full test suite under address+undefined
+#   6. TSan:                 ward-engine suite under thread sanitizer
+#
+#   tools/ci_analysis.sh [--fast]
+#
+# --fast runs stages 1-4 only (the sanitizer stages rebuild the tree
+# twice and dominate wall time). Build trees are kept under build-ci-*
+# so repeat runs are incremental.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+stage() { echo; echo "==== $* ===="; }
+
+stage "1/6 warning-clean build (MCPS_WERROR=ON)"
+cmake -S "${repo_root}" -B "${repo_root}/build-ci-werror" \
+    -DCMAKE_BUILD_TYPE=Release -DMCPS_WERROR=ON >/dev/null
+cmake --build "${repo_root}/build-ci-werror" -j "${jobs}" >/dev/null
+echo "warning-clean: OK"
+
+stage "2/6 model linter (mcps_analyze)"
+"${repo_root}/build-ci-werror/tools/mcps_analyze" \
+    --src-root "${repo_root}/src" --matrix
+
+stage "3/6 analysis test label"
+ctest --test-dir "${repo_root}/build-ci-werror" -L analysis \
+    --output-on-failure
+
+stage "4/6 clang-tidy"
+"${repo_root}/tools/run_tidy.sh" "${repo_root}/build-ci-werror"
+
+if [[ "${fast}" == "1" ]]; then
+    stage "done (--fast: sanitizer stages skipped)"
+    exit 0
+fi
+
+stage "5/6 ASan+UBSan test suite"
+cmake -S "${repo_root}" -B "${repo_root}/build-ci-asan" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMCPS_SANITIZE="address;undefined" >/dev/null
+cmake --build "${repo_root}/build-ci-asan" -j "${jobs}" >/dev/null
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir "${repo_root}/build-ci-asan" --output-on-failure
+
+stage "6/6 TSan ward suite"
+cmake -S "${repo_root}" -B "${repo_root}/build-ci-tsan" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMCPS_SANITIZE=thread >/dev/null
+cmake --build "${repo_root}/build-ci-tsan" -j "${jobs}" \
+    --target mcps_tests mcps_ward_cli >/dev/null
+ctest --test-dir "${repo_root}/build-ci-tsan" \
+    -L ward -R 'Ward|ward' --output-on-failure
+
+stage "all analysis gates passed"
