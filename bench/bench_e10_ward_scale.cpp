@@ -16,6 +16,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench_io.hpp"
 #include "sim/table.hpp"
@@ -33,14 +34,17 @@ constexpr std::size_t kPatients = 64;
 int main(int argc, char** argv) {
     benchio::JsonReporter json{argc, argv, "e10_ward_scale"};
     json.set_seed(kMasterSeed);
+    const bool quick = benchio::quick_mode(argc, argv);
+    const std::size_t patients = quick ? 8 : kPatients;
 
-    std::cout << "E10: ward-scale parallel execution (" << kPatients
+    std::cout << "E10: ward-scale parallel execution (" << patients
               << " patients, mixed workloads, fault plans on)\n\n";
 
     ward::WardConfig cfg;
     cfg.seed = kMasterSeed;
-    cfg.patients = kPatients;
-    cfg.shards = 32;  // fixed: the reduction tree must not change with jobs
+    cfg.patients = patients;
+    // Fixed: the reduction tree must not change with jobs.
+    cfg.shards = quick ? 8 : 32;
     cfg.mix = {0.6, 0.2, 0.2};
     cfg.fault_intensity = 1.0;
 
@@ -49,7 +53,9 @@ int main(int argc, char** argv) {
     double serial_rate = 0.0;
     std::uint64_t serial_fp = 0;
     bool fingerprints_agree = true;
-    for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
+    const std::vector<unsigned> job_counts =
+        quick ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4, 8};
+    for (const unsigned jobs : job_counts) {
         cfg.jobs = jobs;
         const auto rep = ward::WardEngine{cfg}.run();
         if (jobs == 1) {

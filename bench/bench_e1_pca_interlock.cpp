@@ -29,8 +29,11 @@ using namespace mcps::sim::literals;
 
 namespace {
 
-constexpr std::size_t kPatientsPerCell = 10;
 constexpr std::uint64_t kMasterSeed = 20260706;
+
+// Full-size by default; `--quick` shrinks both (JSON smoke test).
+std::size_t g_patients_per_cell = 10;
+sim::SimDuration g_duration = 4_h;
 
 struct CellResult {
     double severe_rate = 0;
@@ -57,7 +60,7 @@ CellResult run_cell(physio::Archetype arch, LoopConfig loop,
     sim::RngStream pop_rng{kMasterSeed, "e1.population." +
                                             std::string{to_string(arch)}};
     const auto population =
-        physio::sample_population(arch, kPatientsPerCell, pop_rng);
+        physio::sample_population(arch, g_patients_per_cell, pop_rng);
 
     CellResult cell;
     sim::RunningStats min_spo2, below90, drug, pain, stops;
@@ -65,7 +68,7 @@ CellResult run_cell(physio::Archetype arch, LoopConfig loop,
     for (std::size_t i = 0; i < population.size(); ++i) {
         core::PcaScenarioConfig cfg;
         cfg.seed = kMasterSeed + 1000 * static_cast<std::uint64_t>(i);
-        cfg.duration = 4_h;
+        cfg.duration = g_duration;
         cfg.patient = population[i];
         cfg.demand_mode = demand;
         switch (loop) {
@@ -136,9 +139,13 @@ void run_table(core::DemandMode demand, const std::string& title,
 int main(int argc, char** argv) {
     mcps::benchio::JsonReporter json{argc, argv, "e1_pca_interlock"};
     json.set_seed(kMasterSeed);
+    if (mcps::benchio::quick_mode(argc, argv)) {
+        g_patients_per_cell = 2;
+        g_duration = 30_min;
+    }
     std::cout << "E1: PCA closed-loop safety interlock vs open-loop PCA\n"
-              << "(" << kPatientsPerCell
-              << " sampled patients per cell, 4 simulated hours each)\n\n";
+              << "(" << g_patients_per_cell << " sampled patients per cell, "
+              << g_duration.to_minutes() << " simulated minutes each)\n\n";
     run_table(core::DemandMode::kProxy,
               "E1a: PCA-by-proxy demand (intrinsic PCA safety defeated)",
               "proxy", json);

@@ -23,7 +23,9 @@ using namespace mcps::sim::literals;
 
 namespace {
 
-constexpr int kSeedsPerCell = 6;
+// Full-size by default; `--quick` shrinks both (JSON smoke test).
+int g_seeds_per_cell = 6;
+sim::SimDuration g_duration = 4_h;
 
 struct CellResult {
     double stop_latency_ms = 0;  ///< mean interlock onset->ack latency
@@ -37,10 +39,10 @@ CellResult run_cell(sim::SimDuration latency, double loss,
                     core::DataLossPolicy policy) {
     sim::RunningStats lat, below, drug, dls;
     int severe = 0;
-    for (int s = 0; s < kSeedsPerCell; ++s) {
+    for (int s = 0; s < g_seeds_per_cell; ++s) {
         core::PcaScenarioConfig cfg;
         cfg.seed = 9000 + static_cast<std::uint64_t>(s);
-        cfg.duration = 4_h;
+        cfg.duration = g_duration;
         cfg.patient =
             physio::nominal_parameters(physio::Archetype::kOpioidSensitive);
         cfg.demand_mode = core::DemandMode::kProxy;
@@ -62,7 +64,7 @@ CellResult run_cell(sim::SimDuration latency, double loss,
     CellResult c;
     c.stop_latency_ms = lat.mean();
     c.min_below90 = below.mean();
-    c.severe_rate = static_cast<double>(severe) / kSeedsPerCell;
+    c.severe_rate = static_cast<double>(severe) / g_seeds_per_cell;
     c.drug_mg = drug.mean();
     c.dataloss_stops = dls.mean();
     return c;
@@ -73,10 +75,14 @@ CellResult run_cell(sim::SimDuration latency, double loss,
 int main(int argc, char** argv) {
     mcps::benchio::JsonReporter json{argc, argv, "e2_network"};
     json.set_seed(9000);
+    if (mcps::benchio::quick_mode(argc, argv)) {
+        g_seeds_per_cell = 2;
+        g_duration = 30_min;
+    }
     std::cout << "E2: network quality vs closed-loop PCA safety\n"
               << "(opioid-sensitive patient, proxy demand, dual-sensor "
                  "interlock, "
-              << kSeedsPerCell << " seeds per cell)\n\n";
+              << g_seeds_per_cell << " seeds per cell)\n\n";
 
     {
         sim::Table t({"latency", "stop_latency_ms", "min_below90",

@@ -24,13 +24,15 @@ using namespace mcps::sim::literals;
 
 namespace {
 
-constexpr int kSeeds = 6;
+// Full-size by default; `--quick` shrinks both (JSON smoke test).
+int g_seeds = 6;
+sim::SimDuration g_duration = 6_h;
 
 core::PcaScenarioConfig base_cfg(bool overdose, std::uint64_t seed,
                                  double artifact_prob) {
     core::PcaScenarioConfig cfg;
     cfg.seed = seed;
-    cfg.duration = 6_h;
+    cfg.duration = g_duration;
     cfg.patient = physio::nominal_parameters(
         overdose ? physio::Archetype::kOpioidSensitive
                  : physio::Archetype::kTypicalAdult);
@@ -49,8 +51,13 @@ core::PcaScenarioConfig base_cfg(bool overdose, std::uint64_t seed,
 int main(int argc, char** argv) {
     mcps::benchio::JsonReporter json{argc, argv, "e3_smart_alarm"};
     json.set_seed(100);
+    if (mcps::benchio::quick_mode(argc, argv)) {
+        g_seeds = 2;
+        g_duration = 1_h;
+    }
     std::cout << "E3: threshold alarms vs fused smart alarm\n("
-              << kSeeds << " seeds per cell, 6 simulated hours each)\n\n";
+              << g_seeds << " seeds per cell, " << g_duration.to_minutes()
+              << " simulated minutes each)\n\n";
 
     // ---- E3a: false alarms on a stable patient ----------------------
     {
@@ -58,12 +65,13 @@ int main(int argc, char** argv) {
                       "smart_FA_per_h", "smart_critical_per_h"});
         for (const double prob : {0.0, 0.001, 0.003, 0.006, 0.012}) {
             sim::RunningStats mon, smart, crit;
-            for (int s = 0; s < kSeeds; ++s) {
+            const double hours = g_duration.to_minutes() / 60.0;
+            for (int s = 0; s < g_seeds; ++s) {
                 const auto r = core::run_pca_scenario(
                     base_cfg(false, 100 + static_cast<std::uint64_t>(s), prob));
-                mon.add(static_cast<double>(r.monitor_alarm_count) / 6.0);
-                smart.add(static_cast<double>(r.smart_alarm_count) / 6.0);
-                crit.add(static_cast<double>(r.smart_critical_count) / 6.0);
+                mon.add(static_cast<double>(r.monitor_alarm_count) / hours);
+                smart.add(static_cast<double>(r.smart_alarm_count) / hours);
+                crit.add(static_cast<double>(r.smart_critical_count) / hours);
             }
             // Artifact bursts begin per 1 s sample => expected rate/h:
             t.row()
@@ -89,7 +97,7 @@ int main(int argc, char** argv) {
         sim::Table t({"detector", "detected", "missed", "mean_latency_s"});
         int mon_detected = 0, smart_detected = 0, events = 0;
         sim::RunningStats mon_latency, smart_latency;
-        for (int s = 0; s < kSeeds; ++s) {
+        for (int s = 0; s < g_seeds; ++s) {
             auto cfg = base_cfg(true, 200 + static_cast<std::uint64_t>(s),
                                 0.003);
             core::PcaScenario scenario{cfg};

@@ -20,14 +20,16 @@ using namespace mcps;
 using namespace mcps::sim::literals;
 
 namespace {
-constexpr std::size_t kProcedures = 60;
+// Full-size by default; `--quick` shrinks it (JSON smoke test).
+std::size_t g_procedures = 60;
 }
 
 int main(int argc, char** argv) {
     mcps::benchio::JsonReporter json{argc, argv, "e4_xray_vent"};
     json.set_seed(41);
+    if (mcps::benchio::quick_mode(argc, argv)) g_procedures = 4;
     std::cout << "E4: X-ray/ventilator synchronization — automated vs manual\n("
-              << kProcedures << " procedures per cell)\n\n";
+              << g_procedures << " procedures per cell)\n\n";
 
     // ---- E4a: automated vs manual at increasing sloppiness -----------
     {
@@ -48,7 +50,7 @@ int main(int argc, char** argv) {
 
         core::XrayScenarioConfig cfg;
         cfg.seed = 41;
-        cfg.procedures = kProcedures;
+        cfg.procedures = g_procedures;
         cfg.mode = core::CoordinationMode::kAutomated;
         add("automated (ICE app)", "automated", core::run_xray_scenario(cfg));
 
@@ -78,7 +80,7 @@ int main(int argc, char** argv) {
         for (const double loss : {0.0, 0.1, 0.2, 0.4}) {
             core::XrayScenarioConfig cfg;
             cfg.seed = 43;
-            cfg.procedures = kProcedures;
+            cfg.procedures = g_procedures;
             cfg.mode = core::CoordinationMode::kAutomated;
             cfg.channel.base_latency = 40_ms;
             cfg.channel.jitter_sd = 10_ms;

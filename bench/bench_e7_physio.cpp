@@ -17,6 +17,10 @@ using namespace mcps::physio;
 int main(int argc, char** argv) {
     mcps::benchio::JsonReporter json{argc, argv, "e7_physio"};
     json.set_seed(77);
+    const bool quick = mcps::benchio::quick_mode(argc, argv);
+    // E7c population size and observation horizon (steps of 0.5 s).
+    const std::size_t pop_n = quick ? 4 : 30;
+    const int horizon_steps = quick ? 30 * 60 * 2 : 2 * 3600 * 2;
     std::cout << "E7: patient-model validation\n\n";
 
     // ---- E7a: integrator accuracy vs analytic PK ----------------------
@@ -85,14 +89,14 @@ int main(int argc, char** argv) {
                       "tta_median_min", "tta_p90_min"});
         for (const auto arch : all_archetypes()) {
             sim::RngStream rng{77, "e7.pop." + std::string{to_string(arch)}};
-            const auto pop = sample_population(arch, 30, rng);
+            const auto pop = sample_population(arch, pop_n, rng);
             sim::SampleSet tta;
             int apneas = 0;
             for (const auto& params : pop) {
                 Patient p{params};
                 p.set_infusion_rate(InfusionRate::mg_per_hour(6.0));
                 double t_apnea = -1;
-                for (int i = 0; i < 2 * 3600 * 2; ++i) {  // 2 h at 0.5 s
+                for (int i = 0; i < horizon_steps; ++i) {
                     p.step(0.5);
                     if (p.is_apneic()) {
                         t_apnea = p.elapsed_seconds() / 60.0;
@@ -122,8 +126,8 @@ int main(int argc, char** argv) {
                         tta.empty() ? -1.0 : tta.median(), "min");
         }
         t.print(std::cout,
-                "E7c: time-to-apnea under a 6 mg/h runaway infusion "
-                "(30 sampled patients each)");
+                "E7c: time-to-apnea under a 6 mg/h runaway infusion (" +
+                    std::to_string(pop_n) + " sampled patients each)");
         std::cout << '\n';
     }
 

@@ -32,7 +32,9 @@ using namespace mcps::sim::literals;
 
 namespace {
 
-constexpr int kSeeds = 6;
+// Full-size by default; `--quick` shrinks both (JSON smoke test).
+int g_seeds = 6;
+sim::SimDuration g_duration = 3_h;
 
 using Hook = std::function<void(core::PcaScenario&)>;
 
@@ -73,8 +75,12 @@ std::vector<Fault> faults() {
 int main(int argc, char** argv) {
     mcps::benchio::JsonReporter json{argc, argv, "e8_fault_injection"};
     json.set_seed(7000);
+    if (mcps::benchio::quick_mode(argc, argv)) {
+        g_seeds = 2;
+        g_duration = 30_min;
+    }
     std::cout << "E8: fault injection during a developing overdose\n("
-              << kSeeds << " seeds per cell, fault at t = 10 min)\n\n";
+              << g_seeds << " seeds per cell, fault at t = 10 min)\n\n";
 
     for (const auto policy : {core::DataLossPolicy::kFailSafe,
                               core::DataLossPolicy::kFailOperational}) {
@@ -83,10 +89,10 @@ int main(int argc, char** argv) {
         for (const auto& fault : faults()) {
             int severe = 0;
             sim::RunningStats min_spo2, dls, drug, stops;
-            for (int s = 0; s < kSeeds; ++s) {
+            for (int s = 0; s < g_seeds; ++s) {
                 core::PcaScenarioConfig cfg;
                 cfg.seed = 7000 + static_cast<std::uint64_t>(s);
-                cfg.duration = 3_h;
+                cfg.duration = g_duration;
                 cfg.patient = physio::nominal_parameters(
                     physio::Archetype::kOpioidSensitive);
                 cfg.demand_mode = core::DemandMode::kProxy;
@@ -106,7 +112,7 @@ int main(int argc, char** argv) {
             }
             t.row()
                 .cell(fault.label)
-                .cell(static_cast<double>(severe) / kSeeds, 2)
+                .cell(static_cast<double>(severe) / g_seeds, 2)
                 .cell(min_spo2.mean(), 1)
                 .cell(dls.mean(), 1)
                 .cell(drug.mean(), 2)
@@ -114,7 +120,7 @@ int main(int argc, char** argv) {
             const std::string key = std::string{core::to_string(policy)} +
                                     "." + fault.label;
             json.metric(key + ".severe_rate",
-                        static_cast<double>(severe) / kSeeds, "ratio");
+                        static_cast<double>(severe) / g_seeds, "ratio");
             json.metric(key + ".drug_mg", drug.mean(), "mg");
         }
         t.print(std::cout, std::string{"E8: policy = "} +

@@ -27,7 +27,9 @@ using namespace mcps::sim::literals;
 
 namespace {
 
-constexpr int kSeeds = 8;
+// Full-size by default; `--quick` shrinks both (JSON smoke test).
+int g_seeds = 8;
+sim::SimDuration g_duration = 6_h;
 
 struct CellResult {
     double alarms_per_h = 0;
@@ -44,10 +46,10 @@ CellResult run_cell(bool use_smart_alarm, double artifact_prob) {
     sim::RunningStats alarms, fatigue, response, rescues, min_spo2, false_trips,
         ignored;
     int severe = 0;
-    for (int s = 0; s < kSeeds; ++s) {
+    for (int s = 0; s < g_seeds; ++s) {
         core::PcaScenarioConfig cfg;
         cfg.seed = 5000 + static_cast<std::uint64_t>(s);
-        cfg.duration = 6_h;
+        cfg.duration = g_duration;
         cfg.patient =
             physio::nominal_parameters(physio::Archetype::kOpioidSensitive);
         cfg.demand_mode = core::DemandMode::kProxy;
@@ -68,7 +70,8 @@ CellResult run_cell(bool use_smart_alarm, double artifact_prob) {
 
         const auto r = scenario.run();
         const auto& ns = nurse.stats();
-        alarms.add(static_cast<double>(ns.alarms_heard) / 6.0);
+        alarms.add(static_cast<double>(ns.alarms_heard) /
+                   (g_duration.to_minutes() / 60.0));
         // The outcome-relevant fatigue is the WORST factor a dispatch
         // suffered (the one racing the developing overdose).
         double worst = 1.0;
@@ -91,7 +94,7 @@ CellResult run_cell(bool use_smart_alarm, double artifact_prob) {
     c.mean_response_s = response.mean();
     c.rescues = rescues.mean();
     c.false_trips = false_trips.mean();
-    c.severe_rate = static_cast<double>(severe) / kSeeds;
+    c.severe_rate = static_cast<double>(severe) / g_seeds;
     c.mean_min_spo2 = min_spo2.mean();
     return c;
 }
@@ -101,9 +104,13 @@ CellResult run_cell(bool use_smart_alarm, double artifact_prob) {
 int main(int argc, char** argv) {
     mcps::benchio::JsonReporter json{argc, argv, "e9_alarm_fatigue"};
     json.set_seed(5000);
+    if (mcps::benchio::quick_mode(argc, argv)) {
+        g_seeds = 2;
+        g_duration = 45_min;
+    }
     std::cout << "E9 (ablation): alarm quality -> nurse fatigue -> outcome\n("
-              << kSeeds
-              << " seeds per cell, 6 h, sensitive patient, proxy demand, NO "
+              << g_seeds << " seeds per cell, " << g_duration.to_minutes()
+              << " min, sensitive patient, proxy demand, NO "
                  "interlock)\n\n";
 
     sim::Table t({"alarm_source", "artifacts_per_h", "alarms_per_h",

@@ -19,10 +19,22 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 namespace mcps::benchio {
+
+/// True when argv contains `--quick`: the bench shrinks its workload
+/// (fewer seeds/patients/procedures, shorter horizons) so the JSON
+/// schema smoke test can execute every experiment binary in seconds.
+/// Quick numbers are NOT the paper's numbers — only the report shape.
+inline bool quick_mode(int argc, char** argv) noexcept {
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view{argv[i]} == "--quick") return true;
+    }
+    return false;
+}
 
 class JsonReporter {
 public:

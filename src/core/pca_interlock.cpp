@@ -222,6 +222,10 @@ void PcaInterlock::issue_stop(const std::string& why) {
     trigger_onset_ =
         condition_since_.is_never() ? ctx_.sim.now() : condition_since_;
     ctx_.trace.mark(ctx_.sim.now(), "interlock/" + name() + "/stop/" + why);
+    if (auto* log = ctx_.events) {
+        log->emit(mcps::obs::EventKind::kInterlockTrip, ctx_.sim.now(), name(),
+                  "stop/" + why, static_cast<double>(stats_.stops_issued));
+    }
     send_pending_command();
     // Retries ride until the ack lands — the command channel is lossy too.
     retry_handle_.cancel();
@@ -236,6 +240,10 @@ void PcaInterlock::issue_resume() {
     pending_cmd_ = PendingCmd::kResume;
     pending_command_seq_ = next_command_seq_++;
     ctx_.trace.mark(ctx_.sim.now(), "interlock/" + name() + "/resume");
+    if (auto* log = ctx_.events) {
+        log->emit(mcps::obs::EventKind::kInterlockTrip, ctx_.sim.now(), name(),
+                  "resume", static_cast<double>(stats_.resumes_issued));
+    }
     send_pending_command();
     // Resume rides the same lossy network: retry until acknowledged.
     retry_handle_.cancel();

@@ -38,10 +38,11 @@ struct PcaScenario::Impl {
           bus{sim, cfg.channel},
           patient{cfg.patient},
           demand{make_demand(cfg), sim.rng("demand")},
-          ctx{sim, bus, trace},
+          ctx{sim, bus, trace, cfg.events},
           pump{ctx, "pump1", patient, cfg.prescription},
           oximeter{ctx, "oxi1", patient, cfg.oximeter},
           capnometer{ctx, "cap1", patient, cfg.capnometer} {
+        bus.set_event_log(cfg.events);
         if (cfg.with_monitor) monitor.emplace(ctx, "monitor1", cfg.monitor);
         if (cfg.with_smart_alarm) {
             smart.emplace(ctx, "smart1", cfg.smart_alarm);
@@ -59,6 +60,12 @@ PcaScenario::PcaScenario(PcaScenarioConfig cfg)
     : impl_{std::make_unique<Impl>(std::move(cfg))} {
     auto& im = *impl_;
     const auto& c = im.cfg;
+
+    if (auto* log = c.events) {
+        log->emit(mcps::obs::EventKind::kScenarioStart, im.sim.now(), "pca",
+                  c.interlock ? "closed-loop" : "open-loop",
+                  static_cast<double>(c.seed));
+    }
 
     // Heartbeats for supervisor liveness monitoring.
     im.pump.set_heartbeat_period(SimDuration::seconds(2));
@@ -201,6 +208,11 @@ PcaScenarioResult PcaScenario::run() {
         }
     }
     r.events_dispatched = im.sim.events_dispatched();
+    if (auto* log = im.cfg.events) {
+        log->emit(mcps::obs::EventKind::kScenarioEnd, im.sim.now(), "pca",
+                  r.severe_hypoxemia ? "severe-hypoxemia" : "ok",
+                  static_cast<double>(r.events_dispatched));
+    }
     return r;
 }
 

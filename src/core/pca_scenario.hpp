@@ -17,6 +17,7 @@
 #include "devices/monitor.hpp"
 #include "devices/pulse_oximeter.hpp"
 #include "net/channel.hpp"
+#include "obs/event_log.hpp"
 #include "pca_interlock.hpp"
 #include "physio/pca_demand.hpp"
 #include "physio/population.hpp"
@@ -60,6 +61,11 @@ struct PcaScenarioConfig {
     /// \p hook_at with access to the live scenario parts.
     std::function<void(class PcaScenario&)> mid_run_hook;
     mcps::sim::SimTime hook_at = mcps::sim::SimTime::never();
+
+    /// Optional structured event log shared by the bus, devices,
+    /// supervisor and interlock. nullptr (default) disables tracing;
+    /// must outlive the scenario when set.
+    mcps::obs::EventLog* events = nullptr;
 };
 
 /// Ground-truth safety + therapy metrics computed after the run.

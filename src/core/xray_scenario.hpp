@@ -11,6 +11,7 @@
 
 #include "xray_vent_app.hpp"
 #include "net/channel.hpp"
+#include "obs/event_log.hpp"
 #include "physio/population.hpp"
 
 namespace mcps::core {
@@ -33,6 +34,10 @@ struct XrayScenarioConfig {
     XrayVentConfig sync{};
     ManualCoordinatorConfig manual{};
     net::ChannelParameters channel{};
+
+    /// Optional structured event log (bus + supervisor + devices).
+    /// nullptr (default) disables tracing; must outlive the run when set.
+    mcps::obs::EventLog* events = nullptr;
 };
 
 struct XrayScenarioResult {

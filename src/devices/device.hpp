@@ -34,11 +34,14 @@ enum class DeviceKind {
 [[nodiscard]] std::string_view to_string(DeviceKind k) noexcept;
 
 /// Shared wiring for a device: the simulation kernel, the data bus and
-/// the trace recorder. All references must outlive the device.
+/// the trace recorder. All references must outlive the device. The
+/// optional structured event log is shared by every component of a
+/// scenario; nullptr (the default) disables event emission.
 struct DeviceContext {
     mcps::sim::Simulation& sim;
     mcps::net::Bus& bus;
     mcps::sim::TraceRecorder& trace;
+    mcps::obs::EventLog* events = nullptr;
 };
 
 /// Abstract device. Concrete devices implement on_start/on_stop and wire
@@ -95,6 +98,8 @@ protected:
     }
     [[nodiscard]] mcps::net::Bus& bus() noexcept { return ctx_.bus; }
     [[nodiscard]] mcps::sim::TraceRecorder& trace() noexcept { return ctx_.trace; }
+    /// Structured event log; nullptr when observability is disabled.
+    [[nodiscard]] mcps::obs::EventLog* events() noexcept { return ctx_.events; }
 
     void add_capability(std::string cap) {
         capabilities_.push_back(std::move(cap));

@@ -278,6 +278,11 @@ void GpcaPump::handle_command(const mcps::net::Message& m) {
         ok = false;
         detail = "unknown-action:" + cmd->action;
     }
+    if (auto* log = events()) {
+        log->emit(mcps::obs::EventKind::kPumpCommand, sim().now(), name(),
+                  cmd->action + ":" + detail,
+                  static_cast<double>(cmd->command_seq));
+    }
     publish("ack/" + name(),
             mcps::net::AckPayload{cmd->command_seq, ok, detail});
 }

@@ -60,6 +60,10 @@ DeployResult Supervisor::deploy(VmdApp& app) {
     if (resolved.empty() && !app.requirements().empty()) {
         result.error = "unsatisfied requirement: " + missing;
         trace().mark(sim().now(), "deploy_fail/" + app.name());
+        if (auto* log = events()) {
+            log->emit(mcps::obs::EventKind::kSupervisorState, sim().now(),
+                      name(), "deploy_fail/" + app.name());
+        }
         return result;
     }
 
@@ -76,6 +80,11 @@ DeployResult Supervisor::deploy(VmdApp& app) {
     result.ok = true;
     result.assembly_time = sim().now() - t0;
     trace().mark(sim().now(), "deploy/" + app.name());
+    if (auto* log = events()) {
+        log->emit(mcps::obs::EventKind::kSupervisorState, sim().now(), name(),
+                  "deploy/" + app.name(),
+                  static_cast<double>(result.bound_devices.size()));
+    }
     publish_status("deployed", app.name());
     return result;
 }
@@ -88,6 +97,10 @@ bool Supervisor::undeploy(VmdApp& app) {
     app.on_app_stop();
     deployments_.erase(it);
     unwatch_unused();
+    if (auto* log = events()) {
+        log->emit(mcps::obs::EventKind::kSupervisorState, sim().now(), name(),
+                  "undeploy/" + app.name());
+    }
     publish_status("undeployed", app.name());
     return true;
 }
@@ -135,6 +148,10 @@ void Supervisor::on_heartbeat(const mcps::net::Message& m) {
     if (it->second.lost) {
         it->second.lost = false;
         trace().mark(sim().now(), "device_recovered/" + device);
+        if (auto* log = events()) {
+            log->emit(mcps::obs::EventKind::kSupervisorState, sim().now(),
+                      name(), "device_recovered/" + device);
+        }
         for (const auto& dep : deployments_) {
             if (std::find(dep.devices.begin(), dep.devices.end(), device) !=
                 dep.devices.end()) {
@@ -160,6 +177,11 @@ void Supervisor::mark_lost(const std::string& device, LivenessInfo& info) {
     info.lost = true;
     ++lost_events_;
     trace().mark(sim().now(), "device_lost/" + device);
+    if (auto* log = events()) {
+        log->emit(mcps::obs::EventKind::kSupervisorState, sim().now(), name(),
+                  "device_lost/" + device,
+                  static_cast<double>(lost_events_));
+    }
     publish("alarm/" + name(),
             mcps::net::StatusPayload{"device-lost", device});
     for (const auto& dep : deployments_) {

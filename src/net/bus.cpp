@@ -84,6 +84,10 @@ std::uint64_t Bus::publish(const std::string& sender, const std::string& topic,
 
     auto msg = std::make_shared<Message>(
         Message{seq, topic, sender, now, std::move(payload)});
+    if (events_) {
+        events_->emit(mcps::obs::EventKind::kBusPublish, now, sender, topic,
+                      static_cast<double>(seq));
+    }
 
     // Snapshot matching subscriptions now; a subscriber added after
     // publication must not receive an in-flight message.
@@ -93,6 +97,10 @@ std::uint64_t Bus::publish(const std::string& sender, const std::string& topic,
         DeliveryPlan plan = ch.plan_delivery(now);
         if (plan.dropped) {
             ++stats_.dropped;
+            if (events_) {
+                events_->emit(mcps::obs::EventKind::kBusDrop, now,
+                              sub.endpoint, topic, static_cast<double>(seq));
+            }
             continue;
         }
         std::shared_ptr<Message> out = msg;
@@ -116,6 +124,11 @@ std::uint64_t Bus::publish(const std::string& sender, const std::string& topic,
             ++stats_.delivered;
             stats_.delivery_latency_ms.add(
                 (sim_.now() - msg->sent_at).to_millis());
+            if (events_) {
+                events_->emit(mcps::obs::EventKind::kBusDeliver, sim_.now(),
+                              it->endpoint, msg->topic,
+                              static_cast<double>(msg->seq));
+            }
             it->handler(*msg);
         };
         sim_.schedule_after(plan.delay, deliver);

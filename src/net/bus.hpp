@@ -23,6 +23,7 @@
 
 #include "channel.hpp"
 #include "message.hpp"
+#include "obs/event_log.hpp"
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
 
@@ -90,6 +91,14 @@ public:
         return subs_.size();
     }
 
+    /// Attach a structured event log (publish/deliver/drop events).
+    /// nullptr (the default) disables bus tracing at one-branch cost.
+    /// The log must outlive the bus.
+    void set_event_log(mcps::obs::EventLog* log) noexcept { events_ = log; }
+    [[nodiscard]] mcps::obs::EventLog* event_log() const noexcept {
+        return events_;
+    }
+
 private:
     struct Subscription {
         SubscriptionId id;
@@ -108,6 +117,7 @@ private:
     std::map<std::string, std::unique_ptr<Channel>> channels_;
     std::vector<std::pair<mcps::sim::SimTime, mcps::sim::SimTime>> partitions_;
     BusStats stats_;
+    mcps::obs::EventLog* events_ = nullptr;
 };
 
 }  // namespace mcps::net

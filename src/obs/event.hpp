@@ -1,0 +1,58 @@
+/// \file event.hpp
+/// \brief Typed, sim-time-stamped observability events.
+///
+/// An Event is the structured counterpart of a TraceRecorder mark: it
+/// carries a closed kind taxonomy, the simulated instant, the emitting
+/// component, a kind-specific detail string and one numeric value. The
+/// taxonomy deliberately mirrors the layers of the system — bus traffic,
+/// supervisor decisions, pump commands, interlock trips, fault
+/// injections, ward sharding — so a single log reconstructs "what the
+/// closed-loop system did and when" across every layer (the forensic
+/// accountability the MCPS vision requires).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace mcps::obs {
+
+/// The closed event taxonomy. Keep to_string/event_kind_from in sync;
+/// the JSONL schema and the golden traces depend on these names.
+enum class EventKind : std::uint8_t {
+    kScenarioStart = 0,  ///< a scenario kernel begins (value: seed)
+    kScenarioEnd,        ///< a scenario kernel finished (value: events run)
+    kBusPublish,         ///< message accepted by the bus (value: seq)
+    kBusDeliver,         ///< message handed to a subscriber (value: seq)
+    kBusDrop,            ///< delivery dropped by the link model (value: seq)
+    kSupervisorState,    ///< deploy/undeploy/device-lost/device-recovered
+    kPumpCommand,        ///< remote pump command handled (value: cmd seq)
+    kInterlockTrip,      ///< interlock stop/resume decision
+    kFaultInject,        ///< testkit fault window armed (value: magnitude)
+    kShardStart,         ///< ward shard began (value: shard index)
+    kShardEnd,           ///< ward shard finished (value: shard index)
+};
+
+/// Stable wire name, e.g. "bus_publish".
+[[nodiscard]] std::string_view to_string(EventKind k) noexcept;
+/// Inverse of to_string; nullopt for unknown names.
+[[nodiscard]] std::optional<EventKind> event_kind_from(std::string_view s);
+
+/// One structured event. Everything in here must be a pure function of
+/// the scenario's (seed, config) — no wall-clock, no addresses — so that
+/// logs are bit-identical across runs and job counts.
+struct Event {
+    EventKind kind = EventKind::kScenarioStart;
+    mcps::sim::SimTime time;
+    std::string source;  ///< endpoint/device/app name ("ward" for shards)
+    std::string detail;  ///< kind-specific text (topic, state, fault kind)
+    double value = 0.0;  ///< kind-specific number (seq, index, magnitude)
+
+    friend bool operator==(const Event&, const Event&) = default;
+};
+
+}  // namespace mcps::obs

@@ -1,0 +1,50 @@
+#include "event_log.hpp"
+
+#include <bit>
+
+namespace mcps::obs {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+
+constexpr std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+    h ^= v;
+    h *= 1099511628211ULL;
+    h ^= h >> 29;
+    return h;
+}
+
+std::uint64_t mix_string(std::uint64_t h, std::string_view s) noexcept {
+    h = mix(h, s.size());
+    for (char c : s) h = mix(h, static_cast<std::uint8_t>(c));
+    return h;
+}
+
+}  // namespace
+
+void EventLog::append(const EventLog& other) {
+    events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+}
+
+std::size_t EventLog::count(EventKind k) const noexcept {
+    std::size_t n = 0;
+    for (const auto& e : events_) {
+        if (e.kind == k) ++n;
+    }
+    return n;
+}
+
+std::uint64_t EventLog::fingerprint() const noexcept {
+    std::uint64_t h = kFnvOffset;
+    for (const auto& e : events_) {
+        h = mix(h, static_cast<std::uint64_t>(e.kind));
+        h = mix(h, static_cast<std::uint64_t>(e.time.ticks()));
+        h = mix_string(h, e.source);
+        h = mix_string(h, e.detail);
+        h = mix(h, std::bit_cast<std::uint64_t>(e.value));
+    }
+    return h;
+}
+
+}  // namespace mcps::obs

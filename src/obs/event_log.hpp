@@ -1,0 +1,69 @@
+/// \file event_log.hpp
+/// \brief Append-only structured event log with a determinism contract.
+///
+/// An EventLog records Events in emission order. Within one scenario the
+/// simulation kernel is single-threaded, so emission order is a pure
+/// function of (seed, config); across ward shards, each shard owns a
+/// private log that the engine appends in shard order — which makes the
+/// merged log bit-identical for ANY `--jobs`, the same argument the
+/// WardReport fingerprint makes for statistics.
+///
+/// Instrumentation sites hold a nullable `EventLog*`: a null pointer is
+/// the disabled fast path (one branch, no strings built), so scenarios
+/// that don't ask for observability pay nothing measurable.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "event.hpp"
+
+namespace mcps::obs {
+
+class EventLog {
+public:
+    EventLog() = default;
+
+    /// Append one event. `time` is the event's simulated instant; it
+    /// need not be monotone across the log (fault windows are emitted at
+    /// arm time, ward shards restart the clock), only deterministic.
+    void emit(EventKind kind, mcps::sim::SimTime time, std::string source,
+              std::string detail, double value = 0.0) {
+        events_.push_back(Event{kind, time, std::move(source),
+                                std::move(detail), value});
+    }
+
+    [[nodiscard]] const std::vector<Event>& events() const noexcept {
+        return events_;
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+    void clear() noexcept { events_.clear(); }
+    void reserve(std::size_t n) { events_.reserve(n); }
+
+    /// Append another log's events after this one's (shard-order merge).
+    void append(const EventLog& other);
+
+    /// Number of events of one kind.
+    [[nodiscard]] std::size_t count(EventKind k) const noexcept;
+
+    /// Order- and value-exact 64-bit digest of the whole log. Two logs
+    /// fingerprint equal iff their JSONL serializations are identical.
+    [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
+private:
+    std::vector<Event> events_;
+};
+
+/// Emit-if-enabled helper for instrumentation sites holding `EventLog*`.
+/// Arguments are only evaluated eagerly, so keep them cheap; sites that
+/// build strings should guard with `if (log)` themselves.
+inline void emit(EventLog* log, EventKind kind, mcps::sim::SimTime time,
+                 std::string source, std::string detail, double value = 0.0) {
+    if (log) {
+        log->emit(kind, time, std::move(source), std::move(detail), value);
+    }
+}
+
+}  // namespace mcps::obs

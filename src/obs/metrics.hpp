@@ -1,0 +1,110 @@
+/// \file metrics.hpp
+/// \brief Named metrics registry: counters, gauges, histograms.
+///
+/// A MetricsRegistry is the numeric side of the observability layer:
+/// monotone counters (events, commands, violations), last-value gauges
+/// (configuration echoes, final levels) and fixed-bin histograms
+/// (reusing sim::Histogram, whose integer-count merge is exact and
+/// associative). Registries merge name-wise — counters add, histograms
+/// bin-add, gauges take the later registry's value — so per-shard
+/// registries merged in shard order produce the same result for any job
+/// count, exactly like the ward engine's statistic reduction.
+///
+/// Names use '/'-separated lowercase paths ("ward/pca_runs",
+/// "bus/published"). Iteration order is the sorted name order (map), so
+/// every exporter is deterministic.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "sim/stats.hpp"
+
+namespace mcps::obs {
+
+/// Monotone event counter.
+class Counter {
+public:
+    void add(std::uint64_t n = 1) noexcept { value_ += n; }
+    [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+/// Last-value gauge. Tracks how many times it was set so merge can
+/// distinguish "never touched" from "explicitly set to zero".
+class Gauge {
+public:
+    void set(double v) noexcept {
+        value_ = v;
+        ++sets_;
+    }
+    [[nodiscard]] double value() const noexcept { return value_; }
+    [[nodiscard]] std::uint64_t sets() const noexcept { return sets_; }
+
+    /// Registry-merge semantics: \p o's value wins when \p o was ever
+    /// set; set counts accumulate.
+    void merge(const Gauge& o) noexcept {
+        if (o.sets_ > 0) value_ = o.value_;
+        sets_ += o.sets_;
+    }
+
+private:
+    double value_ = 0.0;
+    std::uint64_t sets_ = 0;
+};
+
+class MetricsRegistry {
+public:
+    /// Get-or-create. References stay valid for the registry's lifetime
+    /// (node-based map storage).
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    /// Get-or-create; binning parameters are only used on creation.
+    /// \throws std::invalid_argument if an existing histogram under this
+    /// name has different binning (a metric-name collision bug).
+    mcps::sim::Histogram& histogram(const std::string& name, double lo,
+                                    double hi, std::size_t bins);
+
+    /// Lookups without creation; nullptr if absent.
+    [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+    [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+    [[nodiscard]] const mcps::sim::Histogram* find_histogram(
+        const std::string& name) const;
+
+    [[nodiscard]] std::size_t counter_count() const noexcept {
+        return counters_.size();
+    }
+    [[nodiscard]] std::size_t gauge_count() const noexcept {
+        return gauges_.size();
+    }
+    [[nodiscard]] std::size_t histogram_count() const noexcept {
+        return histograms_.size();
+    }
+
+    /// Name-wise merge: counters add; gauges take \p o's value when \p o
+    /// ever set it (set counts add); histograms bin-merge (created here
+    /// if absent). Merging per-shard registries in shard order is the
+    /// parallel reduction.
+    /// \throws std::invalid_argument on a histogram binning mismatch.
+    void merge(const MetricsRegistry& o);
+
+    /// Human-readable summary (three sim::Table tables).
+    void write_table(std::ostream& os) const;
+    /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+    void write_json(std::ostream& os) const;
+
+    /// Order- and value-exact digest across all three metric families.
+    [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
+private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, mcps::sim::Histogram> histograms_;
+};
+
+}  // namespace mcps::obs

@@ -2,10 +2,17 @@
 
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
+#include <string>
 
 namespace mcps::sim {
 
-SimDuration SimDuration::from_seconds(double s) noexcept {
+SimDuration SimDuration::from_seconds(double s) {
+    if (!std::isfinite(s)) {
+        throw std::invalid_argument(
+            "SimDuration::from_seconds: non-finite input (" +
+            std::to_string(s) + ")");
+    }
     return SimDuration::micros(static_cast<std::int64_t>(std::llround(s * 1e6)));
 }
 

@@ -46,7 +46,10 @@ public:
         return SimDuration{v * 3'600'000'000LL};
     }
     /// Fractional seconds, rounded to the nearest microsecond.
-    [[nodiscard]] static SimDuration from_seconds(double s) noexcept;
+    /// \throws std::invalid_argument on NaN or infinite input — a
+    ///   non-finite duration would otherwise corrupt the event queue
+    ///   through llround's undefined result.
+    [[nodiscard]] static SimDuration from_seconds(double s);
 
     [[nodiscard]] constexpr std::int64_t ticks() const noexcept { return us_; }
     [[nodiscard]] constexpr double to_seconds() const noexcept {

@@ -1,11 +1,16 @@
 #include "trace.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace mcps::sim {
 
 void Signal::record(SimTime t, double value) {
+    if (std::isnan(value)) {
+        throw std::invalid_argument("Signal '" + name_ +
+                                    "': NaN sample value at " + t.to_string());
+    }
     if (!samples_.empty() && t < samples_.back().time) {
         throw std::invalid_argument("Signal '" + name_ +
                                     "': sample time going backwards (" +

@@ -129,6 +129,12 @@ void FaultInjector::apply(const FaultEvent& e) {
             break;
     }
     ++armed_;
+    if (events_) {
+        events_->emit(mcps::obs::EventKind::kFaultInject, SimTime::at(e.at),
+                      e.target.empty() ? std::string{to_string(e.kind)}
+                                       : e.target,
+                      std::string{to_string(e.kind)}, e.magnitude);
+    }
 }
 
 }  // namespace mcps::testkit

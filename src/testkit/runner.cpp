@@ -78,6 +78,7 @@ PcaRunOutcome run_instrumented_pca(const core::PcaScenarioConfig& cfg,
     FaultInjector injector{scenario.simulation(), scenario.bus()};
     injector.attach_oximeter(scenario.oximeter());
     injector.attach_capnometer(scenario.capnometer());
+    injector.set_event_log(cfg.events);
     injector.arm(faults);
 
     out.result = scenario.run();

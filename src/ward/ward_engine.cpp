@@ -64,6 +64,28 @@ struct ShardAccumulator {
     }
 };
 
+/// Fold one scenario outcome into a shard-local metrics registry. Names
+/// are stable wire identifiers (exported by mcps_trace / the ward CLI).
+void record_outcome(obs::MetricsRegistry& reg, const ScenarioOutcome& o) {
+    reg.counter("ward.scenarios").add(1);
+    reg.counter("ward.runs." + std::string{to_string(o.kind)}).add(1);
+    reg.counter("ward.demands_denied").add(o.demands_denied);
+    reg.counter("ward.interlock_stops").add(o.interlock_stops);
+    reg.counter("ward.monitor_alarms").add(o.monitor_alarms);
+    reg.counter("ward.smart_alarms").add(o.smart_alarms);
+    reg.counter("ward.smart_critical").add(o.smart_critical);
+    reg.counter("ward.violations").add(o.violations);
+    reg.counter("ward.events_dispatched").add(o.events_dispatched);
+    reg.histogram("ward.min_spo2", 0.0, 100.0, 50).add(o.min_spo2);
+    if (o.kind != WardScenarioKind::kXraySync) {
+        reg.histogram("ward.dose_mg", 0.0, 40.0, 40).add(o.drug_mg);
+    }
+    if (o.detection_latency_s >= 0.0) {
+        reg.histogram("ward.detection_latency_s", 0.0, 600.0, 60)
+            .add(o.detection_latency_s);
+    }
+}
+
 }  // namespace
 
 double WardReport::alarms_per_scenario() const noexcept {
@@ -80,12 +102,18 @@ WardReport WardEngine::run() const {
     return run(testkit::InvariantChecker::with_defaults());
 }
 
-WardReport WardEngine::run(const testkit::InvariantChecker& checker) const {
+WardReport WardEngine::run(const testkit::InvariantChecker& checker,
+                           WardObservation* obs) const {
     const std::size_t n = cfg_.patients;
     const std::size_t shards = std::min(cfg_.shards, n);
     const WardScenarioFactory factory{cfg_};
 
     std::vector<ShardAccumulator> accs(shards);
+    // Shard-local observability sinks: each shard appends its scenarios'
+    // events in ascending index order; the calling thread concatenates
+    // and merges in shard order, so the result is job-count independent.
+    std::vector<obs::EventLog> shard_events(obs ? shards : 0);
+    std::vector<obs::MetricsRegistry> shard_metrics(obs ? shards : 0);
     // Wall clock measures the engine itself (throughput metric); it never
     // feeds scenario state or fingerprints.
     // mcps-analyze: allow(SIM1): wall-clock perf metric only
@@ -94,8 +122,19 @@ WardReport WardEngine::run(const testkit::InvariantChecker& checker) const {
         const ShardRange r = shard_range(n, shards, s);
         auto& acc = accs[s];
         acc.fingerprints.reserve(r.last - r.first);
+        obs::EventLog* log = obs ? &shard_events[s] : nullptr;
+        if (log) {
+            log->emit(obs::EventKind::kShardStart, sim::SimTime::origin(),
+                      "ward", "shard", static_cast<double>(s));
+        }
         for (std::size_t i = r.first; i < r.last; ++i) {
-            acc.add(factory.run(i, checker));
+            const ScenarioOutcome o = factory.run(i, checker, log);
+            acc.add(o);
+            if (obs) record_outcome(shard_metrics[s], o);
+        }
+        if (log) {
+            log->emit(obs::EventKind::kShardEnd, sim::SimTime::origin(),
+                      "ward", "shard", static_cast<double>(s));
         }
     });
     // mcps-analyze: allow(SIM1): wall-clock perf metric only (see above).
@@ -133,6 +172,21 @@ WardReport WardEngine::run(const testkit::InvariantChecker& checker) const {
         for (const std::uint64_t f : acc.fingerprints) fp = mix64(fp, f);
     }
     rep.fingerprint = fp;
+
+    if (obs) {
+        obs->events.clear();
+        obs->metrics = obs::MetricsRegistry{};
+        std::size_t total_events = 0;
+        for (const auto& log : shard_events) total_events += log.size();
+        obs->events.reserve(total_events);
+        for (const auto& log : shard_events) obs->events.append(log);
+        for (const auto& reg : shard_metrics) obs->metrics.merge(reg);
+        // Campaign-shape gauges (job count deliberately excluded: the
+        // observation must not vary with --jobs).
+        obs->metrics.gauge("ward.fault_intensity").set(cfg_.fault_intensity);
+        obs->metrics.gauge("ward.patients").set(static_cast<double>(n));
+        obs->metrics.gauge("ward.shards").set(static_cast<double>(shards));
+    }
 
     rep.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
     rep.scenarios_per_sec =

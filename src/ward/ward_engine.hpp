@@ -22,10 +22,24 @@
 
 #include <iosfwd>
 
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
 #include "sim/stats.hpp"
 #include "ward_scenarios.hpp"
 
 namespace mcps::ward {
+
+/// Optional observability sink for a ward campaign: the merged structured
+/// event log (every scenario's events, concatenated in scenario-index
+/// order within shards merged in shard order) plus a metrics registry of
+/// ward-level counters and histograms. Both are bit-identical for any
+/// job count — the per-shard collection and shard-order merge follow the
+/// same determinism argument as the report fingerprint. Deliberately
+/// excludes job count and wall-clock, the only run-varying quantities.
+struct WardObservation {
+    obs::EventLog events;
+    obs::MetricsRegistry metrics;
+};
 
 /// Ward-level aggregate over one campaign.
 struct WardReport {
@@ -87,7 +101,10 @@ public:
 
     /// Run the campaign with the default clinical invariant set.
     [[nodiscard]] WardReport run() const;
-    [[nodiscard]] WardReport run(const testkit::InvariantChecker& checker) const;
+    /// \param obs when non-null, filled with the campaign's merged event
+    ///   log and metrics (cleared first). Null skips all collection.
+    [[nodiscard]] WardReport run(const testkit::InvariantChecker& checker,
+                                 WardObservation* obs = nullptr) const;
 
 private:
     WardConfig cfg_;

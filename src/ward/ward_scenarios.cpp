@@ -55,12 +55,14 @@ void fold_pca(const testkit::PcaRunOutcome& run, ScenarioOutcome& out) {
 }  // namespace
 
 ScenarioOutcome WardScenarioFactory::run(
-    std::uint64_t index, const testkit::InvariantChecker& checker) const {
+    std::uint64_t index, const testkit::InvariantChecker& checker,
+    mcps::obs::EventLog* events) const {
     ScenarioOutcome out;
     out.kind = kind_of(index);
     switch (out.kind) {
         case WardScenarioKind::kPcaClosedLoop: {
-            const auto g = gen_.pca(index);
+            auto g = gen_.pca(index);
+            g.config.events = events;
             fold_pca(testkit::run_instrumented_pca(g.config, g.faults, checker),
                      out);
             break;
@@ -72,6 +74,7 @@ ScenarioOutcome WardScenarioFactory::run(
             // scenario. The interlock stays armed so the run remains
             // inside the claimed-safe envelope.
             auto g = gen_.pca(index);
+            g.config.events = events;
             g.config.with_monitor = true;
             g.config.with_smart_alarm = true;
             g.config.oximeter.artifact_probability =
@@ -82,7 +85,9 @@ ScenarioOutcome WardScenarioFactory::run(
             break;
         }
         case WardScenarioKind::kXraySync: {
-            const auto run = testkit::run_instrumented_xray(gen_.xray(index).config);
+            auto xcfg = gen_.xray(index).config;
+            xcfg.events = events;
+            const auto run = testkit::run_instrumented_xray(xcfg);
             out.fingerprint = run.fingerprint;
             out.min_spo2 = run.result.min_spo2;
             out.violations = static_cast<std::uint32_t>(run.violations.size());

@@ -56,9 +56,13 @@ public:
     /// Deterministic workload choice for an index (mix-weighted).
     [[nodiscard]] WardScenarioKind kind_of(std::uint64_t index) const;
 
-    /// Run scenario \p index to completion on the calling thread.
-    [[nodiscard]] ScenarioOutcome run(
-        std::uint64_t index, const testkit::InvariantChecker& checker) const;
+    /// Run scenario \p index to completion on the calling thread. When
+    /// \p events is non-null the scenario's structured events (bus,
+    /// supervisor, interlock, faults) are appended to it.
+    [[nodiscard]] ScenarioOutcome run(std::uint64_t index,
+                                      const testkit::InvariantChecker& checker,
+                                      mcps::obs::EventLog* events =
+                                          nullptr) const;
 
 private:
     std::uint64_t seed_;

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "sim/time.hpp"
 
 namespace {
@@ -18,6 +21,17 @@ TEST(SimDuration, NamedConstructorsAgree) {
     EXPECT_EQ(SimDuration::hours(2), 2_h);
     EXPECT_EQ(120_s, 2_min);
     EXPECT_EQ(1500_us, SimDuration::micros(1500));
+}
+
+TEST(SimDuration, FromSecondsRejectsNonFinite) {
+    EXPECT_THROW((void)SimDuration::from_seconds(std::nan("")),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        (void)SimDuration::from_seconds(std::numeric_limits<double>::infinity()),
+        std::invalid_argument);
+    EXPECT_THROW((void)SimDuration::from_seconds(
+                     -std::numeric_limits<double>::infinity()),
+                 std::invalid_argument);
 }
 
 TEST(SimDuration, FromSecondsRounds) {

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "sim/trace.hpp"
@@ -22,6 +24,25 @@ TEST(Signal, RecordsAndQueriesLast) {
     s.record(at(2_s), 20.0);
     EXPECT_EQ(s.size(), 2u);
     EXPECT_DOUBLE_EQ(*s.last(), 20.0);
+}
+
+TEST(Signal, RejectsNanValues) {
+    Signal s{"x"};
+    EXPECT_THROW(s.record(at(1_s), std::nan("")),
+                 std::invalid_argument);
+    EXPECT_TRUE(s.empty());
+    // Infinities are representable measurements (divide-by-zero sensor
+    // glitches) and pass through; only NaN is rejected.
+    s.record(at(1_s), std::numeric_limits<double>::infinity());
+    EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(TraceRecorder, RejectsNanValues) {
+    TraceRecorder tr;
+    tr.record("x", at(1_s), 1.0);
+    EXPECT_THROW(tr.record("x", at(2_s), std::nan("")),
+                 std::invalid_argument);
+    EXPECT_EQ(tr.find("x")->size(), 1u);
 }
 
 TEST(Signal, RejectsTimeGoingBackwards) {

@@ -204,6 +204,62 @@ TEST(WardEngine, ParallelRunIsBitIdenticalWithFaultPlans) {
     expect_reports_identical(serial, parallel);
 }
 
+TEST(WardEngine, ObservationIsBitIdenticalAcrossJobCounts) {
+    WardConfig cfg;
+    cfg.seed = 777;
+    cfg.patients = 12;
+    cfg.shards = 6;
+    cfg.mix = {0.5, 0.25, 0.25};
+    cfg.fault_intensity = 1.0;
+    const auto checker = testkit::InvariantChecker::with_defaults();
+
+    std::vector<WardObservation> observations;
+    for (const unsigned jobs : {1u, 4u, 8u}) {
+        cfg.jobs = jobs;
+        auto& o = observations.emplace_back();
+        (void)WardEngine{cfg}.run(checker, &o);
+    }
+
+    const auto& ref = observations.front();
+    ASSERT_FALSE(ref.events.empty());
+    EXPECT_GT(ref.metrics.counter_count(), 0u);
+    for (std::size_t i = 1; i < observations.size(); ++i) {
+        const auto& o = observations[i];
+        // Full structural equality, not just fingerprints.
+        ASSERT_EQ(o.events.size(), ref.events.size());
+        EXPECT_TRUE(o.events.events() == ref.events.events());
+        EXPECT_EQ(o.events.fingerprint(), ref.events.fingerprint());
+        EXPECT_EQ(o.metrics.fingerprint(), ref.metrics.fingerprint());
+    }
+
+    // The merged metrics agree with the ward totals.
+    cfg.jobs = 1;
+    const auto report = WardEngine{cfg}.run(checker, nullptr);
+    const auto* scenarios = ref.metrics.find_counter("ward.scenarios");
+    ASSERT_NE(scenarios, nullptr);
+    EXPECT_EQ(scenarios->value(), cfg.patients);
+    const auto* stops = ref.metrics.find_counter("ward.interlock_stops");
+    ASSERT_NE(stops, nullptr);
+    EXPECT_EQ(stops->value(), report.interlock_stops);
+}
+
+TEST(WardEngine, ObservationCollectsShardAndScenarioEvents) {
+    WardConfig cfg;
+    cfg.seed = 99;
+    cfg.patients = 4;
+    cfg.shards = 2;
+    cfg.mix = {1.0, 0.0, 0.0};  // all PCA
+    WardObservation o;
+    (void)WardEngine{cfg}.run(testkit::InvariantChecker::with_defaults(), &o);
+
+    EXPECT_EQ(o.events.count(mcps::obs::EventKind::kShardStart), 2u);
+    EXPECT_EQ(o.events.count(mcps::obs::EventKind::kShardEnd), 2u);
+    EXPECT_EQ(o.events.count(mcps::obs::EventKind::kScenarioStart), 4u);
+    EXPECT_EQ(o.events.count(mcps::obs::EventKind::kScenarioEnd), 4u);
+    // Bus traffic flows through the shared log.
+    EXPECT_GT(o.events.count(mcps::obs::EventKind::kBusPublish), 0u);
+}
+
 TEST(WardEngine, FingerprintDependsOnSeedAndMix) {
     WardConfig cfg;
     cfg.patients = 6;

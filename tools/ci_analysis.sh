@@ -8,17 +8,27 @@
 #   5. ASan+UBSan:           full test suite under address+undefined
 #   6. TSan:                 ward-engine suite under thread sanitizer
 #
-#   tools/ci_analysis.sh [--fast]
+#   tools/ci_analysis.sh [--fast] [--coverage]
 #
 # --fast runs stages 1-4 only (the sanitizer stages rebuild the tree
-# twice and dominate wall time). Build trees are kept under build-ci-*
-# so repeat runs are incremental.
+# twice and dominate wall time). --coverage appends a gcovr/llvm-cov
+# line-coverage report (MCPS_COVERAGE=ON tree; SKIPPED if the report
+# tool is not installed). Build trees are kept under build-ci-* so
+# repeat runs are incremental.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 fast=0
-[[ "${1:-}" == "--fast" ]] && fast=1
+coverage=0
+for arg in "$@"; do
+    case "${arg}" in
+        --fast) fast=1 ;;
+        --coverage) coverage=1 ;;
+        *) echo "usage: tools/ci_analysis.sh [--fast] [--coverage]" >&2
+           exit 2 ;;
+    esac
+done
 
 stage() { echo; echo "==== $* ===="; }
 
@@ -39,7 +49,24 @@ ctest --test-dir "${repo_root}/build-ci-werror" -L analysis \
 stage "4/6 clang-tidy"
 "${repo_root}/tools/run_tidy.sh" "${repo_root}/build-ci-werror"
 
+run_coverage() {
+    stage "coverage report (MCPS_COVERAGE=ON)"
+    if ! command -v gcovr >/dev/null && ! command -v llvm-cov >/dev/null; then
+        echo "coverage: SKIPPED (neither gcovr nor llvm-cov installed)"
+        return 0
+    fi
+    cmake -S "${repo_root}" -B "${repo_root}/build-ci-cov" \
+        -DCMAKE_BUILD_TYPE=Debug -DMCPS_COVERAGE=ON >/dev/null
+    cmake --build "${repo_root}/build-ci-cov" -j "${jobs}" \
+        --target mcps_tests >/dev/null
+    LLVM_PROFILE_FILE="${repo_root}/build-ci-cov/profiles/%p.profraw" \
+        "${repo_root}/build-ci-cov/tests/mcps_tests" \
+        --gtest_brief=1
+    cmake --build "${repo_root}/build-ci-cov" --target coverage
+}
+
 if [[ "${fast}" == "1" ]]; then
+    [[ "${coverage}" == "1" ]] && run_coverage
     stage "done (--fast: sanitizer stages skipped)"
     exit 0
 fi
@@ -59,5 +86,7 @@ cmake --build "${repo_root}/build-ci-tsan" -j "${jobs}" \
     --target mcps_tests mcps_ward_cli >/dev/null
 ctest --test-dir "${repo_root}/build-ci-tsan" \
     -L ward -R 'Ward|ward' --output-on-failure
+
+[[ "${coverage}" == "1" ]] && run_coverage
 
 stage "all analysis gates passed"

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Line-coverage summary from raw gcov (fallback when gcovr is not
+# installed). Walks every .gcda in the build tree, asks gcov for the
+# per-file "Lines executed" summary, and aggregates the files under the
+# repository's src/ directory (first occurrence wins when a source is
+# compiled into several targets).
+#
+#   tools/coverage_report.sh <build-dir> <repo-root>
+set -euo pipefail
+
+build="${1:?usage: coverage_report.sh <build-dir> <repo-root>}"
+repo_root="${2:?usage: coverage_report.sh <build-dir> <repo-root>}"
+
+gcda_files="$(find "${build}" -name '*.gcda' 2>/dev/null || true)"
+if [[ -z "${gcda_files}" ]]; then
+    echo "coverage_report: no .gcda files under ${build};" \
+         "build with -DMCPS_COVERAGE=ON and run the tests first" >&2
+    exit 1
+fi
+
+# gcov prints, per source file:
+#   File '<path>'
+#   Lines executed:<pct>% of <n>
+echo "${gcda_files}" | sort | xargs gcov -n 2>/dev/null |
+awk -v src_prefix="${repo_root}/src/" '
+    /^File / {
+        file = $0
+        sub(/^File '\''?/, "", file)
+        sub(/'\''$/, "", file)
+        keep = index(file, src_prefix) == 1 && !(file in seen)
+        if (keep) seen[file] = 1
+    }
+    /^Lines executed:/ && keep {
+        line = $0
+        sub(/^Lines executed:/, "", line)
+        split(line, parts, "% of ")
+        pct = parts[1] + 0
+        n = parts[2] + 0
+        shown = file
+        sub(src_prefix, "src/", shown)
+        printf "%7.2f%% %6d  %s\n", pct, n, shown
+        total_lines += n
+        total_hit += pct / 100.0 * n
+        keep = 0
+    }
+    END {
+        if (total_lines == 0) {
+            print "coverage_report: no src/ files in gcov output" > "/dev/stderr"
+            exit 1
+        }
+        printf "%7.2f%% %6d  TOTAL (line coverage over src/)\n",
+               100.0 * total_hit / total_lines, total_lines
+    }'

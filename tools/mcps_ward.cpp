@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "ward/ward.hpp"
 
 namespace ward = mcps::ward;
@@ -36,8 +37,17 @@ void usage(std::ostream& os) {
           "  --intensity X      fault-plan intensity for PCA-family\n"
           "                     scenarios (default 0 = no injected faults)\n"
           "  --json PATH        write the machine-readable report to PATH\n"
+          "  --events-out PATH  write the campaign's merged structured\n"
+          "                     event log as JSONL to PATH\n"
+          "  --metrics-out PATH write the campaign's metrics registry as\n"
+          "                     JSON to PATH\n"
           "  --verify-serial    also run with jobs=1 and require an\n"
           "                     identical ward fingerprint\n"
+          "  --verify-obs-jobs LIST\n"
+          "                     run the campaign once per job count in the\n"
+          "                     comma-separated LIST (e.g. 1,4,8) and\n"
+          "                     require bit-identical event logs, metrics\n"
+          "                     and report fingerprints across all of them\n"
           "  --quiet            suppress the report tables\n"
           "  --help             this text\n";
 }
@@ -68,6 +78,30 @@ double parse_double_arg(std::string_view flag, std::string_view v) {
     }
 }
 
+std::vector<unsigned> parse_jobs_list(std::string_view flag,
+                                      std::string_view v) {
+    std::vector<unsigned> jobs;
+    std::size_t start = 0;
+    while (start <= v.size()) {
+        const std::size_t comma = v.find(',', start);
+        const std::string_view item =
+            v.substr(start, comma == std::string_view::npos ? std::string_view::npos
+                                                            : comma - start);
+        if (item.empty()) {
+            throw CliError{std::string{flag} + ": empty entry in '" +
+                           std::string{v} + "'"};
+        }
+        jobs.push_back(static_cast<unsigned>(parse_u64_arg(flag, item)));
+        if (comma == std::string_view::npos) break;
+        start = comma + 1;
+    }
+    if (jobs.size() < 2) {
+        throw CliError{std::string{flag} +
+                       ": need at least two job counts to compare"};
+    }
+    return jobs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -75,6 +109,9 @@ int main(int argc, char** argv) {
     bool verify_serial = false;
     bool quiet = false;
     std::string json_path;
+    std::string events_path;
+    std::string metrics_path;
+    std::vector<unsigned> verify_obs_jobs;
 
     try {
         const std::vector<std::string_view> args{argv + 1, argv + argc};
@@ -102,6 +139,12 @@ int main(int argc, char** argv) {
                 cfg.fault_intensity = parse_double_arg(arg, value());
             } else if (arg == "--json") {
                 json_path = std::string{value()};
+            } else if (arg == "--events-out") {
+                events_path = std::string{value()};
+            } else if (arg == "--metrics-out") {
+                metrics_path = std::string{value()};
+            } else if (arg == "--verify-obs-jobs") {
+                verify_obs_jobs = parse_jobs_list(arg, value());
             } else if (arg == "--verify-serial") {
                 verify_serial = true;
             } else if (arg == "--quiet") {
@@ -115,8 +158,33 @@ int main(int argc, char** argv) {
         }
 
         const ward::WardEngine engine{cfg};
-        const auto report = engine.run();
+        const auto checker = mcps::testkit::InvariantChecker::with_defaults();
+        const bool want_obs = !events_path.empty() || !metrics_path.empty();
+        ward::WardObservation obsv;
+        const auto report = engine.run(checker, want_obs ? &obsv : nullptr);
         if (!quiet) report.print(std::cout);
+
+        if (!events_path.empty()) {
+            std::ofstream out{events_path};
+            if (!out) {
+                throw CliError{"--events-out: cannot open '" + events_path +
+                               "' for writing"};
+            }
+            mcps::obs::write_jsonl(obsv.events, out);
+            if (!quiet) {
+                std::cout << "event log: " << events_path << " ("
+                          << obsv.events.size() << " events)\n";
+            }
+        }
+        if (!metrics_path.empty()) {
+            std::ofstream out{metrics_path};
+            if (!out) {
+                throw CliError{"--metrics-out: cannot open '" + metrics_path +
+                               "' for writing"};
+            }
+            obsv.metrics.write_json(out);
+            if (!quiet) std::cout << "metrics: " << metrics_path << "\n";
+        }
 
         if (!json_path.empty()) {
             std::ofstream out{json_path};
@@ -144,6 +212,48 @@ int main(int argc, char** argv) {
             }
             std::cout << "OK: jobs=" << cfg.jobs << " and jobs=1 agree ("
                       << a << ")\n";
+        }
+
+        if (!verify_obs_jobs.empty()) {
+            std::uint64_t ref_events = 0, ref_metrics = 0, ref_report = 0;
+            bool first = true;
+            bool ok = true;
+            for (const unsigned jobs : verify_obs_jobs) {
+                ward::WardConfig c = cfg;
+                c.jobs = jobs;
+                ward::WardObservation o;
+                const auto r = ward::WardEngine{c}.run(checker, &o);
+                const std::uint64_t ev = o.events.fingerprint();
+                const std::uint64_t me = o.metrics.fingerprint();
+                if (first) {
+                    ref_events = ev;
+                    ref_metrics = me;
+                    ref_report = r.fingerprint;
+                    first = false;
+                    continue;
+                }
+                if (ev != ref_events || me != ref_metrics ||
+                    r.fingerprint != ref_report) {
+                    std::cout << "FAIL: jobs=" << jobs
+                              << " observation diverges from jobs="
+                              << verify_obs_jobs.front() << " (events "
+                              << (ev == ref_events ? "match" : "differ")
+                              << ", metrics "
+                              << (me == ref_metrics ? "match" : "differ")
+                              << ", report "
+                              << (r.fingerprint == ref_report ? "match"
+                                                              : "differ")
+                              << ")\n";
+                    ok = false;
+                }
+            }
+            if (!ok) return 1;
+            std::cout << "OK: event log, metrics and report identical"
+                         " across jobs {";
+            for (std::size_t i = 0; i < verify_obs_jobs.size(); ++i) {
+                std::cout << (i ? "," : "") << verify_obs_jobs[i];
+            }
+            std::cout << "}\n";
         }
         return 0;
     } catch (const CliError& e) {
