@@ -22,6 +22,7 @@
 
 #include "bench_io.hpp"
 #include "core/core.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/table.hpp"
 
 using namespace mcps;
@@ -55,6 +56,15 @@ const char* name_of(LoopConfig c) {
     return "?";
 }
 
+const char* interlock_knob(LoopConfig c) {
+    switch (c) {
+        case LoopConfig::kOpen: return "off";
+        case LoopConfig::kSpO2Only: return "spo2";
+        case LoopConfig::kDual: return "dual";
+    }
+    return "?";
+}
+
 CellResult run_cell(physio::Archetype arch, LoopConfig loop,
                     core::DemandMode demand) {
     sim::RngStream pop_rng{kMasterSeed, "e1.population." +
@@ -62,32 +72,22 @@ CellResult run_cell(physio::Archetype arch, LoopConfig loop,
     const auto population =
         physio::sample_population(arch, g_patients_per_cell, pop_rng);
 
+    // The registry spec carries the categorical knobs; the swept
+    // quantities (sampled patient, per-patient seed, duration) are set
+    // on the resolved config directly.
+    scenario::ScenarioSpec spec;
+    spec.name = "pca";
+    spec.set("demand", demand == core::DemandMode::kProxy ? "proxy" : "normal");
+    spec.set("interlock", interlock_knob(loop));
+
     CellResult cell;
     sim::RunningStats min_spo2, below90, drug, pain, stops;
     std::size_t severe = 0;
     for (std::size_t i = 0; i < population.size(); ++i) {
-        core::PcaScenarioConfig cfg;
+        auto cfg = scenario::make_pca_config(spec);
         cfg.seed = kMasterSeed + 1000 * static_cast<std::uint64_t>(i);
         cfg.duration = g_duration;
         cfg.patient = population[i];
-        cfg.demand_mode = demand;
-        switch (loop) {
-            case LoopConfig::kOpen:
-                cfg.interlock = std::nullopt;
-                break;
-            case LoopConfig::kSpO2Only: {
-                core::InterlockConfig ilk;
-                ilk.mode = core::InterlockMode::kSpO2Only;
-                cfg.interlock = ilk;
-                break;
-            }
-            case LoopConfig::kDual: {
-                core::InterlockConfig ilk;
-                ilk.mode = core::InterlockMode::kDualSensor;
-                cfg.interlock = ilk;
-                break;
-            }
-        }
         const auto r = core::run_pca_scenario(cfg);
         severe += r.severe_hypoxemia ? 1 : 0;
         min_spo2.add(r.min_spo2);

@@ -16,6 +16,7 @@
 
 #include "bench_io.hpp"
 #include "core/core.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/table.hpp"
 
 using namespace mcps;
@@ -37,18 +38,23 @@ struct CellResult {
 
 CellResult run_cell(sim::SimDuration latency, double loss,
                     core::DataLossPolicy policy) {
+    // Categorical knobs ride the registry spec; the swept channel
+    // quantities stay as exact SimDurations/doubles on the resolved
+    // config (jitter tracks the swept latency, not a spec constant).
+    scenario::ScenarioSpec spec;
+    spec.name = "pca";
+    spec.set("patient", "opioid-sensitive");
+    spec.set("interlock", "dual");
+    spec.set("policy", policy == core::DataLossPolicy::kFailOperational
+                           ? "fail-operational"
+                           : "fail-safe");
+
     sim::RunningStats lat, below, drug, dls;
     int severe = 0;
     for (int s = 0; s < g_seeds_per_cell; ++s) {
-        core::PcaScenarioConfig cfg;
+        auto cfg = scenario::make_pca_config(spec);
         cfg.seed = 9000 + static_cast<std::uint64_t>(s);
         cfg.duration = g_duration;
-        cfg.patient =
-            physio::nominal_parameters(physio::Archetype::kOpioidSensitive);
-        cfg.demand_mode = core::DemandMode::kProxy;
-        core::InterlockConfig ilk;
-        ilk.data_loss = policy;
-        cfg.interlock = ilk;
         cfg.channel.base_latency = latency;
         cfg.channel.jitter_sd = latency * 0.1;
         cfg.channel.loss_probability = loss;

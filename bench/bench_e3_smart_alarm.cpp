@@ -17,6 +17,7 @@
 
 #include "bench_io.hpp"
 #include "core/core.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/table.hpp"
 
 using namespace mcps;
@@ -28,21 +29,21 @@ namespace {
 int g_seeds = 6;
 sim::SimDuration g_duration = 6_h;
 
-core::PcaScenarioConfig base_cfg(bool overdose, std::uint64_t seed,
-                                 double artifact_prob) {
-    core::PcaScenarioConfig cfg;
+auto base_cfg(bool overdose, std::uint64_t seed, double artifact_prob) {
+    // The registry's alarm-only shift: typical adult, no interlock,
+    // monitor + smart alarm on. The overdose variant swaps in the E3b
+    // patient/demand knobs; the swept artifact probability is set on
+    // the resolved config exactly (the preset floor doesn't apply).
+    scenario::ScenarioSpec spec;
+    spec.name = "smart-alarm";
+    if (overdose) {
+        spec.set("patient", "opioid-sensitive");
+        spec.set("demand", "proxy");
+    }
+    auto cfg = scenario::make_pca_config(spec);
     cfg.seed = seed;
     cfg.duration = g_duration;
-    cfg.patient = physio::nominal_parameters(
-        overdose ? physio::Archetype::kOpioidSensitive
-                 : physio::Archetype::kTypicalAdult);
-    cfg.demand_mode =
-        overdose ? core::DemandMode::kProxy : core::DemandMode::kNormal;
-    cfg.interlock = std::nullopt;  // alarms only
-    cfg.with_monitor = true;
-    cfg.with_smart_alarm = true;
     cfg.oximeter.artifact_probability = artifact_prob;
-    cfg.oximeter.artifact_magnitude = -20.0;
     return cfg;
 }
 

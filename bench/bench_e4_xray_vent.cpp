@@ -14,6 +14,7 @@
 
 #include "bench_io.hpp"
 #include "core/core.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/table.hpp"
 
 using namespace mcps;
@@ -48,11 +49,12 @@ int main(int argc, char** argv) {
             json.metric("coord." + key + ".max_apnea_s", r.max_apnea_s, "s");
         };
 
-        core::XrayScenarioConfig cfg;
-        cfg.seed = 41;
-        cfg.procedures = g_procedures;
-        cfg.mode = core::CoordinationMode::kAutomated;
-        add("automated (ICE app)", "automated", core::run_xray_scenario(cfg));
+        scenario::ScenarioSpec spec;
+        spec.name = "xray";
+        spec.seed = 41;
+        spec.set("procedures", std::to_string(g_procedures));
+        add("automated (ICE app)", "automated",
+            core::run_xray_scenario(scenario::make_xray_config(spec)));
 
         struct Level {
             const char* label;
@@ -63,8 +65,9 @@ int main(int argc, char** argv) {
              {Level{"manual (careful)", "manual_careful", 0.03, 0.02},
               Level{"manual (typical)", "manual_typical", 0.12, 0.08},
               Level{"manual (rushed)", "manual_rushed", 0.30, 0.20}}) {
-            core::XrayScenarioConfig m = cfg;
-            m.mode = core::CoordinationMode::kManual;
+            scenario::ScenarioSpec mspec = spec;
+            mspec.name = "xray-manual";
+            auto m = scenario::make_xray_config(mspec);
             m.manual.premature_shot_probability = lvl.premature;
             m.manual.distraction_probability = lvl.distraction;
             add(lvl.label, lvl.key, core::run_xray_scenario(m));
@@ -77,15 +80,16 @@ int main(int argc, char** argv) {
     {
         sim::Table t({"loss", "sharp_rate", "completed_rate", "mean_apnea_s",
                       "max_apnea_s", "retries", "auto_resumes"});
+        scenario::ScenarioSpec spec;
+        spec.name = "xray";
+        spec.seed = 43;
+        spec.set("procedures", std::to_string(g_procedures));
+        spec.set("latency-ms", "40");
+        spec.set("jitter-ms", "10");
+        spec.set("max-retries", "12");
         for (const double loss : {0.0, 0.1, 0.2, 0.4}) {
-            core::XrayScenarioConfig cfg;
-            cfg.seed = 43;
-            cfg.procedures = g_procedures;
-            cfg.mode = core::CoordinationMode::kAutomated;
-            cfg.channel.base_latency = 40_ms;
-            cfg.channel.jitter_sd = 10_ms;
+            auto cfg = scenario::make_xray_config(spec);
             cfg.channel.loss_probability = loss;
-            cfg.sync.max_retries = 12;
             const auto r = core::run_xray_scenario(cfg);
             t.row()
                 .cell(loss, 2)

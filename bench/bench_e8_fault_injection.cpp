@@ -25,6 +25,7 @@
 
 #include "bench_io.hpp"
 #include "core/core.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/table.hpp"
 
 using namespace mcps;
@@ -86,19 +87,22 @@ int main(int argc, char** argv) {
                               core::DataLossPolicy::kFailOperational}) {
         sim::Table t({"fault", "severe_rate", "mean_min_spo2",
                       "staleness_stops", "drug_mg", "stops"});
+        // The registry spec fixes the envelope; the mid-run fault hook
+        // is the swept part and stays on the resolved config.
+        scenario::ScenarioSpec spec;
+        spec.name = "pca";
+        spec.set("patient", "opioid-sensitive");
+        spec.set("interlock", "dual");
+        spec.set("policy", policy == core::DataLossPolicy::kFailOperational
+                               ? "fail-operational"
+                               : "fail-safe");
         for (const auto& fault : faults()) {
             int severe = 0;
             sim::RunningStats min_spo2, dls, drug, stops;
             for (int s = 0; s < g_seeds; ++s) {
-                core::PcaScenarioConfig cfg;
+                auto cfg = scenario::make_pca_config(spec);
                 cfg.seed = 7000 + static_cast<std::uint64_t>(s);
                 cfg.duration = g_duration;
-                cfg.patient = physio::nominal_parameters(
-                    physio::Archetype::kOpioidSensitive);
-                cfg.demand_mode = core::DemandMode::kProxy;
-                core::InterlockConfig ilk;
-                ilk.data_loss = policy;
-                cfg.interlock = ilk;
                 if (fault.hook) {
                     cfg.hook_at = sim::SimTime::origin() + 10_min;
                     cfg.mid_run_hook = fault.hook;

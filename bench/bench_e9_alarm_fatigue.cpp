@@ -20,6 +20,7 @@
 #include "bench_io.hpp"
 #include "core/core.hpp"
 #include "core/nurse_response.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/table.hpp"
 
 using namespace mcps;
@@ -45,19 +46,20 @@ struct CellResult {
 CellResult run_cell(bool use_smart_alarm, double artifact_prob) {
     sim::RunningStats alarms, fatigue, response, rescues, min_spo2, false_trips,
         ignored;
+    // The alarm-only shift from the registry with the E9 overdose
+    // patient swapped in; the nurse is wired onto the live scenario
+    // below, which no flat knob can express.
+    scenario::ScenarioSpec spec;
+    spec.name = "smart-alarm";
+    spec.set("patient", "opioid-sensitive");
+    spec.set("demand", "proxy");
+
     int severe = 0;
     for (int s = 0; s < g_seeds; ++s) {
-        core::PcaScenarioConfig cfg;
+        auto cfg = scenario::make_pca_config(spec);
         cfg.seed = 5000 + static_cast<std::uint64_t>(s);
         cfg.duration = g_duration;
-        cfg.patient =
-            physio::nominal_parameters(physio::Archetype::kOpioidSensitive);
-        cfg.demand_mode = core::DemandMode::kProxy;
-        cfg.interlock = std::nullopt;  // nurse is the only protection
-        cfg.with_monitor = true;
-        cfg.with_smart_alarm = true;
         cfg.oximeter.artifact_probability = artifact_prob;
-        cfg.oximeter.artifact_magnitude = -20.0;
 
         core::PcaScenario scenario{cfg};
         core::NurseConfig ncfg;

@@ -9,23 +9,20 @@
 
 #include <iostream>
 
-#include "core/core.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/table.hpp"
 
 using namespace mcps;
-using namespace mcps::sim::literals;
 
 namespace {
 
-core::PcaScenarioResult run_variant(
-    const std::optional<core::InterlockConfig>& interlock) {
-    core::PcaScenarioConfig cfg;
-    cfg.seed = 99;
-    cfg.duration = 4_h;
-    cfg.patient = physio::nominal_parameters(physio::Archetype::kHighRisk);
-    cfg.demand_mode = core::DemandMode::kProxy;
-    cfg.interlock = interlock;
-    return core::run_pca_scenario(cfg);
+scenario::RunArtifacts run_variant(const char* interlock_knob) {
+    scenario::ScenarioSpec spec;
+    spec.name = "pca";
+    spec.seed = 99;
+    spec.minutes = 240;
+    spec.set("interlock", interlock_knob);
+    return scenario::registry().run(spec);
 }
 
 }  // namespace
@@ -35,26 +32,20 @@ int main() {
                       "severe_hypox", "drug_mg", "stops", "mean_pain"});
 
     auto add_row = [&table](const std::string& label,
-                            const core::PcaScenarioResult& r) {
+                            const scenario::RunArtifacts& r) {
         table.row()
             .cell(label)
-            .cell(r.min_spo2, 1)
-            .cell(r.time_spo2_below_90_s, 1)
-            .cell(r.severe_hypoxemia ? "YES" : "no")
-            .cell(r.total_drug_mg, 2)
-            .cell(static_cast<std::uint64_t>(r.interlock.stops_issued))
-            .cell(r.mean_pain, 1);
+            .cell(r.at("min_spo2"), 1)
+            .cell(r.at("time_spo2_below_90_s"), 1)
+            .cell(r.at("severe_hypoxemia") > 0 ? "YES" : "no")
+            .cell(r.at("total_drug_mg"), 2)
+            .cell(static_cast<std::uint64_t>(r.at("interlock_stops")))
+            .cell(r.at("mean_pain"), 1);
     };
 
-    add_row("open-loop (no interlock)", run_variant(std::nullopt));
-
-    core::InterlockConfig spo2_only;
-    spo2_only.mode = core::InterlockMode::kSpO2Only;
-    add_row("closed-loop spo2-only", run_variant(spo2_only));
-
-    core::InterlockConfig dual;
-    dual.mode = core::InterlockMode::kDualSensor;
-    add_row("closed-loop dual-sensor", run_variant(dual));
+    add_row("open-loop (no interlock)", run_variant("off"));
+    add_row("closed-loop spo2-only", run_variant("spo2"));
+    add_row("closed-loop dual-sensor", run_variant("dual"));
 
     table.print(std::cout,
                 "PCA-by-proxy on a high-risk patient (4 simulated hours)");

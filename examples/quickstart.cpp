@@ -1,47 +1,49 @@
 /// \file quickstart.cpp
-/// \brief Minimal end-to-end use of the mcps framework: assemble a
-/// closed-loop PCA system around a virtual patient, run two simulated
-/// hours, and print the safety summary.
+/// \brief Minimal end-to-end use of the mcps framework: one spec line
+/// names a registered closed-loop PCA scenario, the registry runs it,
+/// and the artifacts carry the safety summary.
 ///
 /// Build & run:
 ///   cmake -B build -G Ninja && cmake --build build
 ///   ./build/examples/quickstart
+///
+/// The same spec line reproduces the same run from the mcps_run CLI:
+///   ./build/tools/mcps_run run --spec 'pca seed=7 minutes=120 ...'
 
 #include <cstdio>
 
-#include "core/core.hpp"
+#include "scenario/scenario.hpp"
 
 int main() {
     using namespace mcps;
-    using namespace mcps::sim::literals;
 
-    // 1. Describe the scenario: an opioid-sensitive patient on PCA
-    //    morphine with the default dual-sensor interlock.
-    core::PcaScenarioConfig cfg;
-    cfg.seed = 7;
-    cfg.duration = 2_h;
-    cfg.patient = physio::nominal_parameters(physio::Archetype::kOpioidSensitive);
-    cfg.demand_mode = core::DemandMode::kProxy;  // worst case: PCA by proxy
-    cfg.interlock = core::InterlockConfig{};     // closed loop ON
+    // 1. Describe the run: the registered closed-loop "pca" scenario
+    //    with an opioid-sensitive patient under PCA-by-proxy pressing
+    //    (worst case) and the default dual-sensor interlock.
+    const scenario::ScenarioSpec spec = scenario::parse_spec(
+        "pca seed=7 minutes=120 patient=opioid-sensitive");
 
-    // 2. Run it.
-    const core::PcaScenarioResult r = core::run_pca_scenario(cfg);
+    // 2. Run it through the registry.
+    const scenario::RunArtifacts r = scenario::registry().run(spec);
 
     // 3. Report.
-    std::printf("== quickstart: closed-loop PCA, opioid-sensitive patient ==\n");
-    std::printf("simulated             : %.1f h\n", cfg.duration.to_seconds() / 3600);
-    std::printf("drug delivered        : %.2f mg\n", r.total_drug_mg);
-    std::printf("boluses (req/deliv)   : %llu / %llu\n",
-                static_cast<unsigned long long>(r.pump.boluses_requested),
-                static_cast<unsigned long long>(r.pump.boluses_delivered));
-    std::printf("min SpO2 (truth)      : %.1f %%\n", r.min_spo2);
-    std::printf("time SpO2 < 90%%       : %.1f s\n", r.time_spo2_below_90_s);
-    std::printf("severe hypoxemia      : %s\n", r.severe_hypoxemia ? "YES" : "no");
-    std::printf("interlock stops       : %llu\n",
-                static_cast<unsigned long long>(r.interlock.stops_issued));
-    if (r.detection_latency_s) {
-        std::printf("detection latency     : %.1f s\n", *r.detection_latency_s);
+    std::printf("== quickstart: %s ==\n", spec.to_text().c_str());
+    std::printf("simulated             : %.1f h\n",
+                static_cast<double>(spec.minutes) / 60.0);
+    std::printf("drug delivered        : %.2f mg\n", r.at("total_drug_mg"));
+    std::printf("boluses (req/deliv)   : %.0f / %.0f\n",
+                r.at("boluses_requested"), r.at("boluses_delivered"));
+    std::printf("min SpO2 (truth)      : %.1f %%\n", r.at("min_spo2"));
+    std::printf("time SpO2 < 90%%       : %.1f s\n",
+                r.at("time_spo2_below_90_s"));
+    std::printf("severe hypoxemia      : %s\n",
+                r.at("severe_hypoxemia") > 0 ? "YES" : "no");
+    std::printf("interlock stops       : %.0f\n", r.at("interlock_stops"));
+    if (r.at("detection_latency_s") >= 0) {
+        std::printf("detection latency     : %.1f s\n",
+                    r.at("detection_latency_s"));
     }
-    std::printf("mean pain score       : %.1f / 10\n", r.mean_pain);
+    std::printf("mean pain score       : %.1f / 10\n", r.at("mean_pain"));
+    std::printf("run fingerprint       : %s\n", r.fingerprint_hex().c_str());
     return 0;
 }

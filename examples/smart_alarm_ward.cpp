@@ -10,29 +10,27 @@
 
 #include <iostream>
 
-#include "core/core.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/table.hpp"
 
 using namespace mcps;
-using namespace mcps::sim::literals;
 
 namespace {
 
-core::PcaScenarioResult run_shift(bool overdose) {
-    core::PcaScenarioConfig cfg;
-    cfg.seed = 2024;
-    cfg.duration = 6_h;
-    cfg.patient = physio::nominal_parameters(
-        overdose ? physio::Archetype::kOpioidSensitive
-                 : physio::Archetype::kTypicalAdult);
-    cfg.demand_mode =
-        overdose ? core::DemandMode::kProxy : core::DemandMode::kNormal;
-    cfg.interlock = std::nullopt;  // alarms only; no automatic stop
-    cfg.oximeter.artifact_probability = 0.004;  // ~14 artifacts/hour
-    cfg.oximeter.artifact_magnitude = -20.0;
-    cfg.with_monitor = true;
-    cfg.with_smart_alarm = true;
-    return core::run_pca_scenario(cfg);
+scenario::RunArtifacts run_shift(bool overdose) {
+    // The registered "smart-alarm" shift: alarms only (no interlock),
+    // ward-grade motion artifacts, monitor + fused smart alarm on. The
+    // overdose variant swaps in the sensitive patient under proxy
+    // pressing.
+    scenario::ScenarioSpec spec;
+    spec.name = "smart-alarm";
+    spec.seed = 2024;
+    spec.minutes = 360;
+    if (overdose) {
+        spec.set("patient", "opioid-sensitive");
+        spec.set("demand", "proxy");
+    }
+    return scenario::registry().run(spec);
 }
 
 }  // namespace
@@ -45,17 +43,17 @@ int main() {
     table.row()
         .cell("stable patient")
         .cell("no")
-        .cell(static_cast<std::uint64_t>(quiet.monitor_alarm_count))
-        .cell(static_cast<std::uint64_t>(quiet.smart_alarm_count))
-        .cell(static_cast<std::uint64_t>(quiet.smart_critical_count));
+        .cell(static_cast<std::uint64_t>(quiet.at("monitor_alarms")))
+        .cell(static_cast<std::uint64_t>(quiet.at("smart_alarms")))
+        .cell(static_cast<std::uint64_t>(quiet.at("smart_critical")));
 
     const auto od = run_shift(/*overdose=*/true);
     table.row()
         .cell("overdose developing")
-        .cell(od.severe_hypoxemia ? "YES" : "mild")
-        .cell(static_cast<std::uint64_t>(od.monitor_alarm_count))
-        .cell(static_cast<std::uint64_t>(od.smart_alarm_count))
-        .cell(static_cast<std::uint64_t>(od.smart_critical_count));
+        .cell(od.at("severe_hypoxemia") > 0 ? "YES" : "mild")
+        .cell(static_cast<std::uint64_t>(od.at("monitor_alarms")))
+        .cell(static_cast<std::uint64_t>(od.at("smart_alarms")))
+        .cell(static_cast<std::uint64_t>(od.at("smart_critical")));
 
     table.print(std::cout, "Six-hour ward shift with motion artifacts");
     std::cout << "\nThreshold alarms fire on artifacts (false alarms on the\n"

@@ -5,7 +5,7 @@
 
 #include <iostream>
 
-#include "core/core.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/table.hpp"
 
 using namespace mcps;
@@ -15,21 +15,20 @@ int main() {
                       "sharp_rate", "mean_apnea_s", "max_apnea_s",
                       "auto_resumes"});
 
-    for (const auto mode :
-         {core::CoordinationMode::kManual, core::CoordinationMode::kAutomated}) {
-        core::XrayScenarioConfig cfg;
-        cfg.seed = 11;
-        cfg.mode = mode;
-        cfg.procedures = 40;
-        const auto r = core::run_xray_scenario(cfg);
+    for (const char* name : {"xray-manual", "xray"}) {
+        scenario::ScenarioSpec spec;
+        spec.name = name;
+        spec.seed = 11;
+        spec.set("procedures", "40");
+        const auto r = scenario::registry().run(spec);
         table.row()
-            .cell(std::string{core::to_string(mode)})
-            .cell(static_cast<std::uint64_t>(r.procedures))
-            .cell(static_cast<std::uint64_t>(r.sharp_images))
-            .cell(r.sharp_rate, 3)
-            .cell(r.mean_apnea_s, 2)
-            .cell(r.max_apnea_s, 2)
-            .cell(static_cast<std::uint64_t>(r.safety_auto_resumes));
+            .cell(name)
+            .cell(static_cast<std::uint64_t>(r.at("procedures")))
+            .cell(static_cast<std::uint64_t>(r.at("sharp_images")))
+            .cell(r.at("sharp_rate"), 3)
+            .cell(r.at("mean_apnea_s"), 2)
+            .cell(r.at("max_apnea_s"), 2)
+            .cell(static_cast<std::uint64_t>(r.at("safety_auto_resumes")));
     }
 
     table.print(std::cout, "Chest X-ray on a ventilated patient (40 procedures)");

@@ -9,5 +9,6 @@
 #include "assurance_lint.hpp"  // IWYU pragma: export
 #include "finding.hpp"         // IWYU pragma: export
 #include "ice_lint.hpp"        // IWYU pragma: export
+#include "scenario_scan.hpp"   // IWYU pragma: export
 #include "source_scan.hpp"     // IWYU pragma: export
 #include "ta_lint.hpp"         // IWYU pragma: export

@@ -43,4 +43,12 @@ void Analyzer::scan_sources(const std::filesystem::path& root) {
     absorb(std::move(r.findings));
 }
 
+void Analyzer::scan_scenario_assembly(const std::filesystem::path& root) {
+    ScanResult r = scan_scenario_tree(root);
+    report_.analyzed.push_back("scenario:" + root.generic_string() + "(" +
+                               std::to_string(r.files_scanned) + " files)");
+    report_.suppressed_findings += r.suppressed;
+    absorb(std::move(r.findings));
+}
+
 }  // namespace mcps::analysis

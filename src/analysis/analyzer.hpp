@@ -20,6 +20,7 @@
 #include "assurance_lint.hpp"
 #include "finding.hpp"
 #include "ice_lint.hpp"
+#include "scenario_scan.hpp"
 #include "source_scan.hpp"
 #include "ta_lint.hpp"
 
@@ -41,6 +42,10 @@ public:
                        const assurance::AssuranceCase* gsn = nullptr);
     /// SIM1 over a source tree.
     void scan_sources(const std::filesystem::path& root);
+    /// ICE1 registry-bypass scan over a source tree: direct
+    /// PcaScenarioConfig/XrayScenarioConfig assembly outside the
+    /// scenario layer (scenario_scan.hpp).
+    void scan_scenario_assembly(const std::filesystem::path& root);
 
     [[nodiscard]] const AnalysisReport& report() const noexcept {
         return report_;

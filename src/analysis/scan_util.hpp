@@ -1,0 +1,114 @@
+/// \file scan_util.hpp
+/// \brief Shared lexical machinery for the source-scanning lint rules.
+///
+/// SIM1 (source_scan.hpp) and the ICE1 registry-bypass scan
+/// (scenario_scan.hpp) both match identifiers in comment- and
+/// string-stripped source text and both walk source trees the same way.
+/// The helpers live here once so the two rules cannot drift on what
+/// counts as a comment, an identifier boundary or a source file.
+
+#pragma once
+
+#include <cctype>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "finding.hpp"
+
+namespace mcps::analysis {
+
+/// Aggregated result of scanning one file or tree with any source rule.
+struct ScanResult {
+    std::vector<Finding> findings;
+    std::size_t suppressed = 0;
+    std::size_t files_scanned = 0;
+};
+
+[[nodiscard]] inline bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Strip // and /* */ comments plus "..." and '...' literals from one
+/// line, carrying block-comment state across lines. Stripped spans are
+/// replaced by spaces so columns stay stable.
+[[nodiscard]] inline std::string strip_line(const std::string& line,
+                                            bool& in_block_comment) {
+    std::string out(line.size(), ' ');
+    for (std::size_t i = 0; i < line.size();) {
+        if (in_block_comment) {
+            if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+                in_block_comment = false;
+                i += 2;
+            } else {
+                ++i;
+            }
+            continue;
+        }
+        const char c = line[i];
+        if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+        if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+            in_block_comment = true;
+            i += 2;
+            continue;
+        }
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            ++i;
+            while (i < line.size()) {
+                if (line[i] == '\\') {
+                    i += 2;
+                    continue;
+                }
+                if (line[i] == quote) {
+                    ++i;
+                    break;
+                }
+                ++i;
+            }
+            continue;
+        }
+        out[i] = c;
+        ++i;
+    }
+    return out;
+}
+
+[[nodiscard]] inline bool is_source_file(const std::filesystem::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
+           ext == ".cxx";
+}
+
+/// Recursively apply a per-file scan to a tree, merging the results.
+/// Directories named "build*" and hidden directories are skipped; \p root
+/// may also be a single regular file.
+template <typename FileScan>
+[[nodiscard]] ScanResult scan_tree(const std::filesystem::path& root,
+                                   FileScan&& scan_file) {
+    ScanResult result;
+    if (!std::filesystem::exists(root)) return result;
+    if (std::filesystem::is_regular_file(root)) {
+        return scan_file(root);
+    }
+    auto it = std::filesystem::recursive_directory_iterator{root};
+    const auto end = std::filesystem::end(it);
+    for (; it != end; ++it) {
+        const std::filesystem::path& p = it->path();
+        const std::string fname = p.filename().string();
+        if (it->is_directory() &&
+            (fname.rfind("build", 0) == 0 ||
+             (fname.size() > 1 && fname[0] == '.'))) {
+            it.disable_recursion_pending();
+            continue;
+        }
+        if (!it->is_regular_file()) continue;
+        ScanResult one = scan_file(p);
+        result.files_scanned += one.files_scanned;
+        result.suppressed += one.suppressed;
+        for (auto& f : one.findings) result.findings.push_back(std::move(f));
+    }
+    return result;
+}
+
+}  // namespace mcps::analysis

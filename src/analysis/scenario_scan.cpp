@@ -1,0 +1,102 @@
+#include "scenario_scan.hpp"
+
+#include <array>
+#include <fstream>
+#include <string>
+
+namespace mcps::analysis {
+
+namespace {
+
+// The raw config types only the sanctioned layers may name. Stored as
+// string literals, so the scan of this very file cannot match them.
+constexpr std::array<std::string_view, 2> kConfigTypes{
+    "PcaScenarioConfig",
+    "XrayScenarioConfig",
+};
+
+constexpr std::array<std::string_view, 4> kSanctioned{
+    "src/scenario/",
+    "src/core/",
+    "src/testkit/",
+    "tests/",
+};
+
+bool has_allow_marker(const std::string& raw_line) {
+    return raw_line.find("mcps-analyze: allow(ICE1") != std::string::npos;
+}
+
+bool has_allow_file_marker(const std::string& raw_line) {
+    return raw_line.find("mcps-analyze: allow-file(ICE1") != std::string::npos;
+}
+
+}  // namespace
+
+bool is_scenario_sanctioned(const std::filesystem::path& file) {
+    const std::string p = file.generic_string();
+    for (std::string_view dir : kSanctioned) {
+        if (p.find(dir) != std::string::npos) return true;
+    }
+    return false;
+}
+
+ScanResult scan_scenario_file(const std::filesystem::path& file) {
+    ScanResult result;
+    if (!is_source_file(file) || is_scenario_sanctioned(file)) return result;
+    std::ifstream in{file};
+    if (!in) return result;
+    result.files_scanned = 1;
+
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);) {
+        lines.push_back(std::move(line));
+    }
+
+    bool file_allowed = false;
+    for (const std::string& l : lines) {
+        if (has_allow_file_marker(l)) {
+            file_allowed = true;
+            break;
+        }
+    }
+
+    bool in_block = false;
+    for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+        const std::string stripped = strip_line(lines[ln], in_block);
+        for (std::string_view type : kConfigTypes) {
+            std::size_t pos = 0;
+            while ((pos = stripped.find(type, pos)) != std::string::npos) {
+                const bool start_ok =
+                    pos == 0 || !is_ident_char(stripped[pos - 1]);
+                const std::size_t after = pos + type.size();
+                const bool end_ok = after >= stripped.size() ||
+                                    !is_ident_char(stripped[after]);
+                pos = after;
+                if (!start_ok || !end_ok) continue;
+                const bool allowed =
+                    file_allowed || has_allow_marker(lines[ln]) ||
+                    (ln > 0 && has_allow_marker(lines[ln - 1]));
+                if (allowed) {
+                    ++result.suppressed;
+                    continue;
+                }
+                result.findings.push_back(
+                    {RuleId::kICE1, FindingSeverity::kError,
+                     std::string{type}, file.generic_string(), ln + 1,
+                     "direct " + std::string{type} +
+                         " assembly bypasses the scenario registry; "
+                         "resolve a ScenarioSpec via scenario::registry() "
+                         "or make_pca_config()/make_xray_config()"});
+            }
+        }
+    }
+    return result;
+}
+
+ScanResult scan_scenario_tree(const std::filesystem::path& root) {
+    return scan_tree(root, [](const std::filesystem::path& p) {
+        return scan_scenario_file(p);
+    });
+}
+
+}  // namespace mcps::analysis

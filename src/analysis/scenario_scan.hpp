@@ -1,0 +1,54 @@
+/// \file scenario_scan.hpp
+/// \brief Rule ICE1 (registry-bypass form): direct scenario-config
+/// assembly outside the scenario layer.
+///
+/// The scenario registry (src/scenario/registry.hpp) is the single
+/// runtime surface for assembling end-to-end scenarios; benches, CLIs,
+/// the ward engine and the examples resolve a ScenarioSpec through it
+/// instead of hand-building `core::PcaScenarioConfig` /
+/// `core::XrayScenarioConfig`. This scan enforces that contract
+/// statically: any mention of the raw config types outside the
+/// sanctioned layers —
+///
+///   src/scenario  (the registry, presets and knob mapping itself)
+///   src/core      (the harnesses that define the types)
+///   src/testkit   (instrumented runners and invariants take configs)
+///   tests/        (unit tests exercise the raw harnesses on purpose)
+///
+/// — is an ICE1 error: the assembly bypasses the registry, so its
+/// defaults can silently drift from the registered presets. Consumers
+/// that must adjust a swept field the spec cannot express start from
+/// `scenario::make_pca_config()` / `make_xray_config()` and therefore
+/// never name the config type.
+///
+/// Matching runs on comment- and string-stripped text (scan_util.hpp),
+/// so documentation may mention the types freely. Escape hatch, same
+/// grammar as SIM1:
+///
+///   // mcps-analyze: allow(ICE1): reason
+///
+/// on the offending line or the line above; `mcps-analyze:
+/// allow-file(ICE1)` anywhere in the file suppresses the whole file.
+/// Suppressed findings are counted, not silently dropped.
+
+#pragma once
+
+#include <filesystem>
+
+#include "scan_util.hpp"
+
+namespace mcps::analysis {
+
+/// True when \p file belongs to a layer sanctioned to name the raw
+/// scenario-config types (see the file comment for the list).
+[[nodiscard]] bool is_scenario_sanctioned(const std::filesystem::path& file);
+
+/// Scan one file. Non-source files and sanctioned files are ignored
+/// (files_scanned stays 0 for both).
+[[nodiscard]] ScanResult scan_scenario_file(const std::filesystem::path& file);
+
+/// Recursively scan a tree with scan_scenario_file (same traversal as
+/// the SIM1 tree scan: build*/hidden directories skipped).
+[[nodiscard]] ScanResult scan_scenario_tree(const std::filesystem::path& root);
+
+}  // namespace mcps::analysis

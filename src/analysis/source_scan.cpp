@@ -1,9 +1,7 @@
 #include "source_scan.hpp"
 
 #include <array>
-#include <cctype>
 #include <fstream>
-#include <sstream>
 #include <string>
 
 namespace mcps::analysis {
@@ -46,66 +44,12 @@ constexpr std::array<BannedPattern, 10> kBanned{{
      "use sim::RngStream"},
 }};
 
-bool is_ident_char(char c) {
-    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Strip // and /* */ comments plus "..." and '...' literals from one
-/// line, carrying block-comment state across lines. Stripped spans are
-/// replaced by spaces so columns stay stable.
-std::string strip_line(const std::string& line, bool& in_block_comment) {
-    std::string out(line.size(), ' ');
-    for (std::size_t i = 0; i < line.size();) {
-        if (in_block_comment) {
-            if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-                in_block_comment = false;
-                i += 2;
-            } else {
-                ++i;
-            }
-            continue;
-        }
-        const char c = line[i];
-        if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
-        if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-            in_block_comment = true;
-            i += 2;
-            continue;
-        }
-        if (c == '"' || c == '\'') {
-            const char quote = c;
-            ++i;
-            while (i < line.size()) {
-                if (line[i] == '\\') {
-                    i += 2;
-                    continue;
-                }
-                if (line[i] == quote) {
-                    ++i;
-                    break;
-                }
-                ++i;
-            }
-            continue;
-        }
-        out[i] = c;
-        ++i;
-    }
-    return out;
-}
-
 bool has_allow_marker(const std::string& raw_line) {
     return raw_line.find("mcps-analyze: allow(SIM1") != std::string::npos;
 }
 
 bool has_allow_file_marker(const std::string& raw_line) {
     return raw_line.find("mcps-analyze: allow-file(SIM1") != std::string::npos;
-}
-
-bool is_source_file(const std::filesystem::path& p) {
-    const std::string ext = p.extension().string();
-    return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
-           ext == ".cxx";
 }
 
 }  // namespace
@@ -162,29 +106,9 @@ ScanResult scan_source_file(const std::filesystem::path& file) {
 }
 
 ScanResult scan_source_tree(const std::filesystem::path& root) {
-    ScanResult result;
-    if (!std::filesystem::exists(root)) return result;
-    if (std::filesystem::is_regular_file(root)) {
-        return scan_source_file(root);
-    }
-    auto it = std::filesystem::recursive_directory_iterator{root};
-    const auto end = std::filesystem::end(it);
-    for (; it != end; ++it) {
-        const std::filesystem::path& p = it->path();
-        const std::string fname = p.filename().string();
-        if (it->is_directory() &&
-            (fname.rfind("build", 0) == 0 ||
-             (fname.size() > 1 && fname[0] == '.'))) {
-            it.disable_recursion_pending();
-            continue;
-        }
-        if (!it->is_regular_file()) continue;
-        ScanResult one = scan_source_file(p);
-        result.files_scanned += one.files_scanned;
-        result.suppressed += one.suppressed;
-        for (auto& f : one.findings) result.findings.push_back(std::move(f));
-    }
-    return result;
+    return scan_tree(root, [](const std::filesystem::path& p) {
+        return scan_source_file(p);
+    });
 }
 
 }  // namespace mcps::analysis

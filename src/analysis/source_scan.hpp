@@ -25,17 +25,10 @@
 #pragma once
 
 #include <filesystem>
-#include <vector>
 
-#include "finding.hpp"
+#include "scan_util.hpp"
 
 namespace mcps::analysis {
-
-struct ScanResult {
-    std::vector<Finding> findings;
-    std::size_t suppressed = 0;
-    std::size_t files_scanned = 0;
-};
 
 /// Scan one file. Non-source files (by extension) are ignored.
 [[nodiscard]] ScanResult scan_source_file(const std::filesystem::path& file);

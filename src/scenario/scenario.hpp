@@ -1,0 +1,13 @@
+/// \file scenario.hpp
+/// \brief Umbrella header for the scenario layer.
+///
+/// One include gives a consumer the whole runtime surface: ScenarioSpec
+/// (spec.hpp), the canonical presets (presets.hpp), RunArtifacts
+/// (artifacts.hpp) and the registry (registry.hpp).
+
+#pragma once
+
+#include "artifacts.hpp"
+#include "presets.hpp"
+#include "registry.hpp"
+#include "spec.hpp"

@@ -1,0 +1,283 @@
+#include "spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+namespace mcps::scenario {
+
+namespace {
+
+bool is_key_char(char c) noexcept {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+           c == '-';
+}
+
+/// Value tokens must survive both serializations unescaped: printable
+/// ASCII without whitespace, quotes or backslashes.
+bool is_value_char(char c) noexcept {
+    return c > ' ' && c < 0x7f && c != '"' && c != '\\';
+}
+
+void validate_key(std::string_view key) {
+    if (key.empty() ||
+        !std::all_of(key.begin(), key.end(), is_key_char)) {
+        throw SpecError{"spec: invalid key '" + std::string{key} +
+                        "' (want [a-z0-9_-]+)"};
+    }
+}
+
+void validate_value(std::string_view key, std::string_view value) {
+    if (value.empty() ||
+        !std::all_of(value.begin(), value.end(), is_value_char)) {
+        throw SpecError{"spec: " + std::string{key} + ": invalid value '" +
+                        std::string{value} + "'"};
+    }
+}
+
+std::uint64_t parse_spec_u64(std::string_view key, std::string_view v) {
+    std::uint64_t out = 0;
+    const auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+    if (ec != std::errc{} || p != v.data() + v.size() || v.empty()) {
+        throw SpecError{"spec: " + std::string{key} +
+                        ": expected an integer, got '" + std::string{v} +
+                        "'"};
+    }
+    return out;
+}
+
+std::vector<std::string_view> tokenize(std::string_view text) {
+    std::vector<std::string_view> tokens;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        while (i < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+            ++i;
+        }
+        const std::size_t start = i;
+        while (i < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[i])) == 0) {
+            ++i;
+        }
+        if (i > start) tokens.push_back(text.substr(start, i - start));
+    }
+    return tokens;
+}
+
+}  // namespace
+
+const std::string* ScenarioSpec::find(std::string_view key) const {
+    for (const auto& [k, v] : overrides) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+void ScenarioSpec::set(std::string_view key, std::string_view value) {
+    validate_key(key);
+    validate_value(key, value);
+    for (auto& [k, v] : overrides) {
+        if (k == key) {
+            v = std::string{value};
+            return;
+        }
+    }
+    overrides.emplace_back(std::string{key}, std::string{value});
+}
+
+std::string ScenarioSpec::to_text() const {
+    std::ostringstream os;
+    os << name << " seed=" << seed << " minutes=" << minutes;
+    for (const auto& [k, v] : overrides) os << ' ' << k << '=' << v;
+    return os.str();
+}
+
+std::string ScenarioSpec::to_json() const {
+    // Keys and values are validated to the unescaped-safe charset, so
+    // the writer needs no escaping.
+    std::ostringstream os;
+    os << "{\"scenario\": \"" << name << "\", \"seed\": " << seed
+       << ", \"minutes\": " << minutes << ", \"overrides\": {";
+    for (std::size_t i = 0; i < overrides.size(); ++i) {
+        os << (i ? ", " : "") << '"' << overrides[i].first << "\": \""
+           << overrides[i].second << '"';
+    }
+    os << "}}";
+    return os.str();
+}
+
+ScenarioSpec parse_spec(std::string_view text) {
+    const auto tokens = tokenize(text);
+    if (tokens.empty()) throw SpecError{"spec: empty spec"};
+    ScenarioSpec spec;
+    if (tokens[0].find('=') != std::string_view::npos) {
+        throw SpecError{"spec: expected a scenario name first, got '" +
+                        std::string{tokens[0]} + "'"};
+    }
+    validate_key(tokens[0]);
+    spec.name = std::string{tokens[0]};
+
+    bool seen_seed = false, seen_minutes = false;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const auto tok = tokens[i];
+        const std::size_t eq = tok.find('=');
+        if (eq == std::string_view::npos) {
+            throw SpecError{"spec: expected key=value, got '" +
+                            std::string{tok} + "'"};
+        }
+        const auto key = tok.substr(0, eq);
+        const auto value = tok.substr(eq + 1);
+        validate_key(key);
+        validate_value(key, value);
+        if (key == "seed") {
+            if (seen_seed) throw SpecError{"spec: duplicate key 'seed'"};
+            seen_seed = true;
+            spec.seed = parse_spec_u64(key, value);
+        } else if (key == "minutes") {
+            if (seen_minutes) {
+                throw SpecError{"spec: duplicate key 'minutes'"};
+            }
+            seen_minutes = true;
+            spec.minutes = parse_spec_u64(key, value);
+        } else {
+            if (spec.find(key) != nullptr) {
+                throw SpecError{"spec: duplicate key '" + std::string{key} +
+                                "'"};
+            }
+            spec.overrides.emplace_back(std::string{key},
+                                        std::string{value});
+        }
+    }
+    return spec;
+}
+
+namespace {
+
+/// Minimal JSON reader for the one fixed spec shape. Not a general
+/// parser: strings are restricted to the spec charset (no escapes).
+class JsonCursor {
+public:
+    explicit JsonCursor(std::string_view text) : text_{text} {}
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        skip_ws();
+        if (pos_ >= text_.size()) {
+            throw SpecError{"spec json: unexpected end of input"};
+        }
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) {
+            throw SpecError{std::string{"spec json: expected '"} + c +
+                            "', got '" + text_[pos_] + "'"};
+        }
+        ++pos_;
+    }
+
+    bool accept(char c) {
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::string string() {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            const char c = text_[pos_++];
+            if (c == '\\') {
+                throw SpecError{
+                    "spec json: escape sequences are not supported in "
+                    "spec strings"};
+            }
+            out.push_back(c);
+        }
+        if (pos_ >= text_.size()) {
+            throw SpecError{"spec json: unterminated string"};
+        }
+        ++pos_;  // closing quote
+        return out;
+    }
+
+    std::uint64_t unsigned_number(std::string_view key) {
+        skip_ws();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+            ++pos_;
+        }
+        return parse_spec_u64(key, text_.substr(start, pos_ - start));
+    }
+
+    void done() {
+        skip_ws();
+        if (pos_ != text_.size()) {
+            throw SpecError{"spec json: trailing content after object"};
+        }
+    }
+
+private:
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ScenarioSpec parse_spec_json(std::string_view json) {
+    JsonCursor c{json};
+    ScenarioSpec spec;
+    bool seen_name = false;
+    c.expect('{');
+    if (!c.accept('}')) {
+        do {
+            const std::string key = c.string();
+            c.expect(':');
+            if (key == "scenario") {
+                spec.name = c.string();
+                validate_key(spec.name);
+                seen_name = true;
+            } else if (key == "seed") {
+                spec.seed = c.unsigned_number(key);
+            } else if (key == "minutes") {
+                spec.minutes = c.unsigned_number(key);
+            } else if (key == "overrides") {
+                c.expect('{');
+                if (!c.accept('}')) {
+                    do {
+                        const std::string k = c.string();
+                        c.expect(':');
+                        const std::string v = c.string();
+                        if (spec.find(k) != nullptr) {
+                            throw SpecError{"spec: duplicate key '" + k +
+                                            "'"};
+                        }
+                        validate_key(k);
+                        validate_value(k, v);
+                        spec.overrides.emplace_back(k, v);
+                    } while (c.accept(','));
+                    c.expect('}');
+                }
+            } else {
+                throw SpecError{"spec json: unknown key '" + key + "'"};
+            }
+        } while (c.accept(','));
+        c.expect('}');
+    }
+    c.done();
+    if (!seen_name) throw SpecError{"spec json: missing 'scenario' key"};
+    return spec;
+}
+
+}  // namespace mcps::scenario

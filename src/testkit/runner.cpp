@@ -92,23 +92,25 @@ PcaRunOutcome run_instrumented_pca(const core::PcaScenarioConfig& cfg,
     return out;
 }
 
+std::uint64_t xray_result_fingerprint(const core::XrayScenarioResult& r) {
+    std::uint64_t h = kFnvOffset;
+    h = mix(h, r.procedures);
+    h = mix(h, r.completed);
+    h = mix(h, r.sharp_images);
+    h = mix(h, r.total_retries);
+    h = mix(h, r.safety_auto_resumes);
+    h = mix(h, std::bit_cast<std::uint64_t>(r.mean_apnea_s));
+    h = mix(h, std::bit_cast<std::uint64_t>(r.max_apnea_s));
+    h = mix(h, std::bit_cast<std::uint64_t>(r.min_spo2));
+    return h;
+}
+
 XrayRunOutcome run_instrumented_xray(const core::XrayScenarioConfig& cfg,
                                      InvariantTolerances tol) {
     XrayRunOutcome out;
     out.result = core::run_xray_scenario(cfg);
     out.violations = InvariantChecker::check_xray(cfg, out.result, tol);
-
-    // The x-ray harness doesn't expose its trace; fingerprint the result.
-    std::uint64_t h = kFnvOffset;
-    h = mix(h, out.result.procedures);
-    h = mix(h, out.result.completed);
-    h = mix(h, out.result.sharp_images);
-    h = mix(h, out.result.total_retries);
-    h = mix(h, out.result.safety_auto_resumes);
-    h = mix(h, std::bit_cast<std::uint64_t>(out.result.mean_apnea_s));
-    h = mix(h, std::bit_cast<std::uint64_t>(out.result.max_apnea_s));
-    h = mix(h, std::bit_cast<std::uint64_t>(out.result.min_spo2));
-    out.fingerprint = h;
+    out.fingerprint = xray_result_fingerprint(out.result);
     return out;
 }
 

@@ -38,6 +38,11 @@ struct XrayRunOutcome {
 [[nodiscard]] std::uint64_t trace_fingerprint(
     const mcps::sim::TraceRecorder& trace);
 
+/// Fold an x-ray result into 64 bits (the x-ray harness doesn't expose
+/// its trace, so the result fields ARE the byte-identity surface).
+[[nodiscard]] std::uint64_t xray_result_fingerprint(
+    const core::XrayScenarioResult& result);
+
 /// Run one PCA scenario with faults injected and invariants checked.
 [[nodiscard]] PcaRunOutcome run_instrumented_pca(
     const core::PcaScenarioConfig& cfg, const FaultPlan& faults,

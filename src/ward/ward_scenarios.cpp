@@ -1,7 +1,8 @@
 #include "ward_scenarios.hpp"
 
-#include <algorithm>
 #include <string>
+
+#include "scenario/presets.hpp"
 
 namespace mcps::ward {
 
@@ -75,11 +76,7 @@ ScenarioOutcome WardScenarioFactory::run(
             // inside the claimed-safe envelope.
             auto g = gen_.pca(index);
             g.config.events = events;
-            g.config.with_monitor = true;
-            g.config.with_smart_alarm = true;
-            g.config.oximeter.artifact_probability =
-                std::max(g.config.oximeter.artifact_probability, 0.004);
-            g.config.oximeter.artifact_magnitude = -20.0;
+            scenario::apply_alarm_ward_overlay(g.config);
             fold_pca(testkit::run_instrumented_pca(g.config, g.faults, checker),
                      out);
             break;

@@ -1,0 +1,150 @@
+/// \file test_analysis_scenario_scan.cpp
+/// \brief Seeded-defect fixtures for the ICE1 registry-bypass scan
+/// (scenario_scan.hpp).
+///
+/// The fixture files live under tests/analysis_fixtures/ next to the
+/// SIM1 ones — but tests/ is itself a sanctioned layer (unit tests
+/// exercise the raw harnesses on purpose), so the fixtures are copied
+/// into a temp directory before scanning; scanning them in place must
+/// yield nothing, and one test asserts exactly that.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/analysis.hpp"
+
+#ifndef MCPS_ANALYSIS_FIXTURE_DIR
+#error "MCPS_ANALYSIS_FIXTURE_DIR must be defined by the build"
+#endif
+
+namespace {
+
+using namespace mcps;
+using analysis::Finding;
+using analysis::RuleId;
+
+const std::filesystem::path kFixtures{MCPS_ANALYSIS_FIXTURE_DIR};
+
+/// Copy one fixture out of the sanctioned tests/ tree so the scan
+/// actually runs on it.
+std::filesystem::path staged(const std::string& name) {
+    const auto dir =
+        std::filesystem::temp_directory_path() / "mcps_ice1_fixtures";
+    std::filesystem::create_directories(dir);
+    const auto dst = dir / name;
+    std::filesystem::copy_file(
+        kFixtures / name, dst,
+        std::filesystem::copy_options::overwrite_existing);
+    return dst;
+}
+
+std::filesystem::path write_temp(const std::string& name,
+                                 const std::string& content) {
+    const auto dir =
+        std::filesystem::temp_directory_path() / "mcps_ice1_fixtures";
+    std::filesystem::create_directories(dir);
+    const auto dst = dir / name;
+    std::ofstream{dst} << content;
+    return dst;
+}
+
+bool has_entity(const std::vector<Finding>& fs, const std::string& entity) {
+    return std::any_of(fs.begin(), fs.end(), [&](const Finding& f) {
+        return f.rule == RuleId::kICE1 && f.entity == entity;
+    });
+}
+
+TEST(AnalysisICE1Scan, FlagsBypassAssemblies) {
+    const auto r = analysis::scan_scenario_file(staged("ice1_bypass.cpp"));
+    ASSERT_EQ(r.files_scanned, 1u);
+    ASSERT_EQ(r.findings.size(), 2u);
+    EXPECT_TRUE(has_entity(r.findings, "PcaScenarioConfig"));
+    EXPECT_TRUE(has_entity(r.findings, "XrayScenarioConfig"));
+    // Findings carry file/line anchors and name the registry entry path.
+    EXPECT_GT(r.findings[0].line, 0u);
+    EXPECT_NE(r.findings[0].file.find("ice1_bypass.cpp"),
+              std::string::npos);
+    EXPECT_NE(r.findings[0].message.find("bypasses the scenario registry"),
+              std::string::npos);
+}
+
+TEST(AnalysisICE1Scan, CommentsAndStringsDoNotTrigger) {
+    const auto r = analysis::scan_scenario_file(staged("ice1_clean.cpp"));
+    EXPECT_EQ(r.files_scanned, 1u);
+    EXPECT_TRUE(r.findings.empty());
+    EXPECT_EQ(r.suppressed, 0u);
+}
+
+TEST(AnalysisICE1Scan, InlineAllowSuppresses) {
+    const auto r =
+        analysis::scan_scenario_file(staged("ice1_suppressed.cpp"));
+    EXPECT_TRUE(r.findings.empty());
+    EXPECT_EQ(r.suppressed, 2u);  // same-line + preceding-line markers
+}
+
+TEST(AnalysisICE1Scan, AllowFileSuppressesWholeFile) {
+    const auto r =
+        analysis::scan_scenario_file(staged("ice1_allow_file.cpp"));
+    EXPECT_TRUE(r.findings.empty());
+    EXPECT_GE(r.suppressed, 2u);
+}
+
+TEST(AnalysisICE1Scan, IdentifierBoundariesRespected) {
+    const auto f = write_temp("ice1_boundaries.cpp",
+                              "struct MyPcaScenarioConfigLike {};\n"
+                              "int XrayScenarioConfig2 = 0;\n"
+                              "core::PcaScenarioConfig real;\n");
+    const auto r = analysis::scan_scenario_file(f);
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].entity, "PcaScenarioConfig");
+    EXPECT_EQ(r.findings[0].line, 3u);
+}
+
+TEST(AnalysisICE1Scan, SanctionedLayersAreExempt) {
+    // The fixture in place (under tests/) is sanctioned — the temp
+    // staging above is what makes the other tests bite.
+    const auto in_place =
+        analysis::scan_scenario_file(kFixtures / "ice1_bypass.cpp");
+    EXPECT_EQ(in_place.files_scanned, 0u);
+    EXPECT_TRUE(in_place.findings.empty());
+
+    EXPECT_TRUE(analysis::is_scenario_sanctioned("src/core/pca_scenario.hpp"));
+    EXPECT_TRUE(analysis::is_scenario_sanctioned(
+        "/abs/repo/src/scenario/registry.cpp"));
+    EXPECT_TRUE(analysis::is_scenario_sanctioned(
+        "src/testkit/scenario_gen.hpp"));
+    EXPECT_FALSE(analysis::is_scenario_sanctioned("bench/bench_e1.cpp"));
+    EXPECT_FALSE(analysis::is_scenario_sanctioned("tools/mcps_trace.cpp"));
+}
+
+TEST(AnalysisICE1Scan, ShippedConsumersAreClean) {
+    // The same gate CI runs: every scenario consumer in the repo goes
+    // through the registry (or carries an explicit allow marker).
+    const std::filesystem::path repo =
+        std::filesystem::weakly_canonical(kFixtures).parent_path()
+            .parent_path();
+    std::size_t scanned = 0;
+    for (const char* sub : {"src", "bench", "tools", "examples"}) {
+        ASSERT_TRUE(std::filesystem::exists(repo / sub)) << sub;
+        const auto r = analysis::scan_scenario_tree(repo / sub);
+        EXPECT_TRUE(r.findings.empty())
+            << sub << ": " << r.findings.size() << " finding(s), first: "
+            << r.findings.front().to_string();
+        scanned += r.files_scanned;
+    }
+    EXPECT_GT(scanned, 30u);
+}
+
+TEST(AnalysisICE1Scan, AnalyzerAbsorbsScenarioScan) {
+    analysis::Analyzer a;
+    a.scan_scenario_assembly(staged("ice1_bypass.cpp").string());
+    EXPECT_FALSE(a.report().clean());
+    EXPECT_EQ(a.report().errors(), 2u);
+    ASSERT_EQ(a.report().analyzed.size(), 1u);
+    EXPECT_EQ(a.report().analyzed[0].rfind("scenario:", 0), 0u);
+}
+
+}  // namespace

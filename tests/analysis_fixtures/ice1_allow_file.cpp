@@ -1,0 +1,11 @@
+// ICE1 fixture: whole-file escape hatch.
+// mcps-analyze: allow-file(ICE1): fixture exercises the file marker
+
+#include "core/pca_scenario.hpp"
+#include "core/xray_scenario.hpp"
+
+double exempt_harness() {
+    mcps::core::PcaScenarioConfig cfg;
+    mcps::core::XrayScenarioConfig xcfg;
+    return static_cast<double>(cfg.seed + xcfg.procedures);
+}

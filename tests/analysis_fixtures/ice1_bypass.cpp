@@ -1,0 +1,17 @@
+// ICE1 fixture: a scenario consumer hand-assembling the raw config
+// structs instead of resolving a ScenarioSpec through the registry.
+// The tests assert both types are flagged. Never compiled.
+
+#include "core/pca_scenario.hpp"
+#include "core/xray_scenario.hpp"
+
+double bypassing_bench() {
+    mcps::core::PcaScenarioConfig cfg;
+    cfg.seed = 7;
+    auto result = mcps::core::run_pca_scenario(cfg);
+
+    mcps::core::XrayScenarioConfig xcfg;
+    xcfg.procedures = 20;
+    auto xresult = mcps::core::run_xray_scenario(xcfg);
+    return result.min_spo2 + xresult.sharp_rate;
+}

@@ -1,0 +1,16 @@
+// ICE1 fixture: a well-behaved consumer. Configs come from the
+// registry/spec layer, so the raw type names never appear — except in
+// this comment (PcaScenarioConfig) and the string below, neither of
+// which may trigger the scan.
+
+#include "scenario/scenario.hpp"
+
+double registry_consumer() {
+    mcps::scenario::ScenarioSpec spec;
+    spec.name = "pca";
+    spec.set("interlock", "dual");
+    const char* doc = "XrayScenarioConfig is spelled out only in text";
+    (void)doc;
+    const auto art = mcps::scenario::registry().run(spec);
+    return art.at("min_spo2");
+}

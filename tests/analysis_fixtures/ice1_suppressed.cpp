@@ -1,0 +1,16 @@
+// ICE1 fixture: legitimate raw-config uses annotated inline. The tests
+// assert the file scans clean with exactly two SUPPRESSED findings (one
+// same-line marker, one preceding-line marker).
+
+#include "core/pca_scenario.hpp"
+#include "core/xray_scenario.hpp"
+
+double annotated_harness() {
+    mcps::core::PcaScenarioConfig cfg;  // mcps-analyze: allow(ICE1): fixture exercises same-line marker
+    cfg.seed = 7;
+
+    // mcps-analyze: allow(ICE1): fixture exercises preceding-line marker
+    mcps::core::XrayScenarioConfig xcfg;
+    xcfg.procedures = 20;
+    return static_cast<double>(cfg.seed + xcfg.procedures);
+}

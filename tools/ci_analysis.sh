@@ -3,7 +3,9 @@
 #
 #   1. warning-clean build:  MCPS_WERROR=ON (-Wconversion -Wshadow -Werror)
 #   2. model linter:         mcps_analyze over shipped models + src/ scan
-#   3. analysis test label:  per-rule seeded-defect fixtures
+#                            + scenario registry-bypass scan (ICE1)
+#   3. analysis/scenario:    per-rule seeded-defect fixtures + the
+#                            scenario registry/spec suite
 #   4. clang-tidy:           tools/run_tidy.sh (SKIPPED if not installed)
 #   5. ASan+UBSan:           full test suite under address+undefined
 #   6. TSan:                 ward-engine suite under thread sanitizer
@@ -40,10 +42,15 @@ echo "warning-clean: OK"
 
 stage "2/6 model linter (mcps_analyze)"
 "${repo_root}/build-ci-werror/tools/mcps_analyze" \
-    --src-root "${repo_root}/src" --matrix
+    --src-root "${repo_root}/src" \
+    --scan-scenarios "${repo_root}/src" \
+    --scan-scenarios "${repo_root}/bench" \
+    --scan-scenarios "${repo_root}/tools" \
+    --scan-scenarios "${repo_root}/examples" \
+    --matrix
 
-stage "3/6 analysis test label"
-ctest --test-dir "${repo_root}/build-ci-werror" -L analysis \
+stage "3/6 analysis + scenario test labels"
+ctest --test-dir "${repo_root}/build-ci-werror" -L "analysis|scenario" \
     --output-on-failure
 
 stage "4/6 clang-tidy"

@@ -6,13 +6,15 @@
 ///   TA1–TA4 on the shipped timed-automata models (pump lockout,
 ///           closed-loop response, 2-pump farm),
 ///   ICE1    on the shipped ICE assemblies (PCA closed loop,
-///           X-ray/ventilator sync),
+///           X-ray/ventilator sync), plus — per --scan-scenarios root —
+///           the registry-bypass scan over scenario consumers,
 ///   AS1     on the GPCA hazard log vs. the GSN case skeleton,
 ///   SIM1    banned-construct scan over the source tree.
 ///
 /// Usage:
 ///   mcps_analyze [--json <path>] [--suppress R1,R2] [--src-root <dir>]
-///                [--no-scan] [--list-rules] [--matrix] [--quiet]
+///                [--scan-scenarios <dir>]... [--no-scan] [--list-rules]
+///                [--matrix] [--quiet]
 ///
 /// Exit codes: 0 = clean, 1 = findings, 2 = usage/internal error.
 /// CI gate: tools/ci_analysis.sh runs this on every build.
@@ -100,7 +102,8 @@ int usage(const char* argv0) {
     std::cerr
         << "usage: " << argv0
         << " [--json <path>] [--suppress R1,R2] [--src-root <dir>]\n"
-           "       [--no-scan] [--list-rules] [--matrix] [--quiet]\n";
+           "       [--scan-scenarios <dir>]... [--no-scan] [--list-rules]\n"
+           "       [--matrix] [--quiet]\n";
     return 2;
 }
 
@@ -110,6 +113,7 @@ int main(int argc, char** argv) {
     std::string json_path;
     std::string suppress_list;
     std::string src_root = "src";
+    std::vector<std::string> scenario_roots;
     bool scan = true;
     bool quiet = false;
     bool matrix = false;
@@ -130,6 +134,10 @@ int main(int argc, char** argv) {
             if (!next(suppress_list)) return 2;
         } else if (arg == "--src-root") {
             if (!next(src_root)) return 2;
+        } else if (arg == "--scan-scenarios") {
+            std::string root;
+            if (!next(root)) return 2;
+            scenario_roots.push_back(std::move(root));
         } else if (arg == "--no-scan") {
             scan = false;
         } else if (arg == "--quiet") {
@@ -162,6 +170,9 @@ int main(int argc, char** argv) {
         const auto gsn = assurance::build_gpca_case_skeleton();
         analyzer.check_hazards(log, &gsn);
         if (scan) analyzer.scan_sources(src_root);
+        for (const std::string& root : scenario_roots) {
+            analyzer.scan_scenario_assembly(root);
+        }
     } catch (const std::exception& e) {
         std::cerr << "mcps_analyze: " << e.what() << "\n";
         return 2;

@@ -5,7 +5,6 @@
 /// violations found, shrunk, and replayed byte-identically), 1 = the run
 /// did not meet its expectation, 2 = usage or I/O error.
 
-#include <charconv>
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
@@ -13,10 +12,14 @@
 #include <string_view>
 #include <vector>
 
+#include "cli.hpp"
 #include "testkit/testkit.hpp"
 #include "ward/fuzz_driver.hpp"
 
 namespace tk = mcps::testkit;
+using mcps::cli::CliError;
+using mcps::cli::parse_double;
+using mcps::cli::parse_u64;
 
 namespace {
 
@@ -37,32 +40,6 @@ void usage(std::ostream& os) {
           "  --no-shrink          keep failing fault plans unshrunk\n"
           "  --quiet              suppress per-failure progress output\n"
           "  --help               this text\n";
-}
-
-struct CliError {
-    std::string message;
-};
-
-std::uint64_t parse_u64_arg(std::string_view flag, std::string_view v) {
-    std::uint64_t out = 0;
-    const auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
-    if (ec != std::errc{} || p != v.data() + v.size()) {
-        throw CliError{std::string{flag} + ": expected an integer, got '" +
-                       std::string{v} + "'"};
-    }
-    return out;
-}
-
-double parse_double_arg(std::string_view flag, std::string_view v) {
-    try {
-        std::size_t used = 0;
-        const double out = std::stod(std::string{v}, &used);
-        if (used != v.size()) throw std::invalid_argument{""};
-        return out;
-    } catch (const std::exception&) {
-        throw CliError{std::string{flag} + ": expected a number, got '" +
-                       std::string{v} + "'"};
-    }
 }
 
 int replay_mode(const std::string& path) {
@@ -102,25 +79,20 @@ int main(int argc, char** argv) {
     std::string replay_path;
 
     try {
-        const std::vector<std::string_view> args{argv + 1, argv + argc};
-        for (std::size_t i = 0; i < args.size(); ++i) {
-            const auto arg = args[i];
-            const auto value = [&]() -> std::string_view {
-                if (i + 1 >= args.size()) {
-                    throw CliError{std::string{arg} + ": missing value"};
-                }
-                return args[++i];
-            };
+        mcps::cli::Args args{argc, argv};
+        while (!args.done()) {
+            const auto arg = args.next();
+            const auto value = [&] { return args.value(arg); };
             if (arg == "--scenarios") {
-                opts.scenarios = parse_u64_arg(arg, value());
+                opts.scenarios = parse_u64(arg, value());
             } else if (arg == "--seed") {
-                opts.seed = parse_u64_arg(arg, value());
+                opts.seed = parse_u64(arg, value());
             } else if (arg == "--intensity") {
-                opts.fault_intensity = parse_double_arg(arg, value());
+                opts.fault_intensity = parse_double(arg, value());
             } else if (arg == "--jobs") {
-                jobs = static_cast<unsigned>(parse_u64_arg(arg, value()));
+                jobs = static_cast<unsigned>(parse_u64(arg, value()));
             } else if (arg == "--xray-fraction") {
-                opts.xray_fraction = parse_double_arg(arg, value());
+                opts.xray_fraction = parse_double(arg, value());
             } else if (arg == "--weakened") {
                 opts.weakened = true;
             } else if (arg == "--expect-violation") {

@@ -19,7 +19,6 @@
 /// Exit codes: 0 = success, 1 = diff/check/validation failure,
 /// 2 = usage or I/O error.
 
-#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -28,34 +27,33 @@
 #include <string_view>
 #include <vector>
 
-#include "core/pca_scenario.hpp"
-#include "core/xray_scenario.hpp"
+#include "cli.hpp"
 #include "obs/obs.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/table.hpp"
 
 namespace obs = mcps::obs;
-namespace core = mcps::core;
+namespace scenario = mcps::scenario;
+using mcps::cli::CliError;
+using mcps::cli::parse_u64;
 
 namespace {
 
-struct CliError {
-    std::string message;
-};
-
 void usage(std::ostream& os) {
     os << "usage: mcps_trace <subcommand> [options]\n"
-          "  run --scenario pca|xray [--seed N] [--minutes M]\n"
+          "  run --scenario NAME [--seed N] [--minutes M]\n"
           "      [--out PATH] [--chrome PATH] [--no-bus] [--quiet]\n"
-          "        run a scenario with structured tracing; write the\n"
-          "        event log as JSONL to --out (default stdout) and\n"
-          "        optionally as a Chrome trace_event file to --chrome.\n"
-          "        --no-bus drops bus publish/deliver/drop events.\n"
+          "        run a registered scenario (see `mcps_run list`) with\n"
+          "        structured tracing; write the event log as JSONL to\n"
+          "        --out (default stdout) and optionally as a Chrome\n"
+          "        trace_event file to --chrome. --no-bus drops bus\n"
+          "        publish/deliver/drop events.\n"
           "  inspect FILE\n"
           "        summarize a JSONL event log (counts per kind, time\n"
           "        range, sources).\n"
           "  diff A B\n"
           "        byte-diff two JSONL event logs; exit 1 on difference.\n"
-          "  check --scenario pca|xray --golden FILE [--seed N]\n"
+          "  check --scenario NAME --golden FILE [--seed N]\n"
           "      [--minutes M] [--no-bus] [--update]\n"
           "        re-run the scenario and byte-diff its JSONL against\n"
           "        the golden file; --update rewrites the golden.\n"
@@ -63,22 +61,7 @@ void usage(std::ostream& os) {
           "        validate a bench --json report against the schema.\n";
 }
 
-std::uint64_t parse_u64_arg(std::string_view flag, std::string_view v) {
-    std::uint64_t out = 0;
-    std::size_t used = 0;
-    try {
-        out = std::stoull(std::string{v}, &used);
-    } catch (const std::exception&) {
-        used = 0;
-    }
-    if (used != v.size() || v.empty()) {
-        throw CliError{std::string{flag} + ": expected an integer, got '" +
-                       std::string{v} + "'"};
-    }
-    return out;
-}
-
-struct RunOptions {
+struct TraceOptions {
     std::string scenario;
     std::uint64_t seed = 42;
     std::uint64_t minutes = 30;
@@ -86,34 +69,20 @@ struct RunOptions {
 };
 
 /// Run the named scenario with tracing attached. The configurations are
-/// fixed canonical presets (not exposed flag-by-flag): golden traces must
-/// correspond to one reproducible command line.
-obs::EventLog run_traced_scenario(const RunOptions& opt) {
+/// the registry's canonical presets (not exposed flag-by-flag): golden
+/// traces must correspond to one reproducible command line.
+obs::EventLog run_traced_scenario(const TraceOptions& opt) {
     obs::EventLog log;
-    if (opt.scenario == "pca") {
-        core::PcaScenarioConfig cfg;
-        cfg.seed = opt.seed;
-        cfg.duration =
-            mcps::sim::SimDuration::minutes(static_cast<std::int64_t>(opt.minutes));
-        // High-risk patient under proxy pressing: presses continue
-        // despite sedation, so the run exercises the interlock
-        // trip/resume path.
-        cfg.patient = mcps::physio::nominal_parameters(
-            mcps::physio::Archetype::kHighRisk);
-        cfg.demand_mode = core::DemandMode::kProxy;
-        cfg.events = &log;
-        (void)core::run_pca_scenario(cfg);
-    } else if (opt.scenario == "xray") {
-        core::XrayScenarioConfig cfg;
-        cfg.seed = opt.seed;
-        // One procedure per 3-minute gap, at least one.
-        cfg.procedures = std::max<std::size_t>(
-            1, static_cast<std::size_t>(opt.minutes) / 3);
-        cfg.events = &log;
-        (void)core::run_xray_scenario(cfg);
-    } else {
-        throw CliError{"--scenario: expected 'pca' or 'xray', got '" +
-                       opt.scenario + "'"};
+    scenario::ScenarioSpec spec;
+    spec.name = opt.scenario;
+    spec.seed = opt.seed;
+    spec.minutes = opt.minutes;
+    scenario::RunOptions run;
+    run.events = &log;
+    try {
+        (void)scenario::registry().run(spec, run);
+    } catch (const scenario::SpecError& e) {
+        throw CliError{e.what()};
     }
     return log;
 }
@@ -189,25 +158,23 @@ bool diff_texts(const std::string& a_name, const std::string& a,
     }
 }
 
-RunOptions parse_run_options(const std::vector<std::string_view>& args,
-                             std::size_t start, std::string* out_path,
-                             std::string* chrome_path, std::string* golden,
-                             bool* update, bool* quiet) {
-    RunOptions opt;
-    for (std::size_t i = start; i < args.size(); ++i) {
-        const auto arg = args[i];
-        const auto value = [&]() -> std::string_view {
-            if (i + 1 >= args.size()) {
-                throw CliError{std::string{arg} + ": missing value"};
-            }
-            return args[++i];
-        };
+TraceOptions parse_run_options(const std::vector<std::string_view>& args,
+                               std::size_t start, std::string* out_path,
+                               std::string* chrome_path, std::string* golden,
+                               bool* update, bool* quiet) {
+    TraceOptions opt;
+    mcps::cli::Args cursor{
+        std::vector<std::string_view>{args.begin() + static_cast<std::ptrdiff_t>(start),
+                                      args.end()}};
+    while (!cursor.done()) {
+        const auto arg = cursor.next();
+        const auto value = [&] { return cursor.value(arg); };
         if (arg == "--scenario") {
             opt.scenario = std::string{value()};
         } else if (arg == "--seed") {
-            opt.seed = parse_u64_arg(arg, value());
+            opt.seed = parse_u64(arg, value());
         } else if (arg == "--minutes") {
-            opt.minutes = parse_u64_arg(arg, value());
+            opt.minutes = parse_u64(arg, value());
         } else if (arg == "--no-bus") {
             opt.no_bus = true;
         } else if (arg == "--out" && out_path) {
@@ -233,7 +200,7 @@ RunOptions parse_run_options(const std::vector<std::string_view>& args,
 int cmd_run(const std::vector<std::string_view>& args) {
     std::string out_path, chrome_path;
     bool quiet = false;
-    const RunOptions opt = parse_run_options(args, 1, &out_path, &chrome_path,
+    const TraceOptions opt = parse_run_options(args, 1, &out_path, &chrome_path,
                                              nullptr, nullptr, &quiet);
     obs::EventLog log = run_traced_scenario(opt);
     if (opt.no_bus) log = drop_bus_events(log);
@@ -311,7 +278,7 @@ int cmd_diff(const std::vector<std::string_view>& args) {
 int cmd_check(const std::vector<std::string_view>& args) {
     std::string golden;
     bool update = false;
-    const RunOptions opt = parse_run_options(args, 1, nullptr, nullptr,
+    const TraceOptions opt = parse_run_options(args, 1, nullptr, nullptr,
                                              &golden, &update, nullptr);
     if (golden.empty()) throw CliError{"check: --golden is required"};
 

@@ -9,7 +9,6 @@
 /// Exit codes: 0 = success, 1 = --verify-serial fingerprint mismatch,
 /// 2 = usage or I/O error.
 
-#include <charconv>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -17,10 +16,14 @@
 #include <string_view>
 #include <vector>
 
+#include "cli.hpp"
 #include "obs/obs.hpp"
 #include "ward/ward.hpp"
 
 namespace ward = mcps::ward;
+using mcps::cli::CliError;
+using mcps::cli::parse_double;
+using mcps::cli::parse_u64;
 
 namespace {
 
@@ -52,49 +55,9 @@ void usage(std::ostream& os) {
           "  --help             this text\n";
 }
 
-struct CliError {
-    std::string message;
-};
-
-std::uint64_t parse_u64_arg(std::string_view flag, std::string_view v) {
-    std::uint64_t out = 0;
-    const auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
-    if (ec != std::errc{} || p != v.data() + v.size()) {
-        throw CliError{std::string{flag} + ": expected an integer, got '" +
-                       std::string{v} + "'"};
-    }
-    return out;
-}
-
-double parse_double_arg(std::string_view flag, std::string_view v) {
-    try {
-        std::size_t used = 0;
-        const double out = std::stod(std::string{v}, &used);
-        if (used != v.size()) throw std::invalid_argument{""};
-        return out;
-    } catch (const std::exception&) {
-        throw CliError{std::string{flag} + ": expected a number, got '" +
-                       std::string{v} + "'"};
-    }
-}
-
 std::vector<unsigned> parse_jobs_list(std::string_view flag,
                                       std::string_view v) {
-    std::vector<unsigned> jobs;
-    std::size_t start = 0;
-    while (start <= v.size()) {
-        const std::size_t comma = v.find(',', start);
-        const std::string_view item =
-            v.substr(start, comma == std::string_view::npos ? std::string_view::npos
-                                                            : comma - start);
-        if (item.empty()) {
-            throw CliError{std::string{flag} + ": empty entry in '" +
-                           std::string{v} + "'"};
-        }
-        jobs.push_back(static_cast<unsigned>(parse_u64_arg(flag, item)));
-        if (comma == std::string_view::npos) break;
-        start = comma + 1;
-    }
+    std::vector<unsigned> jobs = mcps::cli::parse_unsigned_list(flag, v);
     if (jobs.size() < 2) {
         throw CliError{std::string{flag} +
                        ": need at least two job counts to compare"};
@@ -114,29 +77,24 @@ int main(int argc, char** argv) {
     std::vector<unsigned> verify_obs_jobs;
 
     try {
-        const std::vector<std::string_view> args{argv + 1, argv + argc};
-        for (std::size_t i = 0; i < args.size(); ++i) {
-            const auto arg = args[i];
-            const auto value = [&]() -> std::string_view {
-                if (i + 1 >= args.size()) {
-                    throw CliError{std::string{arg} + ": missing value"};
-                }
-                return args[++i];
-            };
+        mcps::cli::Args args{argc, argv};
+        while (!args.done()) {
+            const auto arg = args.next();
+            const auto value = [&] { return args.value(arg); };
             if (arg == "--patients") {
                 cfg.patients =
-                    static_cast<std::size_t>(parse_u64_arg(arg, value()));
+                    static_cast<std::size_t>(parse_u64(arg, value()));
             } else if (arg == "--jobs") {
-                cfg.jobs = static_cast<unsigned>(parse_u64_arg(arg, value()));
+                cfg.jobs = static_cast<unsigned>(parse_u64(arg, value()));
             } else if (arg == "--shards") {
                 cfg.shards =
-                    static_cast<std::size_t>(parse_u64_arg(arg, value()));
+                    static_cast<std::size_t>(parse_u64(arg, value()));
             } else if (arg == "--mix") {
                 cfg.mix = ward::parse_mix(value());
             } else if (arg == "--seed") {
-                cfg.seed = parse_u64_arg(arg, value());
+                cfg.seed = parse_u64(arg, value());
             } else if (arg == "--intensity") {
-                cfg.fault_intensity = parse_double_arg(arg, value());
+                cfg.fault_intensity = parse_double(arg, value());
             } else if (arg == "--json") {
                 json_path = std::string{value()};
             } else if (arg == "--events-out") {
