@@ -28,7 +28,8 @@ SubscriptionId Bus::subscribe(const std::string& endpoint,
                               const std::string& pattern, Handler handler) {
     if (!handler) throw std::invalid_argument("subscribe: empty handler");
     const SubscriptionId id{next_sub_++};
-    subs_.push_back(Subscription{id, endpoint, pattern, std::move(handler)});
+    subs_.push_back(Subscription{id, endpoint, pattern, std::move(handler),
+                                 &channel_for(endpoint)});
     return id;
 }
 
@@ -82,8 +83,17 @@ std::uint64_t Bus::publish(const std::string& sender, const std::string& topic,
     ++stats_.published;
     const SimTime now = sim_.now();
 
-    auto msg = std::make_shared<Message>(
-        Message{seq, topic, sender, now, std::move(payload)});
+    // Pooled slot: strings reuse the recycled slot's capacity, and the
+    // refs handed to delivery events are non-atomic increments.
+    MessageRef msg = pool_.acquire();
+    {
+        Message& m = *msg;
+        m.seq = seq;
+        m.topic.assign(topic);
+        m.sender.assign(sender);
+        m.sent_at = now;
+        m.payload = std::move(payload);
+    }
     if (events_) {
         events_->emit(mcps::obs::EventKind::kBusPublish, now, sender, topic,
                       static_cast<double>(seq));
@@ -93,8 +103,7 @@ std::uint64_t Bus::publish(const std::string& sender, const std::string& topic,
     // publication must not receive an in-flight message.
     for (const auto& sub : subs_) {
         if (!topic_matches(sub.pattern, topic)) continue;
-        Channel& ch = channel_for(sub.endpoint);
-        DeliveryPlan plan = ch.plan_delivery(now);
+        DeliveryPlan plan = sub.channel->plan_delivery(now);
         if (plan.dropped) {
             ++stats_.dropped;
             if (events_) {
@@ -103,13 +112,18 @@ std::uint64_t Bus::publish(const std::string& sender, const std::string& topic,
             }
             continue;
         }
-        std::shared_ptr<Message> out = msg;
+        MessageRef out = msg;
         if (plan.corrupted) {
             if (const auto* v = payload_as<VitalSignPayload>(*msg)) {
                 ++stats_.corrupted;
-                out = std::make_shared<Message>(*msg);
-                out->payload = VitalSignPayload{v->metric,
-                                                garbled_vital(msg->seq), false};
+                out = pool_.acquire();
+                Message& o = *out;
+                o.seq = msg->seq;
+                o.topic.assign(msg->topic);
+                o.sender.assign(msg->sender);
+                o.sent_at = msg->sent_at;
+                o.payload = VitalSignPayload{v->metric,
+                                             garbled_vital(msg->seq), false};
             }
         }
         const SubscriptionId sub_id = sub.id;

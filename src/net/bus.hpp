@@ -23,6 +23,7 @@
 
 #include "channel.hpp"
 #include "message.hpp"
+#include "message_pool.hpp"
 #include "obs/event_log.hpp"
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
@@ -91,6 +92,12 @@ public:
         return subs_.size();
     }
 
+    /// Message-slot recycling counters (bench --json hooks): steady-state
+    /// publishing must serve slots from the free list, not the heap.
+    [[nodiscard]] const MessagePoolStats& pool_stats() const noexcept {
+        return pool_.stats();
+    }
+
     /// Attach a structured event log (publish/deliver/drop events).
     /// nullptr (the default) disables bus tracing at one-branch cost.
     /// The log must outlive the bus.
@@ -105,6 +112,9 @@ private:
         std::string endpoint;
         std::string pattern;
         Handler handler;
+        /// Resolved at subscribe time: channels are never destroyed while
+        /// the bus lives, so publish skips the per-delivery map lookup.
+        Channel* channel = nullptr;
     };
 
     Channel& channel_for(const std::string& endpoint);
@@ -116,6 +126,7 @@ private:
     std::vector<Subscription> subs_;
     std::map<std::string, std::unique_ptr<Channel>> channels_;
     std::vector<std::pair<mcps::sim::SimTime, mcps::sim::SimTime>> partitions_;
+    MessagePool pool_;
     BusStats stats_;
     mcps::obs::EventLog* events_ = nullptr;
 };

@@ -7,3 +7,4 @@
 #include "channel.hpp"       // IWYU pragma: export
 #include "flow_monitor.hpp"  // IWYU pragma: export
 #include "message.hpp"  // IWYU pragma: export
+#include "message_pool.hpp"  // IWYU pragma: export

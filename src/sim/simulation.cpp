@@ -5,23 +5,48 @@
 namespace mcps::sim {
 
 bool EventHandle::cancel() noexcept {
-    if (!state_ || state_->cancelled) return false;
-    if (state_->fired && !state_->periodic) return false;
-    state_->cancelled = true;
+    EventNode* n = live_node();
+    if (n == nullptr) return false;
+    if ((n->flags & EventNode::kCancelled) != 0) return false;
+    if ((n->flags & EventNode::kFired) != 0 && !n->periodic()) return false;
+    n->flags = static_cast<std::uint8_t>(n->flags | EventNode::kCancelled);
     return true;
 }
 
 bool EventHandle::pending() const noexcept {
-    if (!state_ || state_->cancelled) return false;
-    return state_->periodic || !state_->fired;
+    const EventNode* n = live_node();
+    if (n == nullptr) return false;
+    if ((n->flags & EventNode::kCancelled) != 0) return false;
+    return n->periodic() || (n->flags & EventNode::kFired) == 0;
 }
 
-Simulation::Simulation(std::uint64_t master_seed) : master_seed_{master_seed} {}
+Simulation::Simulation(std::uint64_t master_seed, EventArena* arena)
+    : master_seed_{master_seed},
+      owned_arena_{arena == nullptr ? std::make_unique<EventArena>() : nullptr},
+      arena_{arena != nullptr ? arena : owned_arena_.get()},
+      queue_{*arena_} {}
 
-EventHandle Simulation::push(SimTime when, EventPriority prio, Callback cb) {
-    auto state = std::make_shared<EventHandle::State>();
-    queue_.push(QueuedEvent{when, prio, next_seq_++, std::move(cb), state});
-    return EventHandle{std::move(state)};
+Simulation::~Simulation() {
+    // Destroy the callbacks of still-pending events so captured
+    // resources (message refs, device pointers) are released even when
+    // the arena is external and outlives this run.
+    while (auto e = queue_.pop_if_at_most(SimTime::never().ticks())) {
+        arena_->release(e->idx);
+    }
+}
+
+EventHandle Simulation::push(SimTime when, EventPriority prio, Callback cb,
+                             SimDuration period) {
+    const std::uint32_t idx = arena_->acquire();
+    EventNode& n = arena_->node(idx);
+    n.when = when;
+    n.seq = next_seq_++;
+    n.period = period;
+    n.prio = prio;
+    n.cb = std::move(cb);
+    if (n.cb.on_heap()) arena_->note_heap_callback();
+    queue_.push(idx);
+    return EventHandle{arena_->slab(), idx, n.gen};
 }
 
 EventHandle Simulation::schedule_at(SimTime when, Callback cb,
@@ -31,7 +56,7 @@ EventHandle Simulation::schedule_at(SimTime when, Callback cb,
                               " is before now (" + now_.to_string() + ")");
     }
     if (!cb) throw SimulationError("schedule_at: empty callback");
-    return push(when, prio, std::move(cb));
+    return push(when, prio, std::move(cb), SimDuration::zero());
 }
 
 EventHandle Simulation::schedule_after(SimDuration delay, Callback cb,
@@ -41,7 +66,7 @@ EventHandle Simulation::schedule_after(SimDuration delay, Callback cb,
                               delay.to_string());
     }
     if (!cb) throw SimulationError("schedule_after: empty callback");
-    return push(now_ + delay, prio, std::move(cb));
+    return push(now_ + delay, prio, std::move(cb), SimDuration::zero());
 }
 
 EventHandle Simulation::schedule_periodic(SimDuration period, Callback cb,
@@ -51,36 +76,43 @@ EventHandle Simulation::schedule_periodic(SimDuration period, Callback cb,
                               period.to_string());
     }
     if (!cb) throw SimulationError("schedule_periodic: empty callback");
-
-    // The chain of firings shares one handle state so a single cancel()
-    // silences every future repetition.
-    auto state = std::make_shared<EventHandle::State>();
-    state->periodic = true;
-    // Self-rescheduling closure. It captures `this`, which is safe because
-    // the queue lives inside *this and cannot outlive it. The repeater
-    // holds only a weak reference to itself; the strong references live in
-    // the queued events, so a cancelled chain is freed once its pending
-    // event drains (no shared_ptr cycle, P.8).
-    auto repeater = std::make_shared<std::function<void()>>();
-    std::weak_ptr<std::function<void()>> weak_self = repeater;
-    *repeater = [this, period, prio, cb = std::move(cb), state, weak_self]() {
-        cb();
-        if (state->cancelled) return;
-        auto self = weak_self.lock();
-        if (!self) return;
-        queue_.push(QueuedEvent{now_ + period, prio, next_seq_++,
-                                [self] { (*self)(); }, state});
-    };
-    queue_.push(QueuedEvent{now_ + period, prio, next_seq_++,
-                            [repeater] { (*repeater)(); }, state});
-    return EventHandle{std::move(state)};
+    // The chain is one arena node re-armed in place after every firing:
+    // a single cancel() silences all future repetitions, and the chain
+    // never allocates again.
+    return push(now_ + period, prio, std::move(cb), period);
 }
 
-void Simulation::dispatch(QueuedEvent& ev) {
-    if (ev.state->cancelled) return;
-    ev.state->fired = true;
+void Simulation::dispatch(std::uint32_t idx) {
+    EventNode& n = arena_->node(idx);
+    if ((n.flags & EventNode::kCancelled) != 0) {
+        arena_->release(idx);
+        return;
+    }
+    n.flags = static_cast<std::uint8_t>(n.flags | EventNode::kFired);
     ++events_dispatched_;
-    ev.cb();
+    n.cb();
+    // Node addresses are stable (chunked slab), so `n` stays valid even
+    // if the callback scheduled new events.
+    if (!n.periodic() || (n.flags & EventNode::kCancelled) != 0) {
+        arena_->release(idx);
+        return;
+    }
+    n.flags = static_cast<std::uint8_t>(n.flags & ~EventNode::kFired);
+    n.when = now_ + n.period;
+    n.seq = next_seq_++;
+    queue_.push(idx);
+}
+
+void Simulation::drain(SimTime until) {
+    running_ = true;
+    stop_requested_ = false;
+    while (!stop_requested_) {
+        auto e = queue_.pop_if_at_most(until.ticks());
+        if (!e) break;
+        now_ = SimTime::at(SimDuration::micros(e->when));
+        dispatch(e->idx);
+    }
+    running_ = false;
 }
 
 void Simulation::run_until(SimTime until) {
@@ -89,32 +121,13 @@ void Simulation::run_until(SimTime until) {
         throw SimulationError("run_until: target " + until.to_string() +
                               " is before now (" + now_.to_string() + ")");
     }
-    running_ = true;
-    stop_requested_ = false;
-    while (!queue_.empty() && !stop_requested_) {
-        // Note: top() is const&; we must copy out before pop because the
-        // callback may push new events and invalidate references.
-        QueuedEvent ev = queue_.top();
-        if (ev.when > until) break;
-        queue_.pop();
-        now_ = ev.when;
-        dispatch(ev);
-    }
+    drain(until);
     if (!stop_requested_ && now_ < until) now_ = until;
-    running_ = false;
 }
 
 void Simulation::run_all() {
     if (running_) throw SimulationError("run_all: kernel is already running");
-    running_ = true;
-    stop_requested_ = false;
-    while (!queue_.empty() && !stop_requested_) {
-        QueuedEvent ev = queue_.top();
-        queue_.pop();
-        now_ = ev.when;
-        dispatch(ev);
-    }
-    running_ = false;
+    drain(SimTime::never());
 }
 
 }  // namespace mcps::sim

@@ -11,17 +11,28 @@
 /// reproducible bit-for-bit, and the simulated entities (devices, patient,
 /// network) are logically concurrent but execute under the event queue's
 /// total order.
+///
+/// Hot-path architecture (see DESIGN.md "Sim-kernel speed"):
+///  - pending events live in a CalendarQueue (amortized O(1)
+///    enqueue/dequeue vs the former binary heap's O(log n));
+///  - event nodes and their callbacks are arena-allocated (EventArena):
+///    steady-state scheduling performs zero heap allocations, and
+///    periodic events re-arm in place without any allocation at all;
+///  - an external EventArena can be supplied to keep slabs warm across
+///    sequential runs (reset() between runs; see ArenaStats).
+/// None of this changes dispatch order: the calendar queue pops in
+/// exactly the (when, priority, seq) order the heap produced, which is
+/// what keeps golden traces and ward fingerprints byte-identical.
 
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <stdexcept>
 #include <string>
-#include <vector>
 
+#include "calendar_queue.hpp"
+#include "event_arena.hpp"
 #include "rng.hpp"
 #include "time.hpp"
 
@@ -34,17 +45,13 @@ public:
     using std::runtime_error::runtime_error;
 };
 
-/// Dispatch priority for events that share a timestamp. Lower value runs
-/// first. Most components use Default; infrastructure that must observe a
-/// consistent pre-state (e.g. trace sampling) uses Early/Late.
-enum class EventPriority : std::int8_t {
-    kEarly = -1,
-    kDefault = 0,
-    kLate = 1,
-};
-
 /// Cancellation handle for a scheduled event. Cheap to copy; cancelling an
 /// already-fired or already-cancelled event is a harmless no-op.
+///
+/// Handles validate a per-slot generation counter against the shared
+/// event slab, so they stay safe (and report "not pending") after the
+/// event fires, after an arena reset, and even after the Simulation is
+/// destroyed.
 class EventHandle {
 public:
     EventHandle() = default;
@@ -57,26 +64,37 @@ public:
     [[nodiscard]] bool pending() const noexcept;
 
     /// True if this handle refers to some event (fired or not).
-    [[nodiscard]] bool valid() const noexcept { return static_cast<bool>(state_); }
+    [[nodiscard]] bool valid() const noexcept { return static_cast<bool>(slab_); }
 
 private:
     friend class Simulation;
-    struct State {
-        bool cancelled = false;
-        bool fired = false;
-        bool periodic = false;  ///< periodic chains stay cancellable forever
-    };
-    explicit EventHandle(std::shared_ptr<State> s) : state_{std::move(s)} {}
-    std::shared_ptr<State> state_;
+    EventHandle(SlabRef slab, std::uint32_t idx, std::uint32_t gen)
+        : slab_{std::move(slab)}, idx_{idx}, gen_{gen} {}
+
+    /// nullptr when the handle is empty or its slot was recycled.
+    [[nodiscard]] EventNode* live_node() const noexcept {
+        if (!slab_) return nullptr;
+        EventNode* n = &slab_->node(idx_);
+        return n->gen == gen_ ? n : nullptr;
+    }
+
+    SlabRef slab_;
+    std::uint32_t idx_ = 0;
+    std::uint32_t gen_ = 0;
 };
 
 /// The discrete-event kernel. Non-copyable; one per scenario run.
 class Simulation {
 public:
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
 
     /// \param master_seed seed from which all named RNG streams derive.
-    explicit Simulation(std::uint64_t master_seed = 1);
+    /// \param arena optional external event arena (kept warm across
+    ///   sequential runs); defaults to a private arena. Must outlive the
+    ///   Simulation and must not be shared by two live Simulations.
+    explicit Simulation(std::uint64_t master_seed = 1,
+                        EventArena* arena = nullptr);
+    ~Simulation();
 
     Simulation(const Simulation&) = delete;
     Simulation& operator=(const Simulation&) = delete;
@@ -105,6 +123,8 @@ public:
 
     /// Schedule \p cb every \p period, first firing at now() + period.
     /// Cancel via the returned handle (cancels all future firings).
+    /// Periodic events re-arm in place: the chain performs no further
+    /// allocations after this call.
     EventHandle schedule_periodic(SimDuration period, Callback cb,
                                   EventPriority prio = EventPriority::kDefault);
 
@@ -134,24 +154,16 @@ public:
         return queue_.size();
     }
 
-private:
-    struct QueuedEvent {
-        SimTime when;
-        EventPriority prio;
-        std::uint64_t seq;  ///< tie-breaker: insertion order
-        Callback cb;
-        std::shared_ptr<EventHandle::State> state;
-    };
-    struct Later {
-        bool operator()(const QueuedEvent& a, const QueuedEvent& b) const noexcept {
-            if (a.when != b.when) return a.when > b.when;
-            if (a.prio != b.prio) return a.prio > b.prio;
-            return a.seq > b.seq;
-        }
-    };
+    /// Allocation counters of the backing arena (bench --json hooks).
+    [[nodiscard]] const ArenaStats& arena_stats() const noexcept {
+        return arena_->stats();
+    }
 
-    EventHandle push(SimTime when, EventPriority prio, Callback cb);
-    void dispatch(QueuedEvent& ev);
+private:
+    EventHandle push(SimTime when, EventPriority prio, Callback cb,
+                     SimDuration period);
+    void dispatch(std::uint32_t idx);
+    void drain(SimTime until);
 
     SimTime now_{};
     std::uint64_t master_seed_;
@@ -159,7 +171,9 @@ private:
     std::uint64_t events_dispatched_{0};
     bool running_{false};
     bool stop_requested_{false};
-    std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
+    std::unique_ptr<EventArena> owned_arena_;  ///< null when external
+    EventArena* arena_;
+    CalendarQueue queue_;
 };
 
 }  // namespace mcps::sim

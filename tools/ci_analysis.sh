@@ -4,15 +4,19 @@
 #   1. warning-clean build:  MCPS_WERROR=ON (-Wconversion -Wshadow -Werror)
 #   2. model linter:         mcps_analyze over shipped models + src/ scan
 #                            + scenario registry-bypass scan (ICE1)
-#   3. analysis/scenario:    per-rule seeded-defect fixtures + the
-#                            scenario registry/spec suite
+#   3. analysis/scenario/kernel: per-rule seeded-defect fixtures, the
+#                            scenario registry/spec suite, and the
+#                            calendar-queue/arena differential suite
 #   4. clang-tidy:           tools/run_tidy.sh (SKIPPED if not installed)
-#   5. ASan+UBSan:           full test suite under address+undefined
-#   6. TSan:                 ward-engine suite under thread sanitizer
+#   5. bench smoke:          tools/bench_baseline.sh --quick (validates
+#                            the --json flow; numbers are not checked)
+#   6. ASan+UBSan:           full test suite under address+undefined
+#   7. TSan:                 ward-engine + kernel suites under thread
+#                            sanitizer
 #
 #   tools/ci_analysis.sh [--fast] [--coverage]
 #
-# --fast runs stages 1-4 only (the sanitizer stages rebuild the tree
+# --fast runs stages 1-5 only (the sanitizer stages rebuild the tree
 # twice and dominate wall time). --coverage appends a gcovr/llvm-cov
 # line-coverage report (MCPS_COVERAGE=ON tree; SKIPPED if the report
 # tool is not installed). Build trees are kept under build-ci-* so
@@ -34,13 +38,13 @@ done
 
 stage() { echo; echo "==== $* ===="; }
 
-stage "1/6 warning-clean build (MCPS_WERROR=ON)"
+stage "1/7 warning-clean build (MCPS_WERROR=ON)"
 cmake -S "${repo_root}" -B "${repo_root}/build-ci-werror" \
     -DCMAKE_BUILD_TYPE=Release -DMCPS_WERROR=ON >/dev/null
 cmake --build "${repo_root}/build-ci-werror" -j "${jobs}" >/dev/null
 echo "warning-clean: OK"
 
-stage "2/6 model linter (mcps_analyze)"
+stage "2/7 model linter (mcps_analyze)"
 "${repo_root}/build-ci-werror/tools/mcps_analyze" \
     --src-root "${repo_root}/src" \
     --scan-scenarios "${repo_root}/src" \
@@ -49,12 +53,17 @@ stage "2/6 model linter (mcps_analyze)"
     --scan-scenarios "${repo_root}/examples" \
     --matrix
 
-stage "3/6 analysis + scenario test labels"
-ctest --test-dir "${repo_root}/build-ci-werror" -L "analysis|scenario" \
+stage "3/7 analysis + scenario + kernel test labels"
+ctest --test-dir "${repo_root}/build-ci-werror" -L "analysis|scenario|kernel" \
     --output-on-failure
 
-stage "4/6 clang-tidy"
+stage "4/7 clang-tidy"
 "${repo_root}/tools/run_tidy.sh" "${repo_root}/build-ci-werror"
+
+stage "5/7 bench baseline smoke (--quick)"
+"${repo_root}/tools/bench_baseline.sh" --quick \
+    --out "${repo_root}/build-ci-werror/BENCH_smoke.json" >/dev/null
+echo "bench baseline smoke: OK"
 
 run_coverage() {
     stage "coverage report (MCPS_COVERAGE=ON)"
@@ -78,7 +87,7 @@ if [[ "${fast}" == "1" ]]; then
     exit 0
 fi
 
-stage "5/6 ASan+UBSan test suite"
+stage "6/7 ASan+UBSan test suite"
 cmake -S "${repo_root}" -B "${repo_root}/build-ci-asan" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMCPS_SANITIZE="address;undefined" >/dev/null
@@ -86,13 +95,19 @@ cmake --build "${repo_root}/build-ci-asan" -j "${jobs}" >/dev/null
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir "${repo_root}/build-ci-asan" --output-on-failure
 
-stage "6/6 TSan ward suite"
+stage "7/7 TSan ward + kernel suites"
 cmake -S "${repo_root}" -B "${repo_root}/build-ci-tsan" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMCPS_SANITIZE=thread >/dev/null
 cmake --build "${repo_root}/build-ci-tsan" -j "${jobs}" \
-    --target mcps_tests mcps_ward_cli >/dev/null
+    --target mcps_tests mcps_ward_cli mcps_kernel_tests >/dev/null
 ctest --test-dir "${repo_root}/build-ci-tsan" \
     -L ward -R 'Ward|ward' --output-on-failure
+# The kernel is single-threaded by contract, but its tests still run
+# under TSan so the non-atomic refcounts (SlabRef, MessageRef) are
+# exercised with instrumentation: any future cross-thread use of a
+# slab/pool shows up here as a data race, not as silent corruption.
+ctest --test-dir "${repo_root}/build-ci-tsan" \
+    -L kernel --output-on-failure
 
 [[ "${coverage}" == "1" ]] && run_coverage
 
