@@ -10,6 +10,9 @@
 ///     (in-place re-arm path; zero allocations per firing).
 ///   - churn: 200k randomized-deadline events, every other one
 ///     cancelled via its EventHandle before the drain.
+///   - churn90: the cancel-heavy variant (9 of 10 events cancelled),
+///     the tombstone-pop worst case the calendar queue's lazy
+///     compaction targets.
 ///   - bus: 64 subscribers x 20k publishes over an ideal channel
 ///     (pooled messages + inline delivery callbacks).
 ///
@@ -47,6 +50,7 @@ std::size_t g_schedule_events = 200000;
 std::size_t g_periodic_procs = 100;
 std::int64_t g_periodic_horizon_s = 1000;
 std::size_t g_churn_events = 200000;
+std::size_t g_churn90_events = 200000;
 std::size_t g_bus_subscribers = 64;
 std::size_t g_bus_publishes = 20000;
 int g_reps = 5;
@@ -112,6 +116,28 @@ double run_churn() {
     return seconds_since(t0);
 }
 
+std::uint64_t g_churn90_compactions = 0;
+std::uint64_t g_churn90_tombstones_compacted = 0;
+
+double run_churn90() {
+    g_arena.reset();
+    const auto t0 = Clock::now();
+    sim::Simulation s{1, &g_arena};
+    auto rng = s.rng("bench.churn90");
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(g_churn90_events);
+    for (std::size_t i = 0; i < g_churn90_events; ++i) {
+        const auto delay = sim::SimDuration::micros(rng.uniform_int(0, 1000000));
+        handles.push_back(s.schedule_after(delay, [] {}));
+        if (i % 10 != 0) handles.back().cancel();
+    }
+    s.run_all();
+    const double elapsed = seconds_since(t0);
+    g_churn90_compactions = s.queue_compactions();
+    g_churn90_tombstones_compacted = s.tombstones_compacted();
+    return elapsed;
+}
+
 /// Pool slot allocations observed during the most recent bus rep after
 /// the first publish (zero once the pool is warm within the rep).
 std::uint64_t g_bus_steady_slot_allocs = 0;
@@ -150,6 +176,7 @@ int main(int argc, char** argv) {
         g_periodic_procs = 20;
         g_periodic_horizon_s = 100;
         g_churn_events = 20000;
+        g_churn90_events = 20000;
         g_bus_subscribers = 8;
         g_bus_publishes = 1000;
         g_reps = 2;
@@ -169,12 +196,14 @@ int main(int argc, char** argv) {
 
     const double pe = best_seconds(g_reps, run_periodic);
     const double ch = best_seconds(g_reps, run_churn);
+    const double ch90 = best_seconds(g_reps, run_churn90);
     const double bp = best_seconds(std::max(2, g_reps - 2), run_bus_publish);
 
     const double sd_eps = static_cast<double>(g_schedule_events) / sd;
     const double pe_eps = static_cast<double>(g_periodic_procs) *
                           static_cast<double>(g_periodic_horizon_s) / pe;
     const double ch_eps = static_cast<double>(g_churn_events) / ch;
+    const double ch90_eps = static_cast<double>(g_churn90_events) / ch90;
     const double bp_eps = static_cast<double>(g_bus_subscribers) *
                           static_cast<double>(g_bus_publishes) / bp;
 
@@ -182,6 +211,7 @@ int main(int argc, char** argv) {
     std::printf("  %-22s %12.0f events/sec\n", "schedule+dispatch", sd_eps);
     std::printf("  %-22s %12.0f events/sec\n", "periodic re-arm", pe_eps);
     std::printf("  %-22s %12.0f events/sec\n", "churn (50% cancel)", ch_eps);
+    std::printf("  %-22s %12.0f events/sec\n", "churn (90% cancel)", ch90_eps);
     std::printf("  %-22s %12.0f deliveries/sec\n", "bus publish", bp_eps);
     std::printf("  steady-state heap allocs/rep: %.0f (arena), %llu (bus pool)\n",
                 steady_heap_allocs,
@@ -191,6 +221,13 @@ int main(int argc, char** argv) {
                   "events/sec/core");
     report.metric("periodic_events_per_sec_core", pe_eps, "events/sec/core");
     report.metric("churn_events_per_sec_core", ch_eps, "events/sec/core");
+    report.metric("churn_cancel90_events_per_sec_core", ch90_eps,
+                  "events/sec/core");
+    report.metric("churn_cancel90_compactions",
+                  static_cast<double>(g_churn90_compactions), "sweeps/rep");
+    report.metric("churn_cancel90_tombstones_compacted",
+                  static_cast<double>(g_churn90_tombstones_compacted),
+                  "events/rep");
     report.metric("bus_deliveries_per_sec_core", bp_eps, "events/sec/core");
     report.metric("steady_state_arena_heap_allocs", steady_heap_allocs,
                   "allocs/rep");

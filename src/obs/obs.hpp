@@ -7,3 +7,4 @@
 #include "event_log.hpp"      // IWYU pragma: export
 #include "exporters.hpp"      // IWYU pragma: export
 #include "metrics.hpp"        // IWYU pragma: export
+#include "shared_metrics.hpp"  // IWYU pragma: export

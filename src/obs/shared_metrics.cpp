@@ -1,0 +1,38 @@
+#include "shared_metrics.hpp"
+
+namespace mcps::obs {
+
+void SharedMetrics::add(const std::string& name, std::uint64_t n) {
+    const std::lock_guard<std::mutex> lock{mu_};
+    reg_.counter(name).add(n);
+}
+
+void SharedMetrics::set_gauge(const std::string& name, double v) {
+    const std::lock_guard<std::mutex> lock{mu_};
+    reg_.gauge(name).set(v);
+}
+
+void SharedMetrics::observe(const std::string& name, double lo, double hi,
+                            std::size_t bins, double x) {
+    const std::lock_guard<std::mutex> lock{mu_};
+    reg_.histogram(name, lo, hi, bins).add(x);
+}
+
+std::uint64_t SharedMetrics::counter_value(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock{mu_};
+    const Counter* c = reg_.find_counter(name);
+    return c != nullptr ? c->value() : 0;
+}
+
+double SharedMetrics::gauge_value(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock{mu_};
+    const Gauge* g = reg_.find_gauge(name);
+    return g != nullptr ? g->value() : 0.0;
+}
+
+MetricsRegistry SharedMetrics::snapshot() const {
+    const std::lock_guard<std::mutex> lock{mu_};
+    return reg_;
+}
+
+}  // namespace mcps::obs

@@ -1,0 +1,124 @@
+#include "cache.hpp"
+
+#include <fstream>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mcps::serve {
+
+namespace {
+constexpr std::string_view kSnapshotHeader = "mcps-serve-cache v1";
+}  // namespace
+
+std::string cache_key(const scenario::ScenarioSpec& spec) {
+    return spec.to_text();
+}
+
+ResultCache::ResultCache(std::size_t max_entries, obs::SharedMetrics* metrics)
+    : max_entries_{max_entries}, metrics_{metrics} {}
+
+std::optional<std::string> ResultCache::lookup(const std::string& key) {
+    const std::lock_guard<std::mutex> lock{mu_};
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        if (metrics_ != nullptr) metrics_->add("serve/cache/misses");
+        return std::nullopt;
+    }
+    ++hits_;
+    if (metrics_ != nullptr) metrics_->add("serve/cache/hits");
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+}
+
+void ResultCache::insert(const std::string& key, std::string artifacts_json) {
+    if (max_entries_ == 0) return;
+    const std::lock_guard<std::mutex> lock{mu_};
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        it->second->second = std::move(artifacts_json);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.emplace_front(key, std::move(artifacts_json));
+    index_.emplace(key, lru_.begin());
+    while (lru_.size() > max_entries_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++evictions_;
+        if (metrics_ != nullptr) metrics_->add("serve/cache/evictions");
+    }
+    mirror_entries_locked();
+}
+
+std::size_t ResultCache::size() const {
+    const std::lock_guard<std::mutex> lock{mu_};
+    return lru_.size();
+}
+
+std::uint64_t ResultCache::hits() const {
+    const std::lock_guard<std::mutex> lock{mu_};
+    return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+    const std::lock_guard<std::mutex> lock{mu_};
+    return misses_;
+}
+
+std::uint64_t ResultCache::evictions() const {
+    const std::lock_guard<std::mutex> lock{mu_};
+    return evictions_;
+}
+
+void ResultCache::clear() {
+    const std::lock_guard<std::mutex> lock{mu_};
+    lru_.clear();
+    index_.clear();
+    mirror_entries_locked();
+}
+
+void ResultCache::mirror_entries_locked() {
+    if (metrics_ != nullptr) {
+        metrics_->set_gauge("serve/cache/entries",
+                            static_cast<double>(lru_.size()));
+    }
+}
+
+bool ResultCache::save(const std::string& path) const {
+    std::ofstream out{path, std::ios::trunc};
+    if (!out) return false;
+    out << kSnapshotHeader << "\n";
+    const std::lock_guard<std::mutex> lock{mu_};
+    for (const Entry& e : lru_) {
+        out << e.first << "\t" << e.second << "\n";
+    }
+    return static_cast<bool>(out.flush());
+}
+
+std::size_t ResultCache::load(const std::string& path) {
+    std::ifstream in{path};
+    if (!in) return 0;
+    std::string line;
+    if (!std::getline(in, line) || line != kSnapshotHeader) return 0;
+    std::size_t inserted = 0;
+    // The snapshot is MRU-first; re-inserting in file order leaves the
+    // *last* lines most recent, so iterate into a buffer and replay in
+    // reverse to preserve recency.
+    std::vector<std::pair<std::string, std::string>> entries;
+    while (std::getline(in, line)) {
+        const std::size_t tab = line.find('\t');
+        if (tab == std::string::npos || tab == 0 || tab + 1 >= line.size()) {
+            continue;  // malformed line: skip, never fail
+        }
+        entries.emplace_back(line.substr(0, tab), line.substr(tab + 1));
+    }
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        insert(it->first, std::move(it->second));
+        ++inserted;
+    }
+    return inserted;
+}
+
+}  // namespace mcps::serve

@@ -1,0 +1,91 @@
+/// \file cache.hpp
+/// \brief ResultCache: fingerprint-keyed LRU over serialized artifacts.
+///
+/// The cache is keyed by the *normalized spec text* (`spec.to_text()`,
+/// which always spells seed and minutes explicitly), so two requests
+/// that denote the same run — regardless of JSON field order or
+/// formatting on the wire — share one entry. The stored value is the
+/// byte-exact single-line artifacts JSON a fresh run would have
+/// produced (protocol.hpp's artifacts_json_line), which makes cache
+/// correctness testable as byte identity: hit or miss, the client sees
+/// the same bytes.
+///
+/// Counters (hits / misses / evictions, plus an entry-count gauge) are
+/// mirrored into an optional obs::SharedMetrics under "serve/cache/*"
+/// so the server's `stats` command exposes them. The cache itself is
+/// mutex-guarded and safe to share across worker threads.
+///
+/// Snapshots: save() writes a versioned, line-oriented file
+/// (`key<TAB>artifacts-json` per line, most-recently-used first) and
+/// load() restores it, silently skipping malformed lines so a stale or
+/// truncated snapshot degrades to a smaller cache, never a crash.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "obs/shared_metrics.hpp"
+#include "scenario/spec.hpp"
+
+namespace mcps::serve {
+
+/// Canonical cache key for a spec (its normalized one-line text form).
+[[nodiscard]] std::string cache_key(const scenario::ScenarioSpec& spec);
+
+class ResultCache {
+public:
+    /// \p max_entries of 0 disables caching (every lookup misses and
+    /// insert is a no-op). \p metrics may be null; when set it must
+    /// outlive the cache.
+    explicit ResultCache(std::size_t max_entries,
+                         obs::SharedMetrics* metrics = nullptr);
+
+    /// Returns the cached artifacts JSON and refreshes recency, or
+    /// nullopt on a miss.
+    [[nodiscard]] std::optional<std::string> lookup(const std::string& key);
+
+    /// Insert (or refresh) an entry, evicting least-recently-used
+    /// entries beyond the capacity bound.
+    void insert(const std::string& key, std::string artifacts_json);
+
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::size_t max_entries() const noexcept {
+        return max_entries_;
+    }
+    [[nodiscard]] std::uint64_t hits() const;
+    [[nodiscard]] std::uint64_t misses() const;
+    [[nodiscard]] std::uint64_t evictions() const;
+
+    void clear();
+
+    /// Write a snapshot to \p path. Returns false on I/O failure.
+    bool save(const std::string& path) const;
+
+    /// Load a snapshot written by save(), inserting entries (subject to
+    /// the capacity bound; counters are not restored). Malformed lines
+    /// are skipped. Returns the number of entries inserted; 0 when the
+    /// file is missing or unreadable.
+    std::size_t load(const std::string& path);
+
+private:
+    using Entry = std::pair<std::string, std::string>;  // key, artifacts
+
+    void mirror_entries_locked();
+
+    const std::size_t max_entries_;
+    obs::SharedMetrics* metrics_;
+
+    mutable std::mutex mu_;
+    std::list<Entry> lru_;  ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+}  // namespace mcps::serve

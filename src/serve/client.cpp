@@ -1,0 +1,69 @@
+#include "client.hpp"
+
+#include <stdexcept>
+
+namespace mcps::serve {
+
+namespace {
+/// Responses are compact but artifacts can carry many outcome keys;
+/// a generous bound that still refuses unbounded garbage.
+constexpr std::size_t kMaxResponseBytes = 1u << 20;
+}  // namespace
+
+Client::Client(const Endpoint& ep)
+    : fd_{connect_to(ep)}, reader_{fd_.get(), kMaxResponseBytes} {}
+
+Response Client::call(const Request& req) { return call_raw(req.to_line()); }
+
+Response Client::call_raw(std::string_view line) {
+    if (!write_line(fd_.get(), line)) {
+        throw std::runtime_error("serve client: connection closed on write");
+    }
+    std::string resp;
+    const LineReader::Status st = reader_.next(resp);
+    if (st != LineReader::Status::kLine) {
+        throw std::runtime_error(
+            "serve client: connection closed while awaiting response");
+    }
+    return parse_response(resp);
+}
+
+std::string Client::make_id() {
+    std::string id{"c"};
+    id += std::to_string(++next_id_);
+    return id;
+}
+
+Response Client::run(const scenario::ScenarioSpec& spec, QosClass qos,
+                     bool no_cache) {
+    Request req;
+    req.kind = Request::Kind::kRun;
+    req.id = make_id();
+    req.spec = spec;
+    req.qos = qos;
+    req.no_cache = no_cache;
+    return call(req);
+}
+
+Response Client::ping() {
+    Request req;
+    req.kind = Request::Kind::kPing;
+    req.id = make_id();
+    return call(req);
+}
+
+Response Client::stats() {
+    Request req;
+    req.kind = Request::Kind::kStats;
+    req.id = make_id();
+    return call(req);
+}
+
+Response Client::drain() {
+    Request req;
+    req.kind = Request::Kind::kDrain;
+    req.id = make_id();
+    return call(req);
+}
+
+}  // namespace mcps::serve

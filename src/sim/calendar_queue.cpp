@@ -96,6 +96,49 @@ std::optional<CalendarQueue::Entry> CalendarQueue::pop_if_at_most(
     return e;
 }
 
+std::size_t CalendarQueue::compact() {
+    std::size_t removed = 0;
+    for (std::uint32_t& head : heads_) {
+        std::uint32_t* slot = &head;
+        while (*slot != kNoEvent) {
+            EventNode& n = arena_->node(*slot);
+            if ((n.flags & EventNode::kCancelled) != 0) {
+                const std::uint32_t idx = *slot;
+                *slot = n.next;
+                arena_->release(idx);
+                ++removed;
+            } else {
+                slot = &n.next;
+            }
+        }
+    }
+    if (drain_valid_ && drain_head_ < drain_.size()) {
+        std::size_t w = drain_head_;
+        for (std::size_t r = drain_head_; r < drain_.size(); ++r) {
+            const Entry e = drain_[r];
+            if ((arena_->node(e.idx).flags & EventNode::kCancelled) != 0) {
+                arena_->release(e.idx);
+                ++removed;
+            } else {
+                drain_[w++] = e;
+            }
+        }
+        drain_.resize(w);
+        if (drain_head_ >= drain_.size()) {
+            drain_.clear();
+            drain_head_ = 0;
+        }
+    }
+    size_ -= removed;
+    ++compactions_;
+    tombstones_compacted_ += removed;
+    // Every queued tombstone is gone; recomputing (rather than
+    // subtracting) self-heals a count left stale by a previous
+    // Simulation sharing this arena.
+    arena_->slab()->set_cancelled_queued(0);
+    return removed;
+}
+
 bool CalendarQueue::fill_drain() {
     std::uint32_t* slot = &heads_[static_cast<std::size_t>(cursor_) & mask_];
     while (*slot != kNoEvent) {

@@ -79,6 +79,24 @@ public:
         return heads_.size();
     }
 
+    /// Sweeps every bucket (and the active drain) and removes entries
+    /// whose node carries EventNode::kCancelled, releasing their arena
+    /// slots. Removed events would never have run their callbacks, so
+    /// dispatch order of live events is unchanged — this only bounds the
+    /// tombstone pops a cancel-heavy workload would otherwise pay one by
+    /// one. Resets the slab's cancelled_queued count to the exact
+    /// remaining value (zero). Returns the number of entries removed.
+    std::size_t compact();
+
+    /// Number of compact() sweeps performed (bench/test introspection).
+    [[nodiscard]] std::uint64_t compactions() const noexcept {
+        return compactions_;
+    }
+    /// Total tombstones removed by compact() sweeps.
+    [[nodiscard]] std::uint64_t tombstones_compacted() const noexcept {
+        return tombstones_compacted_;
+    }
+
 private:
     /// Strict (when, prio, seq) order — identical to the heap comparator
     /// this queue replaced.
@@ -124,6 +142,8 @@ private:
     bool drain_valid_ = false;       ///< drain_ holds cursor_'s entries
     std::size_t mask_ = 0;           ///< heads_.size() - 1 (power of two)
     std::size_t size_ = 0;
+    std::uint64_t compactions_ = 0;
+    std::uint64_t tombstones_compacted_ = 0;
 };
 
 }  // namespace mcps::sim

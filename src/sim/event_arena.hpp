@@ -211,10 +211,30 @@ public:
     /// Appends one chunk of default-constructed (empty) nodes.
     void grow() { chunks_.push_back(std::make_unique<EventNode[]>(kChunkSize)); }
 
+    /// Number of cancelled events still sitting in the pending queue
+    /// (tombstones). Lives on the slab — not the arena — because the
+    /// increment comes from EventHandle::cancel(), which only holds a
+    /// SlabRef. The calendar queue's lazy compaction triggers off this
+    /// count and recomputes it exactly (to zero) on every sweep, so a
+    /// stale value after a Simulation dies costs at most one no-op
+    /// sweep.
+    [[nodiscard]] std::uint64_t cancelled_queued() const noexcept {
+        return cancelled_queued_;
+    }
+    void note_cancelled() noexcept { ++cancelled_queued_; }
+    /// Saturating: a stale-counter no-op sweep may already have zeroed it.
+    void note_tombstone_popped() noexcept {
+        if (cancelled_queued_ > 0) --cancelled_queued_;
+    }
+    void set_cancelled_queued(std::uint64_t n) noexcept {
+        cancelled_queued_ = n;
+    }
+
 private:
     friend class SlabRef;
     std::vector<std::unique_ptr<EventNode[]>> chunks_;
     std::uint64_t refs_ = 0;
+    std::uint64_t cancelled_queued_ = 0;
 };
 
 /// Shared ownership of an EventSlab with a NON-ATOMIC refcount.
@@ -341,6 +361,7 @@ public:
 
 private:
     void release_all() noexcept {
+        slab_->set_cancelled_queued(0);
         if (live_ == 0) return;
         for (std::uint32_t idx = 0; idx < next_fresh_; ++idx) {
             EventNode& n = slab_->node(idx);

@@ -154,6 +154,26 @@ public:
         return queue_.size();
     }
 
+    /// Cancelled-but-still-queued events (tombstones). The drain loop
+    /// sweeps these out in one pass once they reach half the pending set
+    /// (and at least kCompactMinTombstones), instead of popping them one
+    /// by one.
+    [[nodiscard]] std::uint64_t tombstones_pending() const noexcept {
+        return arena_->slab()->cancelled_queued();
+    }
+    /// Compaction sweeps performed by this run's queue.
+    [[nodiscard]] std::uint64_t queue_compactions() const noexcept {
+        return queue_.compactions();
+    }
+    /// Tombstones removed by those sweeps (never dispatched as pops).
+    [[nodiscard]] std::uint64_t tombstones_compacted() const noexcept {
+        return queue_.tombstones_compacted();
+    }
+
+    /// Minimum tombstone population before the drain loop considers a
+    /// compaction sweep (amortizes the O(population) pass).
+    static constexpr std::uint64_t kCompactMinTombstones = 1024;
+
     /// Allocation counters of the backing arena (bench --json hooks).
     [[nodiscard]] const ArenaStats& arena_stats() const noexcept {
         return arena_->stats();

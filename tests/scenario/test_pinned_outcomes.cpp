@@ -8,6 +8,9 @@
 ///  - the run fingerprint (trace-derived, computed by the obs layer);
 ///  - a digest of the outcome map (metric names + exact double bits).
 ///
+/// The pin table itself lives in tests/support/pinned_presets.hpp so the
+/// serve suite can assert the same values through the full server path.
+///
 /// If a kernel change (queue order, arena recycling, RNG plumbing) or a
 /// model change perturbs any preset in any way, this fails with the
 /// preset's name. Intentional model changes must re-pin: rebuild and run
@@ -18,55 +21,19 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "scenario/scenario.hpp"
+#include "tests/support/pinned_presets.hpp"
 
 namespace {
 
 using namespace mcps;
-
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
-    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    return h;
-}
-
-/// Order-sensitive digest of the outcome map: metric names byte-by-byte
-/// plus the exact IEEE-754 bit pattern of each value (so even a 1-ulp
-/// drift in any metric changes the digest).
-std::uint64_t outcome_digest(const scenario::RunArtifacts& a) {
-    std::uint64_t h = 0x6d637073ULL;  // 'mcps'
-    for (const auto& [name, value] : a.outcome) {
-        for (const char c : name) h = mix(h, static_cast<unsigned char>(c));
-        std::uint64_t bits;
-        static_assert(sizeof bits == sizeof value);
-        std::memcpy(&bits, &value, sizeof bits);
-        h = mix(h, bits);
-    }
-    return h;
-}
-
-struct Pin {
-    const char* preset;
-    std::uint64_t fingerprint;
-    std::uint64_t digest;
-};
-
-/// Captured at minutes=1 with default specs. Covers every preset in the
-/// registry (asserted below, so adding a preset forces a new pin).
-constexpr Pin kPins[] = {
-    {"pca", 0x2d602a2bf10b25c0ULL, 0x86d5d17cd90541abULL},
-    {"pca-open", 0x93b457f6f6524cbfULL, 0x24d2b8aee55928e8ULL},
-    {"smart-alarm", 0xff9f292c6d94cc68ULL, 0x7ade0f1c9a8e84b1ULL},
-    {"xray", 0x3e75b22c6ecccd12ULL, 0x33debf63349bf1c1ULL},
-    {"xray-manual", 0xf3962074d1bfb982ULL, 0x68a7c3d7110ec94dULL},
-};
+using testsupport::kPins;
+using testsupport::outcome_digest;
 
 scenario::RunArtifacts run_smoke(const std::string& preset) {
-    scenario::ScenarioSpec spec = scenario::registry().default_spec(preset);
-    spec.minutes = 1;
-    return scenario::registry().run(spec);
+    return scenario::registry().run(testsupport::pinned_spec(preset));
 }
 
 TEST(PinnedOutcomes, EveryRegistryPresetIsPinned) {

@@ -1,0 +1,109 @@
+/// \file test_admission.cpp
+/// \brief AdmissionQueue unit tests: priority order, FIFO within class,
+/// shed-the-lowest policy, rejection, and drain-close semantics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/admission.hpp"
+
+namespace {
+
+using namespace mcps::serve;
+using Queue = AdmissionQueue<std::string>;
+using Outcome = Queue::Outcome;
+
+TEST(Admission, PopsHighestClassFifoWithinClass) {
+    Queue q{8};
+    EXPECT_EQ(q.offer("b1", QosClass::kBatch).outcome, Outcome::kAdmitted);
+    EXPECT_EQ(q.offer("i1", QosClass::kInteractive).outcome,
+              Outcome::kAdmitted);
+    EXPECT_EQ(q.offer("c1", QosClass::kClinical).outcome,
+              Outcome::kAdmitted);
+    EXPECT_EQ(q.offer("c2", QosClass::kClinical).outcome,
+              Outcome::kAdmitted);
+    EXPECT_EQ(q.size(), 4u);
+
+    EXPECT_EQ(q.try_pop()->first, "c1");
+    EXPECT_EQ(q.try_pop()->first, "c2");
+    EXPECT_EQ(q.try_pop()->first, "i1");
+    auto last = q.try_pop();
+    ASSERT_TRUE(last.has_value());
+    EXPECT_EQ(last->first, "b1");
+    EXPECT_EQ(last->second, QosClass::kBatch);
+    EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(Admission, ShedsNewestOfLowestClassBelowArrival) {
+    Queue q{3};
+    (void)q.offer("b1", QosClass::kBatch);
+    (void)q.offer("b2", QosClass::kBatch);
+    (void)q.offer("i1", QosClass::kInteractive);
+
+    // Full. A clinical arrival displaces the newest batch job.
+    const auto shed = q.offer("c1", QosClass::kClinical);
+    EXPECT_EQ(shed.outcome, Outcome::kShed);
+    ASSERT_TRUE(shed.victim.has_value());
+    EXPECT_EQ(*shed.victim, "b2");
+    EXPECT_EQ(*shed.victim_class, QosClass::kBatch);
+    EXPECT_EQ(q.size(), 3u);
+
+    // Another clinical arrival: b1 goes next.
+    const auto shed2 = q.offer("c2", QosClass::kClinical);
+    EXPECT_EQ(shed2.outcome, Outcome::kShed);
+    EXPECT_EQ(*shed2.victim, "b1");
+
+    // Batch exhausted: now interactive is the lowest class below.
+    const auto shed3 = q.offer("c3", QosClass::kClinical);
+    EXPECT_EQ(shed3.outcome, Outcome::kShed);
+    EXPECT_EQ(*shed3.victim, "i1");
+
+    // Only clinical left: a clinical arrival cannot displace its own
+    // class and is rejected.
+    EXPECT_EQ(q.offer("c4", QosClass::kClinical).outcome,
+              Outcome::kRejected);
+
+    EXPECT_EQ(q.try_pop()->first, "c1");
+    EXPECT_EQ(q.try_pop()->first, "c2");
+    EXPECT_EQ(q.try_pop()->first, "c3");
+}
+
+TEST(Admission, EqualOrLowerClassNeverSheds) {
+    Queue q{2};
+    (void)q.offer("i1", QosClass::kInteractive);
+    (void)q.offer("i2", QosClass::kInteractive);
+    EXPECT_EQ(q.offer("i3", QosClass::kInteractive).outcome,
+              Outcome::kRejected);
+    EXPECT_EQ(q.offer("b1", QosClass::kBatch).outcome, Outcome::kRejected);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(Admission, CloseRefusesNewButDrainsExisting) {
+    Queue q{4};
+    (void)q.offer("i1", QosClass::kInteractive);
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_EQ(q.offer("i2", QosClass::kInteractive).outcome,
+              Outcome::kClosed);
+    EXPECT_EQ(q.offer("c1", QosClass::kClinical).outcome, Outcome::kClosed);
+    auto drained = q.try_pop();
+    ASSERT_TRUE(drained.has_value());
+    EXPECT_EQ(drained->first, "i1");
+    EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(Admission, DepthTracksPerClass) {
+    Queue q{8};
+    (void)q.offer("c1", QosClass::kClinical);
+    (void)q.offer("b1", QosClass::kBatch);
+    (void)q.offer("b2", QosClass::kBatch);
+    EXPECT_EQ(q.depth(QosClass::kClinical), 1u);
+    EXPECT_EQ(q.depth(QosClass::kInteractive), 0u);
+    EXPECT_EQ(q.depth(QosClass::kBatch), 2u);
+    (void)q.try_pop();
+    EXPECT_EQ(q.depth(QosClass::kClinical), 0u);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+/// \file test_cache.cpp
+/// \brief ResultCache unit tests: LRU semantics, byte identity,
+/// metrics mirroring, and snapshot save/load robustness.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/shared_metrics.hpp"
+#include "serve/cache.hpp"
+
+namespace {
+
+using namespace mcps;
+using serve::ResultCache;
+
+std::string tmp_path(const char* name) {
+    return std::string{::testing::TempDir()} + name;
+}
+
+TEST(ResultCache, MissThenHitReturnsIdenticalBytes) {
+    ResultCache cache{4};
+    EXPECT_FALSE(cache.lookup("k1").has_value());
+    cache.insert("k1", R"({"fingerprint":"0x1"})");
+    const auto hit = cache.lookup("k1");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, R"({"fingerprint":"0x1"})");
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+    ResultCache cache{2};
+    cache.insert("a", "A");
+    cache.insert("b", "B");
+    ASSERT_TRUE(cache.lookup("a").has_value());  // refresh a; b is LRU
+    cache.insert("c", "C");                      // evicts b
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_TRUE(cache.lookup("a").has_value());
+    EXPECT_TRUE(cache.lookup("c").has_value());
+    EXPECT_FALSE(cache.lookup("b").has_value());
+}
+
+TEST(ResultCache, ReinsertRefreshesValueAndRecency) {
+    ResultCache cache{2};
+    cache.insert("a", "A1");
+    cache.insert("b", "B");
+    cache.insert("a", "A2");  // refresh: a newest, b oldest
+    cache.insert("c", "C");   // evicts b
+    EXPECT_EQ(*cache.lookup("a"), "A2");
+    EXPECT_FALSE(cache.lookup("b").has_value());
+}
+
+TEST(ResultCache, ZeroCapacityDisables) {
+    ResultCache cache{0};
+    cache.insert("a", "A");
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.lookup("a").has_value());
+}
+
+TEST(ResultCache, MirrorsCountersIntoSharedMetrics) {
+    obs::SharedMetrics metrics;
+    ResultCache cache{1, &metrics};
+    (void)cache.lookup("a");
+    cache.insert("a", "A");
+    (void)cache.lookup("a");
+    cache.insert("b", "B");  // evicts a
+    EXPECT_EQ(metrics.counter_value("serve/cache/misses"), 1u);
+    EXPECT_EQ(metrics.counter_value("serve/cache/hits"), 1u);
+    EXPECT_EQ(metrics.counter_value("serve/cache/evictions"), 1u);
+    EXPECT_EQ(metrics.gauge_value("serve/cache/entries"), 1.0);
+}
+
+TEST(ResultCache, SnapshotRoundTripPreservesBytesAndRecency) {
+    const std::string path = tmp_path("cache_roundtrip.snap");
+    ResultCache cache{3};
+    cache.insert("old", "O");
+    cache.insert("mid", "M");
+    cache.insert("new", "N");
+    ASSERT_TRUE(cache.save(path));
+
+    ResultCache restored{2};  // smaller: only the 2 most recent survive
+    EXPECT_EQ(restored.load(path), 3u);
+    EXPECT_EQ(restored.size(), 2u);
+    EXPECT_EQ(*restored.lookup("new"), "N");
+    EXPECT_EQ(*restored.lookup("mid"), "M");
+    EXPECT_FALSE(restored.lookup("old").has_value());
+    std::remove(path.c_str());
+}
+
+TEST(ResultCache, LoadSkipsMalformedLinesAndBadHeaders) {
+    const std::string path = tmp_path("cache_malformed.snap");
+    {
+        std::ofstream out{path};
+        out << "mcps-serve-cache v1\n"
+            << "good\t{\"x\":1}\n"
+            << "no-tab-in-this-line\n"
+            << "\tempty-key\n"
+            << "trailing-tab\t\n"
+            << "also-good\t{\"y\":2}\n";
+    }
+    ResultCache cache{8};
+    EXPECT_EQ(cache.load(path), 2u);
+    EXPECT_TRUE(cache.lookup("good").has_value());
+    EXPECT_TRUE(cache.lookup("also-good").has_value());
+
+    {
+        std::ofstream out{path};
+        out << "some other file\ngood\t{\"x\":1}\n";
+    }
+    ResultCache fresh{8};
+    EXPECT_EQ(fresh.load(path), 0u);  // wrong header: refuse entirely
+    EXPECT_EQ(fresh.load(tmp_path("does_not_exist.snap")), 0u);
+    std::remove(path.c_str());
+}
+
+}  // namespace

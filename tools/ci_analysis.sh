@@ -4,15 +4,18 @@
 #   1. warning-clean build:  MCPS_WERROR=ON (-Wconversion -Wshadow -Werror)
 #   2. model linter:         mcps_analyze over shipped models + src/ scan
 #                            + scenario registry-bypass scan (ICE1)
-#   3. analysis/scenario/kernel: per-rule seeded-defect fixtures, the
-#                            scenario registry/spec suite, and the
-#                            calendar-queue/arena differential suite
+#   3. analysis/scenario/kernel/serve: per-rule seeded-defect fixtures,
+#                            the scenario registry/spec suite, the
+#                            calendar-queue/arena differential suite,
+#                            and the scenario-execution service suite
+#                            (protocol fuzz, cache, admission, e2e)
 #   4. clang-tidy:           tools/run_tidy.sh (SKIPPED if not installed)
-#   5. bench smoke:          tools/bench_baseline.sh --quick (validates
-#                            the --json flow; numbers are not checked)
+#   5. bench smoke:          tools/bench_baseline.sh --quick and
+#                            tools/bench_serve.sh --quick (validate the
+#                            --json flows; numbers are not checked)
 #   6. ASan+UBSan:           full test suite under address+undefined
-#   7. TSan:                 ward-engine + kernel suites under thread
-#                            sanitizer
+#   7. TSan:                 ward-engine + kernel + serve suites under
+#                            thread sanitizer
 #
 #   tools/ci_analysis.sh [--fast] [--coverage]
 #
@@ -53,9 +56,9 @@ stage "2/7 model linter (mcps_analyze)"
     --scan-scenarios "${repo_root}/examples" \
     --matrix
 
-stage "3/7 analysis + scenario + kernel test labels"
-ctest --test-dir "${repo_root}/build-ci-werror" -L "analysis|scenario|kernel" \
-    --output-on-failure
+stage "3/7 analysis + scenario + kernel + serve test labels"
+ctest --test-dir "${repo_root}/build-ci-werror" \
+    -L "analysis|scenario|kernel|serve" --output-on-failure
 
 stage "4/7 clang-tidy"
 "${repo_root}/tools/run_tidy.sh" "${repo_root}/build-ci-werror"
@@ -64,6 +67,13 @@ stage "5/7 bench baseline smoke (--quick)"
 "${repo_root}/tools/bench_baseline.sh" --quick \
     --out "${repo_root}/build-ci-werror/BENCH_smoke.json" >/dev/null
 echo "bench baseline smoke: OK"
+# Serve-layer smoke: an embedded server + load sweep over loopback TCP
+# (uses the werror tree's binaries; validates the BENCH_7 --json flow).
+"${repo_root}/build-ci-werror/tools/mcps_load" --embed --quick \
+    --json "${repo_root}/build-ci-werror/BENCH_serve_smoke.json" >/dev/null
+"${repo_root}/build-ci-werror/tools/mcps_trace" check-bench \
+    "${repo_root}/build-ci-werror/BENCH_serve_smoke.json" >/dev/null
+echo "serve load smoke: OK"
 
 run_coverage() {
     stage "coverage report (MCPS_COVERAGE=ON)"
@@ -95,11 +105,12 @@ cmake --build "${repo_root}/build-ci-asan" -j "${jobs}" >/dev/null
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir "${repo_root}/build-ci-asan" --output-on-failure
 
-stage "7/7 TSan ward + kernel suites"
+stage "7/7 TSan ward + kernel + serve suites"
 cmake -S "${repo_root}" -B "${repo_root}/build-ci-tsan" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMCPS_SANITIZE=thread >/dev/null
 cmake --build "${repo_root}/build-ci-tsan" -j "${jobs}" \
-    --target mcps_tests mcps_ward_cli mcps_kernel_tests >/dev/null
+    --target mcps_tests mcps_ward_cli mcps_kernel_tests \
+    mcps_serve_tests >/dev/null
 ctest --test-dir "${repo_root}/build-ci-tsan" \
     -L ward -R 'Ward|ward' --output-on-failure
 # The kernel is single-threaded by contract, but its tests still run
@@ -108,6 +119,11 @@ ctest --test-dir "${repo_root}/build-ci-tsan" \
 # slab/pool shows up here as a data race, not as silent corruption.
 ctest --test-dir "${repo_root}/build-ci-tsan" \
     -L kernel --output-on-failure
+# The serve layer is the most thread-dense code in the repo (reader
+# threads, worker pool, shared cache/metrics, drain handshake): the
+# whole suite runs under TSan.
+ctest --test-dir "${repo_root}/build-ci-tsan" \
+    -L serve --output-on-failure
 
 [[ "${coverage}" == "1" ]] && run_coverage
 

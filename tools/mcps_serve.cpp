@@ -1,0 +1,157 @@
+/// \file mcps_serve.cpp
+/// \brief Long-running scenario-execution service (see src/serve).
+///
+/// Binds a JSONL endpoint (TCP or Unix-domain), executes run requests
+/// on a worker pool with fingerprint-keyed result caching and QoS
+/// admission control, and drains gracefully on SIGINT/SIGTERM or a
+/// `drain` command.
+///
+///   mcps_serve --port 7171 --workers 4 --queue 64 --cache 256
+///   mcps_serve --unix /tmp/mcps.sock --cache-save /tmp/mcps.cache
+///
+/// Prints `listening on <endpoint>` once ready (scrapeable by scripts;
+/// `--port 0` picks an ephemeral port and prints the real one).
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "cli.hpp"
+#include "serve/serve.hpp"
+
+namespace {
+
+// Signal handling via the self-pipe trick: the handler only write()s
+// (async-signal-safe); a watcher thread does the actual drain call.
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void usage(std::ostream& os) {
+    os << "usage: mcps_serve [options]\n"
+          "  --port N               listen on TCP 127.0.0.1:N (0 = ephemeral"
+          ", default 0)\n"
+          "  --host ADDR            TCP bind address (default 127.0.0.1)\n"
+          "  --unix PATH            listen on a Unix-domain socket instead\n"
+          "  --workers N            scenario worker threads (default 2)\n"
+          "  --queue N              admission queue capacity (default 64)\n"
+          "  --cache N              result-cache entries, 0 disables "
+          "(default 256)\n"
+          "  --max-request-bytes N  per-line request bound (default 65536)\n"
+          "  --cache-load PATH      load a cache snapshot on start\n"
+          "  --cache-save PATH      save a cache snapshot on drain\n"
+          "  --quiet                suppress the shutdown stats line\n"
+          "  --help                 this text\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using mcps::cli::CliError;
+    mcps::serve::ServerConfig cfg;
+    std::string host = "127.0.0.1";
+    std::uint64_t port = 0;
+    std::string unix_sock;
+    bool quiet = false;
+    try {
+        mcps::cli::Args args{argc, argv};
+        while (!args.done()) {
+            const auto arg = args.next();
+            if (arg == "--port") {
+                port = mcps::cli::parse_u64(arg, args.value(arg));
+                if (port > 65535) throw CliError{"--port: out of range"};
+            } else if (arg == "--host") {
+                host = std::string{args.value(arg)};
+            } else if (arg == "--unix") {
+                unix_sock = std::string{args.value(arg)};
+            } else if (arg == "--workers") {
+                cfg.workers = static_cast<unsigned>(
+                    mcps::cli::parse_u64(arg, args.value(arg)));
+            } else if (arg == "--queue") {
+                cfg.queue_capacity = static_cast<std::size_t>(
+                    mcps::cli::parse_u64(arg, args.value(arg)));
+            } else if (arg == "--cache") {
+                cfg.cache_entries = static_cast<std::size_t>(
+                    mcps::cli::parse_u64(arg, args.value(arg)));
+            } else if (arg == "--max-request-bytes") {
+                cfg.max_request_bytes = static_cast<std::size_t>(
+                    mcps::cli::parse_u64(arg, args.value(arg)));
+            } else if (arg == "--cache-load") {
+                cfg.cache_load_path = std::string{args.value(arg)};
+            } else if (arg == "--cache-save") {
+                cfg.cache_save_path = std::string{args.value(arg)};
+            } else if (arg == "--quiet") {
+                quiet = true;
+            } else if (arg == "--help") {
+                usage(std::cout);
+                return 0;
+            } else {
+                throw CliError{"unknown option '" + std::string{arg} + "'"};
+            }
+        }
+    } catch (const CliError& e) {
+        std::cerr << "mcps_serve: " << e.message << "\n";
+        usage(std::cerr);
+        return 2;
+    }
+
+    cfg.endpoint =
+        unix_sock.empty()
+            ? mcps::serve::Endpoint::tcp(host,
+                                         static_cast<std::uint16_t>(port))
+            : mcps::serve::Endpoint::unix_path(unix_sock);
+
+    try {
+        mcps::serve::Server server{cfg};
+
+        if (::pipe(g_signal_pipe) != 0) {
+            std::cerr << "mcps_serve: pipe() failed\n";
+            return 1;
+        }
+        std::signal(SIGINT, &on_signal);
+        std::signal(SIGTERM, &on_signal);
+        std::thread signal_watcher{[&server] {
+            char byte = 0;
+            while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+            }
+            server.request_drain();
+        }};
+
+        std::cout << "listening on " << server.endpoint().to_string()
+                  << std::endl;  // flush: scripts scrape this line
+        server.wait();
+
+        // Unblock the watcher if shutdown came from a drain command.
+        const char byte = 'q';
+        [[maybe_unused]] const ssize_t n =
+            ::write(g_signal_pipe[1], &byte, 1);
+        signal_watcher.join();
+
+        if (!quiet) {
+            const auto snap = server.metrics().snapshot();
+            const auto value = [&snap](const char* name) {
+                const auto* c = snap.find_counter(name);
+                return c != nullptr ? c->value() : 0;
+            };
+            std::cout << "drained: requests=" << value("serve/requests")
+                      << " completed=" << value("serve/completed")
+                      << " cache_hits=" << value("serve/cache/hits")
+                      << " shed=" << value("serve/shed") << " rejected="
+                      << value("serve/rejected/overloaded") +
+                             value("serve/rejected/draining")
+                      << "\n";
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "mcps_serve: " << e.what() << "\n";
+        return 1;
+    }
+}
