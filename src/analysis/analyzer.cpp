@@ -35,7 +35,21 @@ void Analyzer::check_hazards(const assurance::HazardLog& log,
     absorb(coverage_.findings);
 }
 
+bool Analyzer::require_root(const std::filesystem::path& root) {
+    if (std::filesystem::exists(root)) return true;
+    Finding f;
+    f.rule = RuleId::kCFG1;
+    f.severity = FindingSeverity::kError;
+    f.entity = "scan-root";
+    f.file = root.generic_string();
+    f.message = "scan root does not exist: the scan would silently cover "
+                "zero files (fix the path or drop the flag)";
+    absorb({std::move(f)});
+    return false;
+}
+
 void Analyzer::scan_sources(const std::filesystem::path& root) {
+    if (!require_root(root)) return;
     ScanResult r = scan_source_tree(root);
     report_.analyzed.push_back("src:" + root.generic_string() + "(" +
                                std::to_string(r.files_scanned) + " files)");
@@ -44,11 +58,43 @@ void Analyzer::scan_sources(const std::filesystem::path& root) {
 }
 
 void Analyzer::scan_scenario_assembly(const std::filesystem::path& root) {
+    if (!require_root(root)) return;
     ScanResult r = scan_scenario_tree(root);
     report_.analyzed.push_back("scenario:" + root.generic_string() + "(" +
                                std::to_string(r.files_scanned) + " files)");
     report_.suppressed_findings += r.suppressed;
     absorb(std::move(r.findings));
+}
+
+void Analyzer::scan_concurrency(
+    const std::vector<std::filesystem::path>& roots) {
+    std::vector<std::filesystem::path> present;
+    for (const std::filesystem::path& root : roots) {
+        if (require_root(root)) present.push_back(root);
+    }
+    ScanResult r = mcps::analysis::scan_concurrency(present);
+    std::string label = "conc:";
+    for (std::size_t i = 0; i < present.size(); ++i) {
+        if (i) label += ',';
+        label += present[i].generic_string();
+    }
+    report_.analyzed.push_back(label + "(" +
+                               std::to_string(r.files_scanned) + " files)");
+    report_.suppressed_findings += r.suppressed;
+    absorb(std::move(r.findings));
+}
+
+void Analyzer::check_deadlines(const DeadlineOptions& opts, bool cross_check) {
+    deadlines_ = lint_deadlines(opts);
+    report_.analyzed.push_back("ta5:registry(" +
+                               std::to_string(deadlines_.rows.size()) +
+                               " presets)");
+    absorb(deadlines_.findings);
+    if (cross_check) {
+        DeadlineCrossCheck cc = cross_check_deadlines(opts);
+        report_.analyzed.push_back("ta5:cross-check(pca,xray)");
+        absorb(std::move(cc.findings));
+    }
 }
 
 }  // namespace mcps::analysis

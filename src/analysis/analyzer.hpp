@@ -16,8 +16,11 @@
 
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "assurance_lint.hpp"
+#include "conc_lint.hpp"
+#include "deadline_lint.hpp"
 #include "finding.hpp"
 #include "ice_lint.hpp"
 #include "scenario_scan.hpp"
@@ -46,6 +49,16 @@ public:
     /// PcaScenarioConfig/XrayScenarioConfig assembly outside the
     /// scenario layer (scenario_scan.hpp).
     void scan_scenario_assembly(const std::filesystem::path& root);
+    /// CONC1 lock-discipline scan over the roots as one unit
+    /// (conc_lint.hpp); missing roots become CFG1 findings.
+    void scan_concurrency(const std::vector<std::filesystem::path>& roots);
+    /// TA5 deadline feasibility over every registry preset's
+    /// claimed-safe envelope; the slack table of the LAST call is kept
+    /// (deadline_report()). With \p cross_check, also runs the
+    /// canonical pca/xray presets and checks observed latencies against
+    /// the static bounds (costs two scenario runs).
+    void check_deadlines(const DeadlineOptions& opts = {},
+                         bool cross_check = false);
 
     [[nodiscard]] const AnalysisReport& report() const noexcept {
         return report_;
@@ -53,13 +66,20 @@ public:
     [[nodiscard]] const HazardCoverage& last_coverage() const noexcept {
         return coverage_;
     }
+    [[nodiscard]] const DeadlineReport& deadline_report() const noexcept {
+        return deadlines_;
+    }
 
 private:
     void absorb(std::vector<Finding> findings);
+    /// Emit a CFG1 error when \p root does not exist (a scan that would
+    /// silently cover zero files); returns false on the miss.
+    bool require_root(const std::filesystem::path& root);
 
     SuppressionSet suppressions_;
     AnalysisReport report_;
     HazardCoverage coverage_;
+    DeadlineReport deadlines_;
 };
 
 }  // namespace mcps::analysis

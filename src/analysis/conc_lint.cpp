@@ -1,0 +1,682 @@
+#include "conc_lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mcps::analysis {
+
+namespace {
+
+// ---- declaration database (phase 1 output) --------------------------------
+
+struct GuardedField {
+    std::string field;        ///< member name
+    std::string guard;        ///< trailing component of the mutex expr
+    std::string owner_outer;  ///< outermost declaring class
+    std::string owner_inner;  ///< innermost declaring class
+    std::string file;
+    std::size_t line = 0;
+};
+
+struct RequiresFn {
+    std::string owner;  ///< innermost declaring class
+    std::string fn;
+    std::string guard;
+};
+
+struct OrderEdge {
+    std::string outer, inner;  ///< full declared text (ws-normalized)
+    std::string file;
+    std::size_t line = 0;
+};
+
+struct ConcDb {
+    std::vector<GuardedField> fields;
+    std::vector<RequiresFn> requires_fns;
+    std::vector<OrderEdge> edges;
+};
+
+// ---- small lexical helpers ------------------------------------------------
+
+std::string last_component(std::string_view expr) {
+    std::size_t end = expr.size();
+    while (end > 0 && !is_ident_char(expr[end - 1])) --end;
+    std::size_t begin = end;
+    while (begin > 0 && is_ident_char(expr[begin - 1])) --begin;
+    return std::string{expr.substr(begin, end - begin)};
+}
+
+std::string strip_spaces(std::string_view s) {
+    std::string out;
+    for (char c : s) {
+        if (!std::isspace(static_cast<unsigned char>(c))) out += c;
+    }
+    return out;
+}
+
+bool is_control_keyword(std::string_view t) {
+    static const std::set<std::string_view> kw{
+        "if",     "while",  "for",           "switch",   "catch",
+        "return", "sizeof", "static_assert", "decltype", "alignof",
+        "throw",  "new",    "delete",        "assert",   "noexcept",
+        "co_await", "co_return", "co_yield"};
+    return kw.count(t) != 0;
+}
+
+bool has_conc_allow(const std::string& raw) {
+    return raw.find("mcps-analyze: allow(CONC1") != std::string::npos;
+}
+
+bool has_conc_allow_file(const std::string& raw) {
+    return raw.find("mcps-analyze: allow-file(CONC1") != std::string::npos;
+}
+
+// ---- file loading ---------------------------------------------------------
+
+/// One file, comment/string-stripped, preprocessor lines blanked (macro
+/// bodies would corrupt brace depth), newlines preserved so the scanner
+/// can track line numbers through multi-line constructs.
+struct FileText {
+    std::string text;
+    std::vector<std::string> raw;  ///< raw lines, 0-based (allow markers)
+    bool file_allowed = false;
+};
+
+FileText load_file(const std::filesystem::path& file) {
+    FileText out;
+    std::ifstream in{file};
+    if (!in) return out;
+    for (std::string line; std::getline(in, line);) {
+        out.raw.push_back(std::move(line));
+    }
+    bool in_block = false;
+    bool in_pp = false;  // inside a (possibly \-continued) directive
+    for (const std::string& raw : out.raw) {
+        if (has_conc_allow_file(raw)) out.file_allowed = true;
+        std::string stripped = strip_line(raw, in_block);
+        bool pp = in_pp;
+        if (!pp) {
+            for (char c : stripped) {
+                if (std::isspace(static_cast<unsigned char>(c))) continue;
+                pp = c == '#';
+                break;
+            }
+        }
+        in_pp = pp && !raw.empty() && raw.back() == '\\';
+        if (pp) stripped.assign(stripped.size(), ' ');
+        out.text += stripped;
+        out.text += '\n';
+    }
+    return out;
+}
+
+// ---- the scanner ----------------------------------------------------------
+
+struct LockScope {
+    std::string key;      ///< trailing component of the mutex expr
+    std::string display;  ///< the expr as written
+    int depth = 0;
+    std::size_t line = 0;
+};
+
+struct ClassScope {
+    std::string name;
+    int depth = 0;
+};
+
+struct PendingFunc {
+    std::string cls;
+    std::string name;
+    bool valid = false;
+};
+
+struct FuncScope {
+    std::string cls;
+    std::string name;
+    int depth = 0;
+    bool exempt = false;  ///< constructor or destructor
+    std::vector<std::string> requires_keys;
+    bool active = false;
+};
+
+/// Scans one file. In phase 1 (`collect` non-null) it fills the
+/// declaration database; in phase 2 (`db` non-null) it checks uses and
+/// nesting against the complete database and appends findings.
+class FileScanner {
+public:
+    FileScanner(std::filesystem::path file, const FileText& text, ConcDb* collect,
+                const ConcDb* db, ScanResult* out)
+        : file_{std::move(file)}, t_{text}, collect_{collect}, db_{db},
+          out_{out} {}
+
+    void run() {
+        const std::string& s = t_.text;
+        while (i_ < s.size()) {
+            const char c = s[i_];
+            if (c == '\n') {
+                ++line_;
+                ++i_;
+            } else if (c == '{') {
+                ++i_;
+                open_brace();
+            } else if (c == '}') {
+                ++i_;
+                close_brace();
+            } else if (c == '(') {
+                ++paren_;
+                ++i_;
+            } else if (c == ')') {
+                if (paren_ > 0) --paren_;
+                ++i_;
+            } else if (c == ';') {
+                if (paren_ == 0) {
+                    pending_func_.valid = false;
+                    pending_class_.clear();
+                }
+                ++i_;
+            } else if (c == '~' && i_ + 1 < s.size() &&
+                       is_ident_start(s[i_ + 1])) {
+                ++i_;
+                std::string name = "~" + read_ident();
+                maybe_function_head(name);
+            } else if (is_ident_start(c)) {
+                handle_ident(read_ident());
+            } else {
+                ++i_;
+            }
+        }
+    }
+
+private:
+    static bool is_ident_start(char c) {
+        return is_ident_char(c) && !(c >= '0' && c <= '9');
+    }
+
+    std::string read_ident() {
+        const std::size_t begin = i_;
+        while (i_ < t_.text.size() && is_ident_char(t_.text[i_])) ++i_;
+        return t_.text.substr(begin, i_ - begin);
+    }
+
+    /// Next non-whitespace char at/after \p from (may cross newlines);
+    /// '\0' at end of file. Does not consume.
+    char peek_nonspace(std::size_t from) const {
+        for (std::size_t j = from; j < t_.text.size(); ++j) {
+            const char c = t_.text[j];
+            if (!std::isspace(static_cast<unsigned char>(c))) return c;
+        }
+        return '\0';
+    }
+
+    bool peek_is_scope_resolution(std::size_t from) const {
+        for (std::size_t j = from; j + 1 < t_.text.size(); ++j) {
+            const char c = t_.text[j];
+            if (std::isspace(static_cast<unsigned char>(c))) continue;
+            return c == ':' && t_.text[j + 1] == ':';
+        }
+        return false;
+    }
+
+    void open_brace() {
+        ++depth_;
+        if (pending_func_.valid && paren_ == 0) {
+            push_function();
+            pending_class_.clear();  // stray `template <class T>` parameter
+        } else if (!pending_class_.empty()) {
+            classes_.push_back({pending_class_, depth_});
+            pending_class_.clear();
+        }
+    }
+
+    void close_brace() {
+        --depth_;
+        while (!locks_.empty() && locks_.back().depth > depth_) {
+            locks_.pop_back();
+        }
+        while (!classes_.empty() && classes_.back().depth > depth_) {
+            classes_.pop_back();
+        }
+        if (func_.active && func_.depth > depth_) func_.active = false;
+    }
+
+    void push_function() {
+        func_ = {};
+        func_.cls = pending_func_.cls;
+        func_.name = pending_func_.name;
+        func_.depth = depth_;
+        func_.exempt = !func_.cls.empty() &&
+                       (func_.name == func_.cls ||
+                        func_.name == "~" + func_.cls ||
+                        (!func_.name.empty() && func_.name[0] == '~'));
+        if (db_ != nullptr) {
+            for (const RequiresFn& r : db_->requires_fns) {
+                if (r.fn == func_.name &&
+                    (r.owner == func_.cls || func_.cls.empty())) {
+                    func_.requires_keys.push_back(r.guard);
+                }
+            }
+        }
+        func_.active = true;
+        pending_func_.valid = false;
+    }
+
+    void maybe_function_head(const std::string& name) {
+        if (peek_nonspace(i_) != '(') return;
+        last_call_ident_ = name;
+        if (paren_ != 0 || func_.active || is_control_keyword(name) ||
+            name.rfind("MCPS_", 0) == 0) {
+            return;
+        }
+        pending_func_.name = name;
+        pending_func_.cls = !qual_.empty()
+                                ? qual_
+                                : (classes_.empty() ? "" : classes_.back().name);
+        pending_func_.valid = true;
+    }
+
+    /// Parse `( ... )` starting at the first non-ws char at/after i_
+    /// (which must be '('). Returns the argument text and consumes
+    /// through the matching ')'. Empty optional when not a call.
+    bool read_paren_args(std::string& args) {
+        std::size_t j = i_;
+        while (j < t_.text.size() &&
+               std::isspace(static_cast<unsigned char>(t_.text[j]))) {
+            ++j;
+        }
+        if (j >= t_.text.size() || t_.text[j] != '(') return false;
+        int nest = 0;
+        std::string captured;
+        for (; j < t_.text.size(); ++j) {
+            const char c = t_.text[j];
+            if (c == '\n') ++line_;
+            if (c == '(') {
+                ++nest;
+                if (nest == 1) continue;
+            } else if (c == ')') {
+                --nest;
+                if (nest == 0) {
+                    i_ = j + 1;
+                    args = captured;
+                    return true;
+                }
+            }
+            captured += c;
+        }
+        i_ = j;
+        return false;
+    }
+
+    std::vector<std::string> split_top_commas(const std::string& args) const {
+        std::vector<std::string> out;
+        int nest = 0;
+        std::string cur;
+        for (char c : args) {
+            if (c == '(' || c == '{' || c == '[' || c == '<') ++nest;
+            if (c == ')' || c == '}' || c == ']' || c == '>') --nest;
+            if (c == ',' && nest == 0) {
+                out.push_back(cur);
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        out.push_back(cur);
+        return out;
+    }
+
+    void handle_ident(const std::string& t) {
+        if (t == "enum") {
+            last_was_enum_ = true;
+            return;
+        }
+        if ((t == "class" || t == "struct") && paren_ == 0) {
+            if (!last_was_enum_) awaiting_class_name_ = true;
+            last_was_enum_ = false;
+            return;
+        }
+        last_was_enum_ = false;
+        if (awaiting_class_name_) {
+            awaiting_class_name_ = false;
+            pending_class_ = t;
+            qual_.clear();
+            return;
+        }
+        if (t.rfind("MCPS_", 0) == 0) {
+            handle_annotation(t);
+            return;
+        }
+        if (t == "lock_guard" || t == "unique_lock" || t == "scoped_lock") {
+            if (try_acquisition()) {
+                prev_ident_.clear();
+                qual_.clear();
+                return;
+            }
+        }
+        maybe_function_head(t);
+        check_field_use(t);
+        prev_ident_ = t;
+        qual_ = peek_is_scope_resolution(i_) ? t : std::string{};
+    }
+
+    void handle_annotation(const std::string& t) {
+        std::string args;
+        if (!read_paren_args(args)) return;
+        if (collect_ == nullptr) return;  // annotations only matter in phase 1
+        if (t == "MCPS_GUARDED_BY") {
+            if (classes_.empty() || prev_ident_.empty()) return;
+            GuardedField f;
+            f.field = prev_ident_;
+            f.guard = last_component(args);
+            f.owner_outer = classes_.front().name;
+            f.owner_inner = classes_.back().name;
+            f.file = file_.generic_string();
+            f.line = line_ + 1;
+            collect_->fields.push_back(std::move(f));
+        } else if (t == "MCPS_REQUIRES") {
+            RequiresFn r;
+            r.fn = pending_func_.valid ? pending_func_.name : last_call_ident_;
+            r.owner = pending_func_.valid && !pending_func_.cls.empty()
+                          ? pending_func_.cls
+                          : (classes_.empty() ? "" : classes_.back().name);
+            r.guard = last_component(args);
+            if (!r.fn.empty()) collect_->requires_fns.push_back(std::move(r));
+        } else if (t == "MCPS_LOCK_ORDER") {
+            const std::vector<std::string> parts = split_top_commas(args);
+            if (parts.size() == 2) {
+                OrderEdge e;
+                e.outer = strip_spaces(parts[0]);
+                e.inner = strip_spaces(parts[1]);
+                e.file = file_.generic_string();
+                e.line = line_ + 1;
+                collect_->edges.push_back(std::move(e));
+            }
+        }
+    }
+
+    /// Parse a lock_guard/unique_lock/scoped_lock acquisition starting
+    /// just past the class-name token. Returns false (consuming
+    /// nothing) when the token is not an acquisition (e.g. a using
+    /// alias or a declaration without an initializer).
+    bool try_acquisition() {
+        std::size_t j = i_;
+        const std::string& s = t_.text;
+        std::size_t scan_line = line_;
+        auto skip_ws = [&] {
+            while (j < s.size() &&
+                   std::isspace(static_cast<unsigned char>(s[j]))) {
+                if (s[j] == '\n') ++scan_line;
+                ++j;
+            }
+        };
+        skip_ws();
+        if (j < s.size() && s[j] == '<') {
+            int angle = 0;
+            for (; j < s.size(); ++j) {
+                const char c = s[j];
+                if (c == '\n') ++scan_line;
+                if (c == '<') ++angle;
+                if (c == '>') {
+                    --angle;
+                    if (angle == 0) {
+                        ++j;
+                        break;
+                    }
+                }
+                if (c == ';' || c == '{' || c == '(') return false;
+            }
+        }
+        skip_ws();
+        while (j < s.size() && is_ident_char(s[j])) ++j;  // variable name
+        skip_ws();
+        if (j >= s.size() || (s[j] != '(' && s[j] != '{')) return false;
+        const char open = s[j];
+        const char close = open == '(' ? ')' : '}';
+        int nest = 0;
+        std::string captured;
+        for (; j < s.size(); ++j) {
+            const char c = s[j];
+            if (c == '\n') ++scan_line;
+            if (c == open) {
+                ++nest;
+                if (nest == 1) continue;
+            } else if (c == close) {
+                --nest;
+                if (nest == 0) break;
+            }
+            captured += c;
+        }
+        if (j >= s.size()) return false;
+        const std::size_t acq_line = line_;
+        i_ = j + 1;
+        line_ = scan_line;
+        for (const std::string& arg : split_top_commas(captured)) {
+            if (arg.find("defer_lock") != std::string::npos ||
+                arg.find("adopt_lock") != std::string::npos ||
+                arg.find("try_to_lock") != std::string::npos) {
+                continue;
+            }
+            const std::string key = last_component(arg);
+            if (key.empty()) continue;
+            std::string display = strip_spaces(arg);
+            if (db_ != nullptr) check_nesting(key, display, acq_line);
+            locks_.push_back({key, std::move(display), depth_, acq_line + 1});
+        }
+        return true;
+    }
+
+    void check_nesting(const std::string& key, const std::string& display,
+                       std::size_t acq_line) {
+        for (const LockScope& outer : locks_) {
+            if (outer.key == key) {
+                emit(acq_line,
+                     "acquires '" + display + "' while already holding '" +
+                         outer.display + "' (same mutex key '" + key +
+                         "'): self-deadlock");
+                continue;
+            }
+            bool forward = false, reverse = false;
+            for (const OrderEdge& e : db_->edges) {
+                const std::string eo = last_component(e.outer);
+                const std::string ei = last_component(e.inner);
+                if (eo == outer.key && ei == key) forward = true;
+                if (eo == key && ei == outer.key) reverse = true;
+            }
+            if (forward) continue;
+            if (reverse) {
+                emit(acq_line, "lock-order violation: acquires '" + display +
+                                   "' while holding '" + outer.display +
+                                   "' but the declared order is " + key +
+                                   " before " + outer.key);
+            } else {
+                emit(acq_line,
+                     "undeclared lock nesting: '" + outer.display + "' -> '" +
+                         display +
+                         "' has no MCPS_LOCK_ORDER edge; declare the edge "
+                         "(and keep the DAG acyclic) or restructure");
+            }
+        }
+    }
+
+    void check_field_use(const std::string& t) {
+        if (db_ == nullptr || !func_.active || func_.exempt) return;
+        for (const GuardedField& f : db_->fields) {
+            if (f.field != t) continue;
+            const bool owner_match =
+                func_.cls == f.owner_outer || func_.cls == f.owner_inner ||
+                (!classes_.empty() && classes_.front().name == f.owner_outer);
+            if (!owner_match) continue;
+            bool held = std::any_of(
+                locks_.begin(), locks_.end(),
+                [&](const LockScope& l) { return l.key == f.guard; });
+            if (!held) {
+                held = std::find(func_.requires_keys.begin(),
+                                 func_.requires_keys.end(),
+                                 f.guard) != func_.requires_keys.end();
+            }
+            if (held) continue;
+            emit(line_, "field '" + f.owner_inner + "::" + f.field +
+                            "' (guarded by '" + f.guard +
+                            "') touched outside any '" + f.guard +
+                            "' lock scope in " +
+                            (func_.cls.empty() ? func_.name
+                                               : func_.cls + "::" + func_.name));
+        }
+    }
+
+    /// Emit a finding at 0-based source line \p line0, honoring inline
+    /// and file-level waivers.
+    void emit(std::size_t line0, std::string message) {
+        const bool allowed =
+            t_.file_allowed ||
+            (line0 < t_.raw.size() && has_conc_allow(t_.raw[line0])) ||
+            (line0 > 0 && line0 - 1 < t_.raw.size() &&
+             has_conc_allow(t_.raw[line0 - 1]));
+        if (allowed) {
+            ++out_->suppressed;
+            return;
+        }
+        Finding f;
+        f.rule = RuleId::kCONC1;
+        f.severity = FindingSeverity::kError;
+        f.entity = func_.active && !func_.cls.empty()
+                       ? func_.cls + "::" + func_.name
+                       : "lock-order";
+        f.file = file_.generic_string();
+        f.line = line0 + 1;
+        f.message = std::move(message);
+        out_->findings.push_back(std::move(f));
+    }
+
+    std::filesystem::path file_;
+    const FileText& t_;
+    ConcDb* collect_;
+    const ConcDb* db_;
+    ScanResult* out_;
+
+    std::size_t i_ = 0;
+    std::size_t line_ = 0;  ///< 0-based current line
+    int depth_ = 0;
+    int paren_ = 0;
+    std::vector<ClassScope> classes_;
+    std::vector<LockScope> locks_;
+    FuncScope func_;
+    PendingFunc pending_func_;
+    std::string pending_class_;
+    bool awaiting_class_name_ = false;
+    bool last_was_enum_ = false;
+    std::string prev_ident_;
+    std::string qual_;             ///< ident directly before a `::`
+    std::string last_call_ident_;  ///< last ident followed by `(`
+};
+
+// ---- tree walking ---------------------------------------------------------
+
+void collect_files(const std::filesystem::path& root,
+                   std::vector<std::filesystem::path>& out) {
+    if (!std::filesystem::exists(root)) return;
+    if (std::filesystem::is_regular_file(root)) {
+        if (is_source_file(root)) out.push_back(root);
+        return;
+    }
+    auto it = std::filesystem::recursive_directory_iterator{root};
+    const auto end = std::filesystem::end(it);
+    for (; it != end; ++it) {
+        const std::filesystem::path& p = it->path();
+        const std::string fname = p.filename().string();
+        if (it->is_directory() &&
+            (fname.rfind("build", 0) == 0 ||
+             (fname.size() > 1 && fname[0] == '.'))) {
+            it.disable_recursion_pending();
+            continue;
+        }
+        if (!it->is_regular_file() || !is_source_file(p)) continue;
+        out.push_back(p);
+    }
+    std::sort(out.begin(), out.end());
+}
+
+/// Report every cycle in the declared lock-order DAG once, with the
+/// full path. Nodes are the ws-normalized declared names.
+void check_edge_cycles(const ConcDb& db, ScanResult& out) {
+    std::map<std::string, std::vector<std::string>> adj;
+    std::map<std::string, const OrderEdge*> edge_of;
+    for (const OrderEdge& e : db.edges) {
+        adj[e.outer].push_back(e.inner);
+        adj[e.inner];  // ensure sink nodes exist
+        edge_of.emplace(e.outer + "->" + e.inner, &e);
+    }
+    std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+    std::vector<std::string> stack;
+    bool reported = false;
+
+    std::function<void(const std::string&)> dfs = [&](const std::string& n) {
+        color[n] = 1;
+        stack.push_back(n);
+        for (const std::string& m : adj[n]) {
+            if (color[m] == 1) {
+                if (!reported) {
+                    reported = true;
+                    std::string cyc;
+                    bool in_cycle = false;
+                    for (const std::string& s : stack) {
+                        if (s == m) in_cycle = true;
+                        if (in_cycle) cyc += s + " -> ";
+                    }
+                    cyc += m;
+                    const OrderEdge* e = edge_of[n + "->" + m];
+                    Finding f;
+                    f.rule = RuleId::kCONC1;
+                    f.severity = FindingSeverity::kError;
+                    f.entity = "lock-order";
+                    if (e != nullptr) {
+                        f.file = e->file;
+                        f.line = e->line;
+                    }
+                    f.message =
+                        "declared lock-order edges form a cycle: " + cyc;
+                    out.findings.push_back(std::move(f));
+                }
+            } else if (color[m] == 0) {
+                dfs(m);
+            }
+        }
+        stack.pop_back();
+        color[n] = 2;
+    };
+    for (const auto& [node, _] : adj) {
+        if (color[node] == 0) dfs(node);
+    }
+}
+
+}  // namespace
+
+ScanResult scan_concurrency(const std::vector<std::filesystem::path>& roots) {
+    std::vector<std::filesystem::path> files;
+    for (const std::filesystem::path& root : roots) collect_files(root, files);
+
+    std::vector<FileText> texts;
+    texts.reserve(files.size());
+    for (const auto& f : files) texts.push_back(load_file(f));
+
+    ScanResult result;
+    ConcDb db;
+    for (std::size_t k = 0; k < files.size(); ++k) {
+        ScanResult ignored;
+        FileScanner{files[k], texts[k], &db, nullptr, &ignored}.run();
+    }
+    check_edge_cycles(db, result);
+    for (std::size_t k = 0; k < files.size(); ++k) {
+        result.files_scanned += 1;
+        FileScanner{files[k], texts[k], nullptr, &db, &result}.run();
+    }
+    return result;
+}
+
+}  // namespace mcps::analysis

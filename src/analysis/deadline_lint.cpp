@@ -1,0 +1,287 @@
+#include "deadline_lint.hpp"
+
+// mcps-analyze: allow-file(ICE1): TA5 resolves presets through
+// make_pca_config/make_xray_config — the registry's sanctioned escape
+// hatch — to read the timing parameters it bounds, and the cross-check
+// runs the core harness directly to reach InterlockStats.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/pca_interlock.hpp"
+#include "core/pca_scenario.hpp"
+#include "core/xray_scenario.hpp"
+#include "scenario/registry.hpp"
+#include "testkit/invariants.hpp"
+
+namespace mcps::analysis {
+
+namespace {
+
+double secs(mcps::sim::SimDuration d) { return d.to_seconds(); }
+
+Finding ta5_error(std::string entity, std::string message) {
+    Finding f;
+    f.rule = RuleId::kTA5;
+    f.severity = FindingSeverity::kError;
+    f.entity = std::move(entity);
+    f.message = std::move(message);
+    return f;
+}
+
+/// Envelope of a number knob in seconds, hulled with the preset's own
+/// resolved value (the default config must itself sit in the checked
+/// envelope even if it strays outside the declared safe range).
+Interval knob_envelope_s(const scenario::ScenarioInfo& info,
+                         const char* knob, double cfg_value_s, double scale) {
+    Interval env = Interval::point(cfg_value_s);
+    if (const scenario::KnobInfo* k = info.find_knob(knob)) {
+        env = env.hull({k->safe_lo * scale, k->safe_hi * scale});
+    }
+    return env;
+}
+
+bool choice_claimed_safe(const scenario::ScenarioInfo& info, const char* knob,
+                         const char* value) {
+    const scenario::KnobInfo* k = info.find_knob(knob);
+    if (k == nullptr) return false;
+    if (k->safe_choices.empty()) {
+        return std::find(k->choices.begin(), k->choices.end(), value) !=
+               k->choices.end();
+    }
+    return std::find(k->safe_choices.begin(), k->safe_choices.end(), value) !=
+           k->safe_choices.end();
+}
+
+PcaTimingModel pca_model(const scenario::ScenarioInfo& info,
+                         const core::PcaScenarioConfig& cfg) {
+    // Disengaged presets are checked over the engaged envelope: the
+    // safety claim is about what the interlock guarantees when on.
+    const core::InterlockConfig il =
+        cfg.interlock ? *cfg.interlock : core::InterlockConfig{};
+
+    PcaTimingModel m;
+    // Worst sensor period over the interlock modes the envelope claims
+    // safe: dual gating waits on the slower capnometer.
+    m.sense_period_s = secs(cfg.oximeter.sample_period);
+    const bool dual_claimed =
+        choice_claimed_safe(info, "interlock", "dual") ||
+        (cfg.interlock && il.mode == core::InterlockMode::kDualSensor);
+    if (dual_claimed) {
+        m.sense_period_s =
+            std::max(m.sense_period_s, secs(cfg.capnometer.sample_period));
+    }
+    m.persistence_s = secs(il.persistence);
+    m.check_period_s = secs(il.check_period);
+    m.staleness_limit_s = secs(il.staleness_limit);
+    m.command_retry_s = secs(il.command_retry);
+    // Worst policy inside the envelope: fail-operational (if claimed
+    // safe) has no staleness backstop.
+    m.fail_safe = !choice_claimed_safe(info, "policy", "fail-operational") &&
+                  il.data_loss == core::DataLossPolicy::kFailSafe;
+    m.interlock_off_claimed_safe = choice_claimed_safe(info, "interlock", "off");
+    m.latency_s = knob_envelope_s(info, "latency-ms",
+                                  secs(cfg.channel.base_latency), 1e-3);
+    m.jitter_s =
+        knob_envelope_s(info, "jitter-ms", secs(cfg.channel.jitter_sd), 1e-3);
+    m.loss = knob_envelope_s(info, "loss", cfg.channel.loss_probability, 1.0);
+    m.reorder_window_s = cfg.channel.reorder_probability > 0.0
+                             ? secs(cfg.channel.reorder_window)
+                             : 0.0;
+    return m;
+}
+
+std::string fmt(double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+    return buf;
+}
+
+}  // namespace
+
+DeadlineBound pca_deadline_bound(const PcaTimingModel& m,
+                                 const DeadlineOptions& o) {
+    DeadlineBound b;
+    if (m.interlock_off_claimed_safe) {
+        b.why = "the claimed-safe envelope admits interlock=off: no "
+                "reaction-latency bound exists without an interlock";
+        return b;
+    }
+    if (m.loss.hi >= 1.0) {
+        b.why = "the claimed-safe envelope admits loss probability " +
+                fmt(m.loss.hi) + " >= 1: messages need never be delivered";
+        return b;
+    }
+    if (!m.fail_safe && m.loss.hi > 0.0) {
+        b.why = "the claimed-safe envelope admits a fail-operational "
+                "policy with loss probability up to " + fmt(m.loss.hi) +
+                ": adversarial loss hides the trigger condition forever "
+                "(no staleness backstop)";
+        return b;
+    }
+
+    b.bounded = true;
+    b.transit_s = m.latency_s + m.jitter_s.scaled(o.jitter_sigmas) +
+                  Interval::point(m.reorder_window_s);
+
+    // Detection leg: the trigger condition must survive the persistence
+    // filter on top of worst-phase sampling — unless sensor silence
+    // (possible whenever the envelope admits loss) trips the fail-safe
+    // staleness backstop first; the supervisor then notices on its next
+    // evaluation tick.
+    const double sample_path = m.sense_period_s + m.persistence_s;
+    const double silence_path =
+        (m.fail_safe && m.loss.hi > 0.0) ? m.staleness_limit_s : 0.0;
+    b.detect_s = std::max(sample_path, silence_path) + m.check_period_s;
+
+    // Command leg: retries until the residual probability of every
+    // command being lost drops below delivery_epsilon.
+    b.command_tries = 1;
+    if (m.loss.hi > 0.0) {
+        b.command_tries = static_cast<int>(
+            std::ceil(std::log(o.delivery_epsilon) / std::log(m.loss.hi)));
+        if (b.command_tries < 1) b.command_tries = 1;
+    }
+    const Interval command =
+        b.transit_s +
+        Interval{0.0, (b.command_tries - 1) * m.command_retry_s};
+
+    // Sensor leg + detection + command leg + ack return leg: the bound
+    // covers through the pump's ack landing back at the supervisor, so
+    // the interlock's own measured stop latency must sit under it.
+    b.total_s =
+        b.transit_s + Interval::point(b.detect_s) + command + b.transit_s;
+    return b;
+}
+
+std::string DeadlineReport::to_text() const {
+    std::string out;
+    out += "preset       family  deadline_s  bound_hi_s  slack_s  feasible"
+           "  notes\n";
+    for (const PresetDeadline& r : rows) {
+        char line[160];
+        std::snprintf(line, sizeof line,
+                      "%-12s %-7s %10.1f  %10s %8s  %-8s  %s\n",
+                      r.preset.c_str(), r.family.c_str(), r.deadline_s,
+                      r.bound.bounded ? fmt(r.bound.total_s.hi).c_str()
+                                      : "unbounded",
+                      r.bound.bounded ? fmt(r.slack_s).c_str() : "-inf",
+                      r.feasible ? "yes" : "NO", r.note.c_str());
+        out += line;
+    }
+    return out;
+}
+
+DeadlineReport lint_deadlines(const DeadlineOptions& opts) {
+    const testkit::InvariantTolerances tol{};
+    const scenario::ScenarioRegistry& reg = scenario::registry();
+
+    DeadlineReport report;
+    for (const std::string& name : reg.names()) {
+        const scenario::ScenarioInfo& info = reg.info(name);
+        PresetDeadline row;
+        row.preset = name;
+        row.family = std::string{scenario::to_string(info.family)};
+
+        if (info.family == scenario::ScenarioFamily::kPca) {
+            const core::PcaScenarioConfig cfg =
+                scenario::make_pca_config(reg.default_spec(name));
+            row.engaged_default = cfg.interlock.has_value();
+            row.deadline_s = tol.interlock_deadline_s;
+            row.bound = pca_deadline_bound(pca_model(info, cfg), opts);
+            if (!row.engaged_default) {
+                row.note = "interlock off by default; bound is for the "
+                           "engaged envelope";
+            }
+        } else {
+            const core::XrayScenarioConfig cfg =
+                scenario::make_xray_config(reg.default_spec(name));
+            // The ventilator's local watchdog resumes after max_pause
+            // regardless of network state: the apnea bound does not
+            // depend on the channel envelope.
+            row.deadline_s = opts.xray_apnea_deadline_s;
+            row.bound.bounded = true;
+            row.bound.total_s = Interval::point(
+                secs(cfg.ventilator.max_pause) + tol.pause_slack_s);
+            row.note = "local watchdog bound (network-independent)";
+        }
+
+        row.slack_s = row.deadline_s - row.bound.total_s.hi;
+        row.feasible = row.bound.bounded && row.slack_s >= 0.0;
+        if (!row.feasible) {
+            std::string msg =
+                !row.bound.bounded
+                    ? "interlock reaction latency is unbounded over the "
+                      "claimed-safe envelope: " + row.bound.why
+                    : "worst-case interlock latency " +
+                      fmt(row.bound.total_s.hi) + "s exceeds the " +
+                      fmt(row.deadline_s) + "s deadline by " +
+                      fmt(-row.slack_s) + "s somewhere in the claimed-safe "
+                      "envelope";
+            report.findings.push_back(
+                ta5_error("scenario/" + name, std::move(msg)));
+        }
+        report.rows.push_back(std::move(row));
+    }
+    return report;
+}
+
+DeadlineCrossCheck cross_check_deadlines(const DeadlineOptions& opts) {
+    const DeadlineReport report = lint_deadlines(opts);
+    const scenario::ScenarioRegistry& reg = scenario::registry();
+
+    DeadlineCrossCheck cc;
+    for (const PresetDeadline& r : report.rows) {
+        if (r.preset == "pca") cc.pca_bound_s = r.bound.total_s.hi;
+        if (r.preset == "xray") cc.xray_bound_s = r.bound.total_s.hi;
+    }
+
+    // The pca leg runs the core harness directly (the registry's
+    // documented escape hatch) to reach InterlockStats: the interlock's
+    // own stop latency — trigger-condition onset at the supervisor to
+    // the pump's ack — is the quantity the static model bounds.
+    // detection_latency_s would NOT be comparable: it starts at the
+    // ground-truth hypoxia onset and so contains physiological decline
+    // and sensor-averaging lag no comms bound covers.
+    core::PcaScenarioConfig pca_cfg =
+        scenario::make_pca_config(reg.default_spec("pca"));
+    core::PcaScenario sc{pca_cfg};
+    const core::PcaScenarioResult pca = sc.run();
+    if (pca.interlock.last_stop_latency_ms) {
+        cc.pca_observed_s = *pca.interlock.last_stop_latency_ms / 1000.0;
+    }
+    const auto outcome_value = [](const scenario::RunArtifacts& art,
+                                  std::string_view key, double fallback) {
+        for (const auto& [k, v] : art.outcome) {
+            if (k == key) return v;
+        }
+        return fallback;
+    };
+    const scenario::RunArtifacts xray = reg.run(reg.default_spec("xray"));
+    cc.xray_observed_s = outcome_value(xray, "max_apnea_s", 0.0);
+
+    if (cc.pca_observed_s < 0.0) {
+        cc.findings.push_back(ta5_error(
+            "cross-check/pca",
+            "the canonical pca run produced no interlock stop episode; "
+            "the static bound cannot be cross-checked"));
+    } else if (cc.pca_observed_s > cc.pca_bound_s) {
+        cc.findings.push_back(ta5_error(
+            "cross-check/pca",
+            "observed interlock stop latency " + fmt(cc.pca_observed_s) +
+                "s exceeds the static bound " + fmt(cc.pca_bound_s) +
+                "s: the TA5 model is missing a latency term"));
+    }
+    if (cc.xray_observed_s > cc.xray_bound_s) {
+        cc.findings.push_back(ta5_error(
+            "cross-check/xray",
+            "observed imposed apnea " + fmt(cc.xray_observed_s) +
+                "s exceeds the static bound " + fmt(cc.xray_bound_s) +
+                "s: the TA5 model is missing a latency term"));
+    }
+    cc.pass = cc.findings.empty();
+    return cc;
+}
+
+}  // namespace mcps::analysis

@@ -1,0 +1,167 @@
+/// \file deadline_lint.hpp
+/// \brief TA5: static worst-case interlock-deadline feasibility over the
+/// claimed-safe knob envelope of every registry preset.
+///
+/// For each ScenarioRegistry preset the pass resolves the default
+/// configuration, widens every latency-relevant parameter to its
+/// claimed-safe knob envelope (KnobInfo::safe_lo/safe_hi/safe_choices —
+/// NOT the full settable domain: runs outside the envelope are hazard
+/// experiments, not claimed safe), and computes an interval bound on the
+/// end-to-end interlock reaction latency:
+///
+///   PCA family (hypoxemia onset -> pump stopped):
+///     T_transit = latency_hi + jitter_sigmas * jitter_hi
+///                 [+ reorder_window when reordering is enabled]
+///     T_detect  = max(T_sense + persistence, staleness_limit*) +
+///                 check_period          (* armed when loss_hi > 0 under
+///                                          the fail-safe policy)
+///     T_command = (n_fail - 1) * command_retry + T_transit
+///                 where n_fail = ceil(ln(delivery_epsilon) / ln(loss_hi))
+///                 bounds consecutive command losses to probability
+///                 <= delivery_epsilon (Gaussian jitter is unbounded, so
+///                 T_transit is likewise a jitter_sigmas-quantile bound,
+///                 not an absolute one — both quantiles are reported).
+///     bound     = T_transit + T_detect + T_command + T_transit
+///                 (sensor leg, detection, command leg, ack return —
+///                 the bound ends when the pump's ack lands back at the
+///                 supervisor, so the interlock's measured stop latency
+///                 is directly comparable)
+///     deadline  = testkit InvariantTolerances::interlock_deadline_s
+///
+///   The bound is declared *unbounded* (an automatic TA5 error) when the
+///   envelope admits message loss with no fail-safe backstop: a
+///   fail-operational policy inside the safe envelope with loss_hi > 0,
+///   loss_hi >= 1, or interlock "off" claimed safe.
+///
+///   X-ray family (imposed apnea): the ventilator's own watchdog resumes
+///   after max_pause regardless of network state, so
+///     bound    = max_pause + pause_slack_s   (network-independent)
+///     deadline = DeadlineOptions::xray_apnea_deadline_s
+///
+/// Presets whose default config leaves the interlock disengaged
+/// (pca-open, smart-alarm) are checked over the *engaged* envelope
+/// (InterlockConfig defaults) and flagged engaged_default = false in the
+/// slack table — their claim covers the envelope, not the hazardous
+/// default.
+///
+/// cross_check_deadlines() closes the loop: it runs the canonical pca
+/// and xray presets and fails if an observed latency exceeds the static
+/// bound (a bound that simulation can beat is wrong). The pca
+/// observation is the interlock's own stop latency (trigger-condition
+/// onset at the supervisor to pump ack) — NOT detection_latency_s,
+/// which starts at ground-truth hypoxia onset and contains
+/// physiological decline plus sensor-averaging lag outside any comms
+/// bound.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "finding.hpp"
+
+namespace mcps::analysis {
+
+/// Closed interval over doubles (interval arithmetic over knob ranges).
+struct Interval {
+    double lo = 0.0, hi = 0.0;
+
+    [[nodiscard]] static Interval point(double v) noexcept { return {v, v}; }
+    [[nodiscard]] Interval operator+(const Interval& o) const noexcept {
+        return {lo + o.lo, hi + o.hi};
+    }
+    [[nodiscard]] Interval scaled(double k) const noexcept {
+        return k >= 0 ? Interval{lo * k, hi * k} : Interval{hi * k, lo * k};
+    }
+    /// Smallest interval containing both (envelope union).
+    [[nodiscard]] Interval hull(const Interval& o) const noexcept {
+        return {lo < o.lo ? lo : o.lo, hi > o.hi ? hi : o.hi};
+    }
+};
+
+struct DeadlineOptions {
+    /// Gaussian jitter quantile used for the transit bound.
+    double jitter_sigmas = 4.0;
+    /// Residual probability budget for consecutive command losses.
+    double delivery_epsilon = 1e-9;
+    /// Deadline for the x-ray family's imposed-apnea bound. The testkit
+    /// invariant only bounds apnea by max_pause + slack; this documents
+    /// the clinical ceiling the bound is checked against.
+    double xray_apnea_deadline_s = 60.0;
+};
+
+/// The PCA interlock reaction path reduced to the latency-relevant
+/// timing parameters, with network knobs widened to their claimed-safe
+/// envelope. Tests construct weakened models directly.
+struct PcaTimingModel {
+    double sense_period_s = 2.0;  ///< slowest sensor gating the trigger
+    double persistence_s = 10.0;
+    double check_period_s = 1.0;
+    double staleness_limit_s = 12.0;
+    double command_retry_s = 2.0;
+    bool fail_safe = true;  ///< worst policy inside the safe envelope
+    bool interlock_off_claimed_safe = false;
+    Interval latency_s;  ///< network base latency envelope (seconds)
+    Interval jitter_s;   ///< network jitter sd envelope (seconds)
+    Interval loss;       ///< per-message loss-probability envelope
+    double reorder_window_s = 0.0;  ///< 0 = reordering disabled
+};
+
+/// One preset's static bound, decomposed for the slack table.
+struct DeadlineBound {
+    bool bounded = false;
+    Interval total_s;     ///< end-to-end bound over the envelope
+    Interval transit_s;   ///< one-hop bound
+    double detect_s = 0.0;    ///< hi detection leg (sense+persist+check)
+    int command_tries = 1;    ///< n_fail for the command leg
+    std::string why;          ///< explanation when !bounded
+};
+
+/// Static interval bound for one PCA timing model.
+[[nodiscard]] DeadlineBound pca_deadline_bound(const PcaTimingModel& m,
+                                               const DeadlineOptions& o = {});
+
+/// One row of the slack table.
+struct PresetDeadline {
+    std::string preset;
+    std::string family;           ///< "pca" | "xray"
+    bool engaged_default = true;  ///< interlock engaged in the default cfg
+    double deadline_s = 0.0;
+    DeadlineBound bound;
+    double slack_s = 0.0;  ///< deadline - bound.total_s.hi (< 0 or
+                           ///< unbounded => infeasible)
+    bool feasible = false;
+    std::string note;
+};
+
+/// TA5 result: the slack table plus the findings the Analyzer absorbs.
+struct DeadlineReport {
+    std::vector<PresetDeadline> rows;
+    std::vector<Finding> findings;
+
+    /// Markdown-ish slack table (docs + --deadline-table).
+    [[nodiscard]] std::string to_text() const;
+};
+
+/// Run TA5 over every preset of the process-wide ScenarioRegistry.
+[[nodiscard]] DeadlineReport lint_deadlines(const DeadlineOptions& opts = {});
+
+/// Dynamic cross-check of the static bounds: run the canonical "pca"
+/// and "xray" presets (default spec, default seed) and compare observed
+/// interlock/apnea latencies against the static hi bounds. Emits a TA5
+/// error finding when an observation beats a bound. Costs two full
+/// scenario runs (~seconds).
+struct DeadlineCrossCheck {
+    double pca_observed_s = -1.0;  ///< interlock stop latency, last
+                                   ///< episode (-1: no stop episode)
+    double pca_bound_s = 0.0;
+    double xray_observed_s = 0.0;  ///< max imposed apnea
+    double xray_bound_s = 0.0;
+    bool pass = false;
+    std::vector<Finding> findings;
+};
+
+[[nodiscard]] DeadlineCrossCheck cross_check_deadlines(
+    const DeadlineOptions& opts = {});
+
+}  // namespace mcps::analysis

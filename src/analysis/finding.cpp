@@ -36,6 +36,16 @@ constexpr std::array<RuleInfo, kNumRules> kRules{{
     {RuleId::kSIM1, "SIM1",
      "banned construct in deterministic simulation code (raw rand(), "
      "wall-clock time, unseeded RNG)"},
+    {RuleId::kTA5, "TA5",
+     "static worst-case interlock latency can exceed the deadline "
+     "somewhere in the claimed-safe knob envelope"},
+    {RuleId::kCONC1, "CONC1",
+     "lock-discipline violation: guarded field touched outside its "
+     "lock scope, undeclared/reversed lock nesting, or a cycle in the "
+     "declared lock-order DAG"},
+    {RuleId::kCFG1, "CFG1",
+     "analysis configuration error: a scan root is missing or "
+     "unreadable (the scan would silently cover zero files)"},
 }};
 
 std::size_t rule_index(RuleId r) noexcept {

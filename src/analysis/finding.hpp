@@ -31,9 +31,12 @@ enum class RuleId : std::uint8_t {
     kICE1,  ///< assembly references unsatisfiable device / orphan input
     kAS1,   ///< hazard not covered by any mitigation mechanism or GSN goal
     kSIM1,  ///< banned construct in deterministic simulation code
+    kTA5,   ///< interlock deadline infeasible over the claimed-safe envelope
+    kCONC1, ///< lock-discipline violation (guarded field / lock order)
+    kCFG1,  ///< analysis configuration error (missing/unreadable scan root)
 };
 
-inline constexpr std::size_t kNumRules = 7;
+inline constexpr std::size_t kNumRules = 10;
 
 /// All rules, for iteration.
 [[nodiscard]] const std::vector<RuleId>& all_rules();

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "metrics.hpp"
+#include "sim/guarded.hpp"
 
 namespace mcps::obs {
 
@@ -52,7 +53,7 @@ public:
 
 private:
     mutable std::mutex mu_;
-    MetricsRegistry reg_;
+    MetricsRegistry reg_ MCPS_GUARDED_BY(mu_);
 };
 
 }  // namespace mcps::obs

@@ -98,6 +98,28 @@ KnobInfo number(std::string name, std::string description, double lo,
     k.kind = KnobInfo::Kind::kNumber;
     k.lo = lo;
     k.hi = hi;
+    k.safe_lo = lo;
+    k.safe_hi = hi;
+    return k;
+}
+
+/// number() with a claimed-safe envelope narrower than the settable
+/// domain (TA5 checks the deadline over [safe_lo, safe_hi] only).
+KnobInfo number_env(std::string name, std::string description, double lo,
+                    double hi, double safe_lo, double safe_hi) {
+    KnobInfo k = number(std::move(name), std::move(description), lo, hi);
+    k.safe_lo = safe_lo;
+    k.safe_hi = safe_hi;
+    return k;
+}
+
+/// choice() claiming only a subset of the choices safe.
+KnobInfo choice_env(std::string name, std::string description,
+                    std::vector<std::string> choices,
+                    std::vector<std::string> safe) {
+    KnobInfo k = choice(std::move(name), std::move(description),
+                        std::move(choices));
+    k.safe_choices = std::move(safe);
     return k;
 }
 
@@ -116,10 +138,10 @@ std::vector<KnobInfo> pca_knobs() {
         choice("patient", "patient archetype (nominal parameters)",
                archetype_choices()),
         choice("demand", "demand generation mode", {"normal", "proxy"}),
-        choice("interlock", "safety interlock configuration",
-               {"off", "spo2", "dual"}),
-        choice("policy", "interlock reaction to stale sensor data",
-               {"fail-safe", "fail-operational"}),
+        choice_env("interlock", "safety interlock configuration",
+                   {"off", "spo2", "dual"}, {"spo2", "dual"}),
+        choice_env("policy", "interlock reaction to stale sensor data",
+                   {"fail-safe", "fail-operational"}, {"fail-safe"}),
         choice("monitor", "classic threshold bedside monitor",
                {"on", "off"}),
         choice("smart-alarm", "fused multi-sensor smart alarm",
@@ -128,11 +150,12 @@ std::vector<KnobInfo> pca_knobs() {
                0.0, 1.0),
         number("artifact-mag", "oximeter artifact magnitude (SpO2 points)",
                -40.0, 0.0),
-        number("latency-ms", "network base latency (milliseconds)", 0.0,
-               10000.0),
-        number("jitter-ms", "network latency jitter sd (milliseconds)", 0.0,
-               10000.0),
-        number("loss", "per-message network loss probability", 0.0, 0.9),
+        number_env("latency-ms", "network base latency (milliseconds)", 0.0,
+                   10000.0, 0.0, 100.0),
+        number_env("jitter-ms", "network latency jitter sd (milliseconds)",
+                   0.0, 10000.0, 0.0, 10.0),
+        number_env("loss", "per-message network loss probability", 0.0, 0.9,
+                   0.0, 0.05),
     };
 }
 
@@ -144,11 +167,12 @@ std::vector<KnobInfo> xray_knobs() {
               100000),
         number("premature", "manual premature-shot probability", 0.0, 1.0),
         number("distraction", "manual distraction probability", 0.0, 1.0),
-        number("latency-ms", "network base latency (milliseconds)", 0.0,
-               10000.0),
-        number("jitter-ms", "network latency jitter sd (milliseconds)", 0.0,
-               10000.0),
-        number("loss", "per-message network loss probability", 0.0, 0.9),
+        number_env("latency-ms", "network base latency (milliseconds)", 0.0,
+                   10000.0, 0.0, 100.0),
+        number_env("jitter-ms", "network latency jitter sd (milliseconds)",
+                   0.0, 10000.0, 0.0, 10.0),
+        number_env("loss", "per-message network loss probability", 0.0, 0.9,
+                   0.0, 0.05),
         count("max-retries", "coordination retry budget per procedure", 100),
     };
 }

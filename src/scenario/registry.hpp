@@ -52,6 +52,17 @@ struct KnobInfo {
     std::vector<std::string> choices;  ///< kChoice domain
     double lo = 0.0, hi = 1.0;         ///< kNumber domain
     std::uint64_t max_count = 1;       ///< kCount domain
+
+    /// Claimed-safe envelope, consumed by the TA5 deadline-feasibility
+    /// lint (mcps_analyze): the sub-domain over which the scenario's
+    /// safety claim is made. The full domain stays settable — runs
+    /// outside the envelope are hazard experiments, not claimed safe.
+    /// Defaults claim the whole domain; knobs that stretch the
+    /// interlock reaction path (network latency/jitter/loss, interlock
+    /// mode, data-loss policy) narrow it in registry.cpp.
+    double safe_lo = 0.0, safe_hi = 1.0;  ///< kNumber envelope
+    /// kChoice envelope; empty = every choice is claimed safe.
+    std::vector<std::string> safe_choices;
 };
 
 /// Per-scenario metadata (everything `mcps_run list/describe` shows).

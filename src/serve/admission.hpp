@@ -34,6 +34,7 @@
 #include <utility>
 
 #include "protocol.hpp"
+#include "sim/guarded.hpp"
 
 namespace mcps::serve {
 
@@ -132,9 +133,9 @@ private:
 
     const std::size_t capacity_;
     mutable std::mutex mu_;
-    std::array<std::deque<T>, kQosClassCount> classes_;
-    std::size_t size_ = 0;  ///< total across classes
-    bool closed_ = false;
+    std::array<std::deque<T>, kQosClassCount> classes_ MCPS_GUARDED_BY(mu_);
+    std::size_t size_ MCPS_GUARDED_BY(mu_) = 0;  ///< total across classes
+    bool closed_ MCPS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mcps::serve

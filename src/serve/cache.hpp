@@ -31,8 +31,14 @@
 
 #include "obs/shared_metrics.hpp"
 #include "scenario/spec.hpp"
+#include "sim/guarded.hpp"
 
 namespace mcps::serve {
+
+/// mirror_entries_locked() calls into SharedMetrics while holding the
+/// cache mutex — a nesting a lexical scan cannot see across the call,
+/// declared here so the lock-order DAG stays the audited record.
+MCPS_LOCK_ORDER(ResultCache::mu_, obs::SharedMetrics::mu_);
 
 /// Canonical cache key for a spec (its normalized one-line text form).
 [[nodiscard]] std::string cache_key(const scenario::ScenarioSpec& spec);
@@ -75,17 +81,18 @@ public:
 private:
     using Entry = std::pair<std::string, std::string>;  // key, artifacts
 
-    void mirror_entries_locked();
+    void mirror_entries_locked() MCPS_REQUIRES(mu_);
 
     const std::size_t max_entries_;
     obs::SharedMetrics* metrics_;
 
     mutable std::mutex mu_;
-    std::list<Entry> lru_;  ///< front = most recently used
-    std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
-    std::uint64_t evictions_ = 0;
+    std::list<Entry> lru_ MCPS_GUARDED_BY(mu_);  ///< front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index_
+        MCPS_GUARDED_BY(mu_);
+    std::uint64_t hits_ MCPS_GUARDED_BY(mu_) = 0;
+    std::uint64_t misses_ MCPS_GUARDED_BY(mu_) = 0;
+    std::uint64_t evictions_ MCPS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mcps::serve

@@ -39,6 +39,7 @@
 #include "cache.hpp"
 #include "obs/shared_metrics.hpp"
 #include "protocol.hpp"
+#include "sim/guarded.hpp"
 #include "socket_io.hpp"
 #include "ward/thread_pool.hpp"
 
@@ -126,12 +127,12 @@ private:
     std::thread accept_thread_;
 
     std::mutex conns_mu_;
-    std::vector<std::shared_ptr<Conn>> conns_;
-    std::vector<std::thread> reader_threads_;
+    std::vector<std::shared_ptr<Conn>> conns_ MCPS_GUARDED_BY(conns_mu_);
+    std::vector<std::thread> reader_threads_ MCPS_GUARDED_BY(conns_mu_);
 
     std::mutex drain_mu_;
     std::condition_variable drain_cv_;
-    bool drain_requested_ = false;
+    bool drain_requested_ MCPS_GUARDED_BY(drain_mu_) = false;
     std::atomic<bool> draining_{false};
     std::atomic<bool> stopped_{false};
 };

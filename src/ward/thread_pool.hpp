@@ -23,7 +23,13 @@
 #include <thread>
 #include <vector>
 
+#include "sim/guarded.hpp"
+
 namespace mcps::ward {
+
+/// try_pop's steal path counts the steal under state_mu_ while still
+/// holding the victim queue's lock — the one permitted nesting.
+MCPS_LOCK_ORDER(ThreadPool::WorkerQueue::mu, ThreadPool::state_mu_);
 
 class ThreadPool {
 public:
@@ -48,13 +54,15 @@ public:
         return static_cast<unsigned>(workers_.size());
     }
 
-    /// Number of tasks obtained by stealing (diagnostic; racy read).
+    /// Number of tasks obtained by stealing (diagnostic; racy read —
+    /// a torn uint64 only skews a stat, it gates nothing).
+    // mcps-analyze: allow(CONC1): deliberately unlocked diagnostic read
     [[nodiscard]] std::uint64_t steals() const noexcept { return steals_; }
 
 private:
     struct WorkerQueue {
         std::mutex mu;
-        std::deque<Task> tasks;
+        std::deque<Task> tasks MCPS_GUARDED_BY(mu);
     };
 
     void worker_loop(std::size_t id);
@@ -66,12 +74,15 @@ private:
     std::mutex state_mu_;
     std::condition_variable work_cv_;   ///< wakes idle workers
     std::condition_variable idle_cv_;   ///< wakes wait_idle()
-    std::size_t unfinished_ = 0;        ///< submitted, not yet completed
-    std::size_t queued_ = 0;            ///< submitted, not yet started
-    bool stopping_ = false;
+    /// submitted, not yet completed
+    std::size_t unfinished_ MCPS_GUARDED_BY(state_mu_) = 0;
+    /// submitted, not yet started
+    std::size_t queued_ MCPS_GUARDED_BY(state_mu_) = 0;
+    bool stopping_ MCPS_GUARDED_BY(state_mu_) = false;
 
-    std::size_t next_queue_ = 0;        ///< round-robin submit cursor
-    std::uint64_t steals_ = 0;          ///< guarded by state_mu_
+    /// round-robin submit cursor
+    std::size_t next_queue_ MCPS_GUARDED_BY(state_mu_) = 0;
+    std::uint64_t steals_ MCPS_GUARDED_BY(state_mu_) = 0;
 };
 
 /// Run \p body(shard) for every shard in [0, shard_count), spread over

@@ -1,0 +1,171 @@
+/// \file test_analysis_deadline.cpp
+/// \brief TA5 deadline-feasibility tests: the canonical interval bound,
+/// feasibility of every shipped preset over its claimed-safe envelope,
+/// seeded-infeasible and unbounded models, monotonicity, and the
+/// static-vs-observed cross-check.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+
+namespace {
+
+using namespace mcps;
+using analysis::DeadlineOptions;
+using analysis::Finding;
+using analysis::PcaTimingModel;
+using analysis::RuleId;
+
+/// The shipped pca preset's claimed-safe envelope, written out by hand
+/// so the test fails if either the knob envelopes or the model drift.
+PcaTimingModel canonical_pca_model() {
+    PcaTimingModel m;  // sense 2, persist 10, check 1, stale 12, retry 2
+    m.latency_s = {0.0, 0.1};   // latency-ms safe envelope [0, 100]
+    m.jitter_s = {0.0, 0.01};   // jitter-ms safe envelope [0, 10]
+    m.loss = {0.0, 0.05};       // loss safe envelope [0, 0.05]
+    return m;
+}
+
+TEST(AnalysisDeadline, CanonicalPcaBoundMatchesHandDerivation) {
+    const auto b = analysis::pca_deadline_bound(canonical_pca_model());
+    ASSERT_TRUE(b.bounded) << b.why;
+    // transit = 0.1 + 4*0.01 = 0.14; detect = max(2+10, 12) + 1 = 13;
+    // n_fail = ceil(ln 1e-9 / ln 0.05) = 7, command = 6*2 + 0.14;
+    // total = transit + detect + command + ack transit = 25.42.
+    EXPECT_NEAR(b.transit_s.hi, 0.14, 1e-9);
+    EXPECT_EQ(b.command_tries, 7);
+    EXPECT_NEAR(b.detect_s, 13.0, 1e-9);
+    EXPECT_NEAR(b.total_s.hi, 25.42, 1e-9);
+    // Best case (zero latency/jitter/loss): a single try, no retries.
+    EXPECT_NEAR(b.total_s.lo, 13.0, 1e-9);
+}
+
+TEST(AnalysisDeadline, AllShippedPresetsAreFeasible) {
+    const auto rep = analysis::lint_deadlines();
+    ASSERT_EQ(rep.rows.size(), 5u);
+    EXPECT_TRUE(rep.findings.empty())
+        << (rep.findings.empty() ? "" : rep.findings[0].message);
+    for (const auto& row : rep.rows) {
+        EXPECT_TRUE(row.feasible) << row.preset << ": " << row.bound.why;
+        EXPECT_GT(row.slack_s, 0.0) << row.preset;
+    }
+    // Disengaged-by-default presets are checked over the engaged
+    // envelope and marked as such.
+    for (const auto& row : rep.rows) {
+        const bool open =
+            row.preset == "pca-open" || row.preset == "smart-alarm";
+        EXPECT_EQ(row.engaged_default, !open) << row.preset;
+    }
+    // The slack table renders every preset.
+    const std::string table = rep.to_text();
+    for (const auto& row : rep.rows) {
+        EXPECT_NE(table.find(row.preset), std::string::npos) << row.preset;
+    }
+}
+
+TEST(AnalysisDeadline, SeededTightDeadlineFiresTa5) {
+    // Shrink the x-ray apnea deadline below the watchdog bound
+    // (max_pause 30 + slack 3 = 33): both xray presets must turn
+    // infeasible and produce TA5 error findings.
+    DeadlineOptions o;
+    o.xray_apnea_deadline_s = 10.0;
+    const auto rep = analysis::lint_deadlines(o);
+    std::size_t infeasible = 0;
+    for (const auto& row : rep.rows) {
+        if (row.family == "xray") {
+            EXPECT_FALSE(row.feasible) << row.preset;
+            EXPECT_LT(row.slack_s, 0.0) << row.preset;
+            ++infeasible;
+        } else {
+            EXPECT_TRUE(row.feasible) << row.preset;
+        }
+    }
+    EXPECT_EQ(infeasible, 2u);
+    std::size_t ta5 = 0;
+    for (const auto& f : rep.findings) {
+        EXPECT_EQ(f.rule, RuleId::kTA5);
+        EXPECT_EQ(f.severity, analysis::FindingSeverity::kError);
+        ++ta5;
+    }
+    EXPECT_EQ(ta5, 2u);
+}
+
+TEST(AnalysisDeadline, WeakenedSupervisionMissesTheDeadline) {
+    // A deliberately sluggish supervisor: persistence and retry values a
+    // misconfigured deployment could plausibly pick. The interval bound
+    // must exceed the 180 s interlock deadline.
+    auto m = canonical_pca_model();
+    m.persistence_s = 240.0;
+    m.staleness_limit_s = 600.0;
+    m.command_retry_s = 30.0;
+    const auto b = analysis::pca_deadline_bound(m);
+    ASSERT_TRUE(b.bounded) << b.why;
+    EXPECT_GT(b.total_s.hi, 180.0);
+}
+
+TEST(AnalysisDeadline, FailOperationalWithLossIsUnbounded) {
+    auto m = canonical_pca_model();
+    m.fail_safe = false;
+    const auto b = analysis::pca_deadline_bound(m);
+    EXPECT_FALSE(b.bounded);
+    EXPECT_NE(b.why.find("fail-operational"), std::string::npos) << b.why;
+}
+
+TEST(AnalysisDeadline, InterlockOffInEnvelopeIsUnbounded) {
+    auto m = canonical_pca_model();
+    m.interlock_off_claimed_safe = true;
+    const auto b = analysis::pca_deadline_bound(m);
+    EXPECT_FALSE(b.bounded);
+    EXPECT_NE(b.why.find("interlock=off"), std::string::npos) << b.why;
+}
+
+TEST(AnalysisDeadline, CertainLossIsUnbounded) {
+    auto m = canonical_pca_model();
+    m.loss = {0.0, 1.0};
+    const auto b = analysis::pca_deadline_bound(m);
+    EXPECT_FALSE(b.bounded);
+}
+
+TEST(AnalysisDeadline, BoundIsMonotoneInLossAndLatency) {
+    auto lo = canonical_pca_model();
+    lo.loss = {0.0, 0.01};
+    lo.latency_s = {0.0, 0.02};
+    const auto a = analysis::pca_deadline_bound(lo);
+    const auto b = analysis::pca_deadline_bound(canonical_pca_model());
+    ASSERT_TRUE(a.bounded);
+    ASSERT_TRUE(b.bounded);
+    EXPECT_LE(a.total_s.hi, b.total_s.hi);
+}
+
+TEST(AnalysisDeadline, CrossCheckObservedWithinStaticBound) {
+    const auto cc = analysis::cross_check_deadlines();
+    EXPECT_TRUE(cc.pass) << (cc.findings.empty() ? std::string{"no finding"}
+                                                 : cc.findings[0].message);
+    EXPECT_TRUE(cc.findings.empty());
+    // The canonical pca run must actually exhibit a stop episode, or the
+    // cross-check proves nothing.
+    EXPECT_GT(cc.pca_observed_s, 0.0);
+    EXPECT_LE(cc.pca_observed_s, cc.pca_bound_s);
+    EXPECT_GT(cc.xray_observed_s, 0.0);
+    EXPECT_LE(cc.xray_observed_s, cc.xray_bound_s);
+    EXPECT_NEAR(cc.pca_bound_s, 25.42, 1e-9);
+    EXPECT_NEAR(cc.xray_bound_s, 33.0, 1e-9);
+}
+
+TEST(AnalysisDeadline, AnalyzerAbsorbsDeadlinePass) {
+    analysis::Analyzer an;
+    an.check_deadlines();
+    EXPECT_TRUE(an.report().clean());
+    EXPECT_EQ(an.deadline_report().rows.size(), 5u);
+    const auto& analyzed = an.report().analyzed;
+    EXPECT_TRUE(std::any_of(analyzed.begin(), analyzed.end(),
+                            [](const std::string& s) {
+                                return s.find("ta5:") != std::string::npos;
+                            }));
+}
+
+}  // namespace

@@ -1,0 +1,47 @@
+// CONC1 fixture: fully disciplined lock usage — the scan must stay
+// clean. Exercises GUARDED_BY under lock_guard/unique_lock, the
+// MCPS_REQUIRES "_locked" helper idiom, a declared nesting edge taken
+// in the declared order, and constructor exemption. Never compiled.
+#include <mutex>
+#include <vector>
+
+MCPS_LOCK_ORDER(Ledger::mu_, Journal::jmu_);
+
+class Journal {
+public:
+    void append(int v) {
+        std::lock_guard<std::mutex> lock{jmu_};
+        entries_.push_back(v);
+    }
+
+    std::mutex jmu_;
+    std::vector<int> entries_ MCPS_GUARDED_BY(jmu_);
+};
+
+class Ledger {
+public:
+    explicit Ledger(Journal& j) {
+        journal_ = &j;
+        balance_ = 0;  // constructors are exempt: no sharing yet
+    }
+
+    void deposit(int v) {
+        std::unique_lock lock{mu_};
+        balance_ += v;
+        bump_locked();
+        std::lock_guard<std::mutex> jl{journal_->jmu_};  // declared edge
+        journal_->entries_.push_back(v);
+    }
+
+    int balance() const {
+        std::lock_guard<std::mutex> lock{mu_};
+        return balance_;
+    }
+
+private:
+    void bump_locked() MCPS_REQUIRES(mu_) { ++balance_; }
+
+    Journal* journal_ = nullptr;
+    mutable std::mutex mu_;
+    int balance_ MCPS_GUARDED_BY(mu_) = 0;
+};

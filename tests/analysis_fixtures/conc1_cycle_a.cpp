@@ -1,0 +1,11 @@
+// CONC1 fixture (1 of 2): one half of a cross-file lock-order cycle.
+// Scanned together with conc1_cycle_b.cpp, the declared DAG must be
+// rejected. Never compiled.
+#include <mutex>
+
+MCPS_LOCK_ORDER(Alpha::a_mu_, Beta::b_mu_);
+
+class Alpha {
+public:
+    std::mutex a_mu_;
+};

@@ -1,0 +1,10 @@
+// CONC1 fixture (2 of 2): closes the cycle declared in
+// conc1_cycle_a.cpp. Never compiled.
+#include <mutex>
+
+MCPS_LOCK_ORDER(Beta::b_mu_, Alpha::a_mu_);
+
+class Beta {
+public:
+    std::mutex b_mu_;
+};

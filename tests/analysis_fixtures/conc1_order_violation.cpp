@@ -1,0 +1,22 @@
+// CONC1 fixture: seeded defect — the nesting is declared, but the code
+// acquires against the declared direction. Never compiled.
+#include <mutex>
+
+MCPS_LOCK_ORDER(Account::ledger_mu_, Account::audit_mu_);
+
+class Account {
+public:
+    void post() {
+        std::lock_guard<std::mutex> l{ledger_mu_};
+        std::lock_guard<std::mutex> a{audit_mu_};  // declared order: fine
+    }
+
+    void audit_then_post() {
+        std::lock_guard<std::mutex> a{audit_mu_};
+        std::lock_guard<std::mutex> l{ledger_mu_};  // seeded: reversed
+    }
+
+private:
+    std::mutex ledger_mu_;
+    std::mutex audit_mu_;
+};

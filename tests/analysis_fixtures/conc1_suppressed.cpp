@@ -1,0 +1,21 @@
+// CONC1 fixture: the same defect as conc1_unguarded.cpp, but carrying
+// an audited inline waiver — the scan must count it as suppressed, not
+// as a finding. Never compiled.
+#include <mutex>
+
+class Gauge {
+public:
+    int read() const {
+        // mcps-analyze: allow(CONC1): diagnostic snapshot; staleness ok
+        return value_;
+    }
+
+    void write(int v) {
+        std::lock_guard<std::mutex> lock{mu_};
+        value_ = v;
+    }
+
+private:
+    mutable std::mutex mu_;
+    int value_ MCPS_GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,21 @@
+// CONC1 fixture: seeded defects — a lexically nested acquisition with
+// no declared MCPS_LOCK_ORDER edge, and a re-acquisition of an
+// already-held mutex key (self-deadlock). Never compiled.
+#include <mutex>
+
+class PairLocks {
+public:
+    void cross() {
+        std::lock_guard<std::mutex> a{left_};
+        std::lock_guard<std::mutex> b{right_};  // seeded: undeclared edge
+    }
+
+    void twice() {
+        std::lock_guard<std::mutex> a{left_};
+        std::lock_guard<std::mutex> b{left_};  // seeded: self-deadlock
+    }
+
+private:
+    std::mutex left_;
+    std::mutex right_;
+};

@@ -1,0 +1,20 @@
+// CONC1 fixture: seeded defect — a guarded field written outside any
+// scope of its declared guard. The scan must flag racy_add and leave
+// secure_add alone. Never compiled.
+#include <mutex>
+
+class Tally {
+public:
+    void secure_add(int v) {
+        std::lock_guard<std::mutex> lock{mu_};
+        total_ += v;
+    }
+
+    void racy_add(int v) {
+        total_ += v;  // seeded defect: no lock held
+    }
+
+private:
+    std::mutex mu_;
+    int total_ MCPS_GUARDED_BY(mu_) = 0;
+};

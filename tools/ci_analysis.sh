@@ -4,18 +4,25 @@
 #   1. warning-clean build:  MCPS_WERROR=ON (-Wconversion -Wshadow -Werror)
 #   2. model linter:         mcps_analyze over shipped models + src/ scan
 #                            + scenario registry-bypass scan (ICE1)
-#   3. analysis/scenario/kernel/serve: per-rule seeded-defect fixtures,
-#                            the scenario registry/spec suite, the
-#                            calendar-queue/arena differential suite,
-#                            and the scenario-execution service suite
-#                            (protocol fuzz, cache, admission, e2e)
+#                            + CONC1 lock-discipline scan over src/tools
+#                            + TA5 deadline slack table with the
+#                            static-vs-observed cross-check, then a SARIF
+#                            export validated by the built-in checker
+#   3. analysis/scenario/kernel/serve/obs: per-rule seeded-defect
+#                            fixtures (incl. CONC1/TA5/SARIF + the CFG1
+#                            missing-root exit code), the scenario
+#                            registry/spec suite, the calendar-queue/
+#                            arena differential suite, the service suite
+#                            (protocol fuzz, cache, admission, e2e) and
+#                            the shared-metrics stress suite
 #   4. clang-tidy:           tools/run_tidy.sh (SKIPPED if not installed)
 #   5. bench smoke:          tools/bench_baseline.sh --quick and
 #                            tools/bench_serve.sh --quick (validate the
 #                            --json flows; numbers are not checked)
 #   6. ASan+UBSan:           full test suite under address+undefined
-#   7. TSan:                 ward-engine + kernel + serve suites under
-#                            thread sanitizer
+#   7. TSan:                 ward-engine + kernel + serve + obs suites
+#                            under thread sanitizer (the obs stress test
+#                            is the dynamic complement of CONC1)
 #
 #   tools/ci_analysis.sh [--fast] [--coverage]
 #
@@ -54,11 +61,17 @@ stage "2/7 model linter (mcps_analyze)"
     --scan-scenarios "${repo_root}/bench" \
     --scan-scenarios "${repo_root}/tools" \
     --scan-scenarios "${repo_root}/examples" \
+    --scan-conc "${repo_root}/src" \
+    --scan-conc "${repo_root}/tools" \
+    --cross-check --deadline-table \
+    --sarif "${repo_root}/build-ci-werror/analysis.sarif" \
     --matrix
+"${repo_root}/build-ci-werror/tools/mcps_analyze" \
+    --check-sarif "${repo_root}/build-ci-werror/analysis.sarif"
 
-stage "3/7 analysis + scenario + kernel + serve test labels"
+stage "3/7 analysis + scenario + kernel + serve + obs test labels"
 ctest --test-dir "${repo_root}/build-ci-werror" \
-    -L "analysis|scenario|kernel|serve" --output-on-failure
+    -L "analysis|scenario|kernel|serve|obs" --output-on-failure
 
 stage "4/7 clang-tidy"
 "${repo_root}/tools/run_tidy.sh" "${repo_root}/build-ci-werror"
@@ -105,12 +118,12 @@ cmake --build "${repo_root}/build-ci-asan" -j "${jobs}" >/dev/null
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir "${repo_root}/build-ci-asan" --output-on-failure
 
-stage "7/7 TSan ward + kernel + serve suites"
+stage "7/7 TSan ward + kernel + serve + obs suites"
 cmake -S "${repo_root}" -B "${repo_root}/build-ci-tsan" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMCPS_SANITIZE=thread >/dev/null
 cmake --build "${repo_root}/build-ci-tsan" -j "${jobs}" \
     --target mcps_tests mcps_ward_cli mcps_kernel_tests \
-    mcps_serve_tests >/dev/null
+    mcps_serve_tests mcps_obs_tests >/dev/null
 ctest --test-dir "${repo_root}/build-ci-tsan" \
     -L ward -R 'Ward|ward' --output-on-failure
 # The kernel is single-threaded by contract, but its tests still run
@@ -124,6 +137,11 @@ ctest --test-dir "${repo_root}/build-ci-tsan" \
 # whole suite runs under TSan.
 ctest --test-dir "${repo_root}/build-ci-tsan" \
     -L serve --output-on-failure
+# SharedMetrics stress: the dynamic complement of the CONC1 lint —
+# CONC1 proves every guarded field is lexically under its mutex, TSan
+# proves the mutex actually covers the access patterns under load.
+ctest --test-dir "${repo_root}/build-ci-tsan" \
+    -L obs --output-on-failure
 
 [[ "${coverage}" == "1" ]] && run_coverage
 

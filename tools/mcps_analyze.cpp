@@ -5,22 +5,37 @@
 /// Checks run (see src/analysis/finding.hpp for the rule catalog):
 ///   TA1–TA4 on the shipped timed-automata models (pump lockout,
 ///           closed-loop response, 2-pump farm),
+///   TA5     deadline feasibility: static worst-case interlock latency
+///           over every registry preset's claimed-safe knob envelope
+///           (optionally cross-checked against observed sim latencies),
 ///   ICE1    on the shipped ICE assemblies (PCA closed loop,
 ///           X-ray/ventilator sync), plus — per --scan-scenarios root —
 ///           the registry-bypass scan over scenario consumers,
 ///   AS1     on the GPCA hazard log vs. the GSN case skeleton,
-///   SIM1    banned-construct scan over the source tree.
+///   SIM1    banned-construct scan over the source tree,
+///   CONC1   lock-discipline scan (MCPS_GUARDED_BY / MCPS_LOCK_ORDER)
+///           over the --scan-conc roots as one unit,
+///   CFG1    configuration sanity: a missing scan root is an error (the
+///           scan would otherwise silently cover zero files).
 ///
 /// Usage:
-///   mcps_analyze [--json <path>] [--suppress R1,R2] [--src-root <dir>]
-///                [--scan-scenarios <dir>]... [--no-scan] [--list-rules]
+///   mcps_analyze [--json <path>] [--sarif <path>] [--suppress R1,R2]
+///                [--src-root <dir>] [--scan-scenarios <dir>]...
+///                [--scan-conc <dir>]... [--no-scan] [--no-deadlines]
+///                [--deadline-table] [--cross-check] [--list-rules]
 ///                [--matrix] [--quiet]
+///   mcps_analyze --check-sarif <path>
 ///
-/// Exit codes: 0 = clean, 1 = findings, 2 = usage/internal error.
+/// Exit codes: 0 = clean, 1 = findings, 2 = usage/internal error,
+/// 3 = configuration error (CFG1: a scan root is missing — takes
+/// precedence over 1 so CI can tell "found problems" from "looked at
+/// nothing"). --check-sarif: 0 = valid, 1 = invalid, 2 = unreadable.
 /// CI gate: tools/ci_analysis.sh runs this on every build.
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -101,20 +116,47 @@ void add_shipped_assemblies(analysis::Analyzer& a) {
 int usage(const char* argv0) {
     std::cerr
         << "usage: " << argv0
-        << " [--json <path>] [--suppress R1,R2] [--src-root <dir>]\n"
-           "       [--scan-scenarios <dir>]... [--no-scan] [--list-rules]\n"
-           "       [--matrix] [--quiet]\n";
+        << " [--json <path>] [--sarif <path>] [--suppress R1,R2]\n"
+           "       [--src-root <dir>] [--scan-scenarios <dir>]...\n"
+           "       [--scan-conc <dir>]... [--no-scan] [--no-deadlines]\n"
+           "       [--deadline-table] [--cross-check] [--list-rules]\n"
+           "       [--matrix] [--quiet]\n"
+           "       " << argv0 << " --check-sarif <path>\n";
     return 2;
+}
+
+int check_sarif_file(const std::string& path) {
+    std::ifstream in{path};
+    if (!in) {
+        std::cerr << "mcps_analyze: --check-sarif: cannot read '" << path
+                  << "'\n";
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    if (!analysis::validate_sarif_minimal(buf.str(), error)) {
+        std::cerr << "mcps_analyze: " << path << ": invalid SARIF: " << error
+                  << "\n";
+        return 1;
+    }
+    std::cout << path << ": valid SARIF 2.1.0 (structural check)\n";
+    return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
     std::string json_path;
+    std::string sarif_path;
     std::string suppress_list;
     std::string src_root = "src";
     std::vector<std::string> scenario_roots;
+    std::vector<std::filesystem::path> conc_roots;
     bool scan = true;
+    bool deadlines = true;
+    bool deadline_table = false;
+    bool cross_check = false;
     bool quiet = false;
     bool matrix = false;
 
@@ -130,6 +172,12 @@ int main(int argc, char** argv) {
         };
         if (arg == "--json") {
             if (!next(json_path)) return 2;
+        } else if (arg == "--sarif") {
+            if (!next(sarif_path)) return 2;
+        } else if (arg == "--check-sarif") {
+            std::string path;
+            if (!next(path)) return 2;
+            return check_sarif_file(path);
         } else if (arg == "--suppress") {
             if (!next(suppress_list)) return 2;
         } else if (arg == "--src-root") {
@@ -138,8 +186,18 @@ int main(int argc, char** argv) {
             std::string root;
             if (!next(root)) return 2;
             scenario_roots.push_back(std::move(root));
+        } else if (arg == "--scan-conc") {
+            std::string root;
+            if (!next(root)) return 2;
+            conc_roots.emplace_back(std::move(root));
         } else if (arg == "--no-scan") {
             scan = false;
+        } else if (arg == "--no-deadlines") {
+            deadlines = false;
+        } else if (arg == "--deadline-table") {
+            deadline_table = true;
+        } else if (arg == "--cross-check") {
+            cross_check = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--matrix") {
@@ -169,10 +227,12 @@ int main(int argc, char** argv) {
         const auto log = assurance::build_gpca_hazard_log();
         const auto gsn = assurance::build_gpca_case_skeleton();
         analyzer.check_hazards(log, &gsn);
+        if (deadlines) analyzer.check_deadlines({}, cross_check);
         if (scan) analyzer.scan_sources(src_root);
         for (const std::string& root : scenario_roots) {
             analyzer.scan_scenario_assembly(root);
         }
+        if (!conc_roots.empty()) analyzer.scan_concurrency(conc_roots);
     } catch (const std::exception& e) {
         std::cerr << "mcps_analyze: " << e.what() << "\n";
         return 2;
@@ -186,6 +246,10 @@ int main(int argc, char** argv) {
         std::cout << "\nhazard-coverage matrix:\n"
                   << analyzer.last_coverage().to_text();
     }
+    if (deadline_table && deadlines) {
+        std::cout << "\nTA5 deadline slack table:\n"
+                  << analyzer.deadline_report().to_text();
+    }
     if (!json_path.empty()) {
         std::ofstream out{json_path};
         if (!out) {
@@ -196,5 +260,21 @@ int main(int argc, char** argv) {
         report.write_json(out);
         if (!quiet) std::cout << "json report: " << json_path << "\n";
     }
+    if (!sarif_path.empty()) {
+        std::ofstream out{sarif_path};
+        if (!out) {
+            std::cerr << "mcps_analyze: --sarif: cannot open '" << sarif_path
+                      << "'\n";
+            return 2;
+        }
+        analysis::write_sarif(report, out);
+        if (!quiet) std::cout << "sarif report: " << sarif_path << "\n";
+    }
+    const bool config_error = std::any_of(
+        report.findings.begin(), report.findings.end(),
+        [](const analysis::Finding& f) {
+            return f.rule == analysis::RuleId::kCFG1;
+        });
+    if (config_error) return 3;
     return report.clean() ? 0 : 1;
 }
