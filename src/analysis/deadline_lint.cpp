@@ -12,6 +12,7 @@
 #include "core/pca_interlock.hpp"
 #include "core/pca_scenario.hpp"
 #include "core/xray_scenario.hpp"
+#include "hospital/hospital_config.hpp"
 #include "scenario/registry.hpp"
 #include "testkit/invariants.hpp"
 
@@ -92,6 +93,29 @@ PcaTimingModel pca_model(const scenario::ScenarioInfo& info,
     return m;
 }
 
+HospitalTimingModel hospital_model(const scenario::ScenarioInfo& info,
+                                   const hospital::HospitalConfig& cfg) {
+    HospitalTimingModel m;
+    m.tick_s = cfg.tick_s;
+    m.monitor_period_s =
+        knob_envelope_s(info, "monitor-period-s", cfg.monitor_period_s, 1.0);
+    m.interlock_off_claimed_safe = choice_claimed_safe(info, "interlock", "off");
+    m.central_claimed_safe = choice_claimed_safe(info, "interlock", "central");
+    m.patients_per_ward = std::ceil(static_cast<double>(cfg.patients) /
+                                    static_cast<double>(cfg.wards));
+    m.nurses = static_cast<double>(cfg.nurses_per_ward);
+    m.nurse_service_s = cfg.nurse_service_s;
+    // The demand knob is the alarm driver: every analgesia demand can
+    // depress SpO2 past the threshold, so its envelope bounds the
+    // per-patient alarm arrival rate.
+    m.alarm_rate_per_patient_hour =
+        knob_envelope_s(info, "demand-per-hour", cfg.demand_per_hour, 1.0);
+    m.bus_capacity_per_s =
+        static_cast<double>(cfg.bus_capacity_per_tick) / cfg.tick_s;
+    m.bus_queue_limit = static_cast<double>(cfg.bus_queue_limit);
+    return m;
+}
+
 std::string fmt(double v) {
     char buf[48];
     std::snprintf(buf, sizeof buf, "%.2f", v);
@@ -155,6 +179,59 @@ DeadlineBound pca_deadline_bound(const PcaTimingModel& m,
     return b;
 }
 
+DeadlineBound hospital_deadline_bound(const HospitalTimingModel& m,
+                                      const DeadlineOptions&) {
+    DeadlineBound b;
+    if (m.interlock_off_claimed_safe) {
+        b.why = "the claimed-safe envelope admits interlock=off: nurses "
+                "observe alarms but hold no actuation authority, so no "
+                "reaction-latency bound exists";
+        return b;
+    }
+
+    // Pump-local leg: the interlock evaluates the monitor's last
+    // published reading every engine tick, so staleness is bounded by
+    // the publish cadence plus one tick to act. Bus-independent.
+    const Interval local =
+        m.monitor_period_s + Interval::point(m.tick_s);
+
+    b.bounded = true;
+    b.detect_s = m.monitor_period_s.hi + m.tick_s;
+    b.total_s = local;
+
+    if (m.central_claimed_safe) {
+        // Central leg: the alert crosses the ward bus and waits for a
+        // nurse. Stability first — if expected alarm work exceeds the
+        // pool's capacity the queue grows without limit and no wait
+        // bound exists.
+        const double rho = m.patients_per_ward *
+                           (m.alarm_rate_per_patient_hour.hi / 3600.0) *
+                           m.nurse_service_s / m.nurses;
+        if (rho >= 1.0) {
+            b.bounded = false;
+            b.why = "nurse-pool exhaustion: claimed-safe alarm load "
+                    "utilization " + fmt(rho) +
+                    " >= 1 per ward (" + fmt(m.patients_per_ward) +
+                    " patients x " + fmt(m.alarm_rate_per_patient_hour.hi) +
+                    "/h x " + fmt(m.nurse_service_s) + "s / " +
+                    fmt(m.nurses) + " nurses): the alarm queue grows "
+                    "without limit, so no wait bound exists";
+            return b;
+        }
+        // Worst-case burst inside a stable pool: every patient in the
+        // ward alarms on the same tick; the bounded bus queue drains at
+        // capacity and the pool serves FIFO in full rounds.
+        const double bus_wait_s = m.bus_queue_limit / m.bus_capacity_per_s;
+        const double rounds = std::ceil(m.patients_per_ward / m.nurses);
+        const double central_hi = m.monitor_period_s.hi + bus_wait_s +
+                                  rounds * m.nurse_service_s + m.tick_s;
+        b.transit_s = Interval{0.0, bus_wait_s};
+        b.total_s = local.hull(
+            {m.monitor_period_s.lo + m.tick_s, central_hi});
+    }
+    return b;
+}
+
 std::string DeadlineReport::to_text() const {
     std::string out;
     out += "preset       family  deadline_s  bound_hi_s  slack_s  feasible"
@@ -194,6 +271,19 @@ DeadlineReport lint_deadlines(const DeadlineOptions& opts) {
                 row.note = "interlock off by default; bound is for the "
                            "engaged envelope";
             }
+        } else if (info.family == scenario::ScenarioFamily::kHospital) {
+            const hospital::HospitalConfig cfg =
+                scenario::make_hospital_config(reg.default_spec(name));
+            row.engaged_default =
+                cfg.interlock != hospital::InterlockPlacement::kOff;
+            // The claim covers the tightest deadline inside the safe
+            // envelope, not just the preset's default.
+            row.deadline_s = cfg.interlock_deadline_s;
+            if (const scenario::KnobInfo* k = info.find_knob("deadline-s")) {
+                row.deadline_s = std::min(row.deadline_s, k->safe_lo);
+            }
+            row.bound = hospital_deadline_bound(hospital_model(info, cfg), opts);
+            row.note = "pump-local interlock bound (monitor staleness + tick)";
         } else {
             const core::XrayScenarioConfig cfg =
                 scenario::make_xray_config(reg.default_spec(name));

@@ -38,6 +38,24 @@
 ///     bound    = max_pause + pause_slack_s   (network-independent)
 ///     deadline = DeadlineOptions::xray_apnea_deadline_s
 ///
+///   Hospital family (ward-scale desaturation -> pump stopped): the
+///   pump-local interlock reads the bedside monitor's last published
+///   reading and acts on the next engine tick, so
+///     bound_local = monitor_period + tick      (bus-independent)
+///   When the envelope claims interlock=central safe the reaction path
+///   detours through the ward bus and the finite nurse pool:
+///     rho   = patients_per_ward * alarm_rate/3600 * service / nurses
+///     bound = unbounded when rho >= 1 ("nurse-pool exhaustion": the
+///             alarm queue grows without limit, so no wait bound exists)
+///     else    monitor_period + bus_queue_limit/bus_capacity +
+///             ceil(patients_per_ward/nurses) * service + tick
+///             (worst-case alarm burst: every patient in the ward alarms
+///             on the same tick and drains FIFO through the pool)
+///   interlock=off claimed safe is automatically unbounded (nurses can
+///   observe but hold no actuation authority).
+///     deadline = the preset's interlock_deadline_s narrowed to the
+///                "deadline-s" knob's safe_lo
+///
 /// Presets whose default config leaves the interlock disengaged
 /// (pca-open, smart-alarm) are checked over the *engaged* envelope
 /// (InterlockConfig defaults) and flagged engaged_default = false in the
@@ -121,10 +139,36 @@ struct DeadlineBound {
 [[nodiscard]] DeadlineBound pca_deadline_bound(const PcaTimingModel& m,
                                                const DeadlineOptions& o = {});
 
+/// The hospital interlock reaction path (ward-scale desaturation to
+/// pump stop) reduced to its timing parameters, widened to the
+/// claimed-safe knob envelope. Tests construct weakened models directly
+/// (e.g. a central placement claimed safe over an exhausted nurse pool).
+struct HospitalTimingModel {
+    double tick_s = 1.0;                     ///< engine tick
+    Interval monitor_period_s{2.0, 2.0};     ///< vitals publish cadence
+    bool interlock_off_claimed_safe = false;
+    /// True when interlock=central sits in the claimed-safe envelope:
+    /// the reaction path then detours through the ward bus and the
+    /// finite nurse pool instead of stopping at the pump.
+    bool central_claimed_safe = false;
+    double patients_per_ward = 100.0;
+    double nurses = 4.0;                     ///< pool size per ward
+    double nurse_service_s = 120.0;          ///< per-alarm service time
+    /// Per-patient alarm arrival rate envelope (alarms/patient/hour);
+    /// the hi drives the nurse-pool utilization check.
+    Interval alarm_rate_per_patient_hour{4.0, 4.0};
+    double bus_capacity_per_s = 64.0;        ///< ICE bus drain rate
+    double bus_queue_limit = 1024.0;         ///< bounded-queue depth
+};
+
+/// Static interval bound for one hospital timing model.
+[[nodiscard]] DeadlineBound hospital_deadline_bound(
+    const HospitalTimingModel& m, const DeadlineOptions& o = {});
+
 /// One row of the slack table.
 struct PresetDeadline {
     std::string preset;
-    std::string family;           ///< "pca" | "xray"
+    std::string family;           ///< "pca" | "xray" | "hospital"
     bool engaged_default = true;  ///< interlock engaged in the default cfg
     double deadline_s = 0.0;
     DeadlineBound bound;

@@ -10,14 +10,16 @@ namespace {
 
 // The raw config types only the sanctioned layers may name. Stored as
 // string literals, so the scan of this very file cannot match them.
-constexpr std::array<std::string_view, 2> kConfigTypes{
+constexpr std::array<std::string_view, 3> kConfigTypes{
     "PcaScenarioConfig",
     "XrayScenarioConfig",
+    "HospitalConfig",
 };
 
-constexpr std::array<std::string_view, 4> kSanctioned{
+constexpr std::array<std::string_view, 5> kSanctioned{
     "src/scenario/",
     "src/core/",
+    "src/hospital/",
     "src/testkit/",
     "tests/",
 };

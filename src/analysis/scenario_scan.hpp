@@ -12,6 +12,7 @@
 ///
 ///   src/scenario  (the registry, presets and knob mapping itself)
 ///   src/core      (the harnesses that define the types)
+///   src/hospital  (defines/runs hospital::HospitalConfig)
 ///   src/testkit   (instrumented runners and invariants take configs)
 ///   tests/        (unit tests exercise the raw harnesses on purpose)
 ///

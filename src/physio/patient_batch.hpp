@@ -1,0 +1,152 @@
+/// \file patient_batch.hpp
+/// \brief Struct-of-arrays batched stepping for populations of patients.
+///
+/// `Patient` is the scalar reference model; `PatientBatch` holds the same
+/// state for N patients in parallel arrays and advances any contiguous
+/// lane range with one call. The per-lane arithmetic replicates the
+/// scalar expression sequences *exactly* (same operations, same order,
+/// same clamps), so under the project's default compile flags (no
+/// -ffast-math, no FMA contraction on the generic x86-64 target) a batch
+/// lane is bit-identical to a scalar `Patient` fed the same inputs — a
+/// property the differential suite in tests/hospital pins.
+///
+/// What the batch buys is locality, not different math: stepping
+/// thousands of scalar `Patient` objects walks heap-scattered objects
+/// (each carrying a `std::string` label and an optional ventilator
+/// block); the batch streams dense `double` arrays. Mechanical
+/// ventilation is intentionally NOT supported here — it is an E4
+/// single-patient scenario feature, and hospital-scale cohorts are
+/// spontaneously breathing PCA patients. `add()` rejects nothing, but
+/// there is simply no ventilator input on this API.
+///
+/// Thread-safety: disjoint lane ranges may be stepped from different
+/// threads concurrently (no shared mutable state across lanes); the
+/// hospital engine exploits this by giving each ward a contiguous range.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "patient.hpp"
+
+namespace mcps::physio {
+
+/// SoA state + parameters for a cohort of spontaneously breathing
+/// patients. Lanes are append-only; indices are stable for the lifetime
+/// of the batch.
+class PatientBatch {
+public:
+    PatientBatch() = default;
+
+    /// Append one patient initialized exactly like `Patient{params}`
+    /// (baseline vitals, gas-exchange equilibrium PaO2). Returns the new
+    /// lane index. \throws std::invalid_argument on invalid parameters.
+    std::size_t add(const PatientParameters& params);
+
+    void reserve(std::size_t n);
+    [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+    /// Advance lanes [first, last) by \p dt_seconds (> 0). Replicates
+    /// `Patient::step` per lane. Ranges must be in-bounds.
+    void step_range(std::size_t first, std::size_t last, double dt_seconds);
+    /// Advance every lane.
+    void step_all(double dt_seconds) { step_range(0, n_, dt_seconds); }
+
+    /// Drug inputs (mirror the scalar API).
+    void bolus(std::size_t i, Dose d);
+    void set_infusion_rate(std::size_t i, InfusionRate r);
+    [[nodiscard]] InfusionRate infusion_rate(std::size_t i) const noexcept {
+        return InfusionRate::mg_per_hour(rate_mg_h_[i]);
+    }
+    void give_antagonist(std::size_t i, double potency, double half_life_s);
+    [[nodiscard]] double antagonist_level(std::size_t i) const noexcept {
+        return antag_level_[i];
+    }
+
+    /// Observables (same value types and clamps as `Patient`).
+    [[nodiscard]] SpO2 spo2(std::size_t i) const noexcept {
+        return SpO2::percent_clamped(spo2_[i]);
+    }
+    [[nodiscard]] RespRate resp_rate(std::size_t i) const noexcept {
+        return RespRate::per_minute_clamped(rr_[i]);
+    }
+    [[nodiscard]] EtCO2 etco2(std::size_t i) const noexcept {
+        if (is_apneic(i)) return EtCO2::mmhg_clamped(0.0);
+        return EtCO2::mmhg_clamped(paco2_[i] - 4.0);
+    }
+    [[nodiscard]] HeartRate heart_rate(std::size_t i) const noexcept {
+        return HeartRate::bpm_clamped(hr_[i]);
+    }
+    [[nodiscard]] bool is_apneic(std::size_t i) const noexcept {
+        return rr_[i] <= 0.5;
+    }
+    [[nodiscard]] double respiratory_drive(std::size_t i) const noexcept {
+        return drive_[i];
+    }
+    [[nodiscard]] double paco2_mmhg(std::size_t i) const noexcept {
+        return paco2_[i];
+    }
+    [[nodiscard]] double pao2_mmhg(std::size_t i) const noexcept {
+        return pao2_[i];
+    }
+    /// Raw (unclamped) SpO2 percent, for aggregation without quantization.
+    [[nodiscard]] double spo2_raw(std::size_t i) const noexcept {
+        return spo2_[i];
+    }
+    [[nodiscard]] Vitals vitals(std::size_t i) const {
+        return Vitals{spo2(i),      resp_rate(i),  etco2(i),
+                      heart_rate(i), effect_site(i), is_apneic(i)};
+    }
+
+    /// PK observables.
+    [[nodiscard]] Concentration effect_site(std::size_t i) const noexcept {
+        return Concentration::ng_per_ml(ce_[i]);
+    }
+    [[nodiscard]] Concentration plasma(std::size_t i) const noexcept {
+        return Concentration::ng_per_ml(a1_[i] * 1000.0 / v1_[i]);
+    }
+    [[nodiscard]] Dose body_burden(std::size_t i) const noexcept {
+        return Dose::mg(a1_[i] + a2_[i]);
+    }
+    [[nodiscard]] Dose total_delivered(std::size_t i) const noexcept {
+        return Dose::mg(delivered_[i]);
+    }
+    [[nodiscard]] Dose total_eliminated(std::size_t i) const noexcept {
+        return Dose::mg(eliminated_[i]);
+    }
+
+    [[nodiscard]] const PatientParameters& parameters(std::size_t i) const {
+        return params_[i];
+    }
+    [[nodiscard]] double elapsed_seconds(std::size_t i) const noexcept {
+        return elapsed_[i];
+    }
+
+    /// Approximate resident bytes of all lane arrays (capacity-based).
+    /// The hospital flat-memory test asserts this scales with patients,
+    /// never with simulated time.
+    [[nodiscard]] std::size_t state_bytes() const noexcept;
+
+private:
+    std::size_t n_ = 0;
+
+    // Parameters, hot (one entry per lane).
+    std::vector<double> v1_, k10_, k12_, k21_, ke0_;
+    std::vector<double> ec50_, gamma_, emax_;
+    std::vector<double> base_rr_, base_vt_, deadspace_, base_paco2_, fio2_,
+        aa_grad_, tau_co2_, tau_o2_, apnea_thresh_, co2_gain_, apnea_rise_;
+    std::vector<double> base_hr_, hypox_gain_, severe_spo2_, tau_hr_;
+
+    // State (one entry per lane).
+    std::vector<double> a1_, a2_, ce_, delivered_, eliminated_;
+    std::vector<double> rate_mg_h_;
+    std::vector<double> antag_level_, antag_potency_, antag_hl_;
+    std::vector<double> drive_, rr_, tidal_, paco2_, pao2_, spo2_, hr_,
+        elapsed_;
+
+    // Cold copy, only touched by parameters(i).
+    std::vector<PatientParameters> params_;
+};
+
+}  // namespace mcps::physio

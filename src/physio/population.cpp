@@ -1,6 +1,7 @@
 #include "population.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 namespace mcps::physio {
@@ -85,6 +86,17 @@ PatientParameters sample_patient(Archetype a, mcps::sim::RngStream& rng,
     }
     p.validate();
     return p;
+}
+
+PatientParameters sample_patient_indexed(Archetype a,
+                                         std::uint64_t master_seed,
+                                         std::uint64_t index,
+                                         const VariabilitySpec& var) {
+    char name[48];
+    std::snprintf(name, sizeof name, "population.patient.%llu",
+                  static_cast<unsigned long long>(index));
+    mcps::sim::RngStream rng{master_seed, name};
+    return sample_patient(a, rng, var);
 }
 
 std::vector<PatientParameters> sample_population(Archetype a, std::size_t n,

@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,16 @@ struct VariabilitySpec {
 /// Sample \p n patients (convenience for population sweeps).
 [[nodiscard]] std::vector<PatientParameters> sample_population(
     Archetype a, std::size_t n, mcps::sim::RngStream& rng,
+    const VariabilitySpec& var = {});
+
+/// Sample the \p index-th patient of a cohort as a pure function of
+/// (master_seed, index): each index gets its own named `RngStream`, so
+/// the draw is independent of iteration order, ward grouping, or shard
+/// assignment. Hospital-scale cohorts MUST use this instead of threading
+/// one shared stream through a loop — a shared stream silently couples
+/// every patient's parameters to the execution plan.
+[[nodiscard]] PatientParameters sample_patient_indexed(
+    Archetype a, std::uint64_t master_seed, std::uint64_t index,
     const VariabilitySpec& var = {});
 
 }  // namespace mcps::physio

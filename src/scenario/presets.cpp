@@ -119,4 +119,62 @@ std::vector<std::pair<std::string, double>> xray_outcome(
     };
 }
 
+hospital::HospitalConfig canonical_hospital(std::uint64_t seed,
+                                            mcps::sim::SimDuration duration) {
+    hospital::HospitalConfig cfg;
+    cfg.seed = seed;
+    cfg.duration = duration;
+    return cfg;  // struct defaults ARE the canonical hospital
+}
+
+hospital::HospitalConfig small_hospital(std::uint64_t seed,
+                                        mcps::sim::SimDuration duration) {
+    hospital::HospitalConfig cfg;
+    cfg.seed = seed;
+    cfg.duration = duration;
+    cfg.patients = 96;
+    cfg.wards = 4;
+    cfg.nurses_per_ward = 2;
+    cfg.bus_capacity_per_tick = 16;
+    return cfg;
+}
+
+std::vector<std::pair<std::string, double>> hospital_outcome(
+    const hospital::HospitalReport& r) {
+    const auto u = [](std::uint64_t v) { return static_cast<double>(v); };
+    return {
+        {"patients", u(r.patients)},
+        {"wards", u(r.wards)},
+        {"nurses_per_ward", u(r.nurses_per_ward)},
+        {"ticks", static_cast<double>(r.ticks)},
+        {"patient_steps", u(r.patient_steps)},
+        {"boluses", u(r.boluses)},
+        {"storm_boluses", u(r.storm_boluses)},
+        {"vitals_messages", u(r.vitals_messages)},
+        {"alert_messages", u(r.alert_messages)},
+        {"bus_dropped", u(r.bus_dropped)},
+        {"bus_saturated_ticks", u(r.bus_saturated_ticks)},
+        {"max_bus_queue", u(r.max_bus_queue)},
+        {"bus_delay_p99_s", r.bus_delay_hist.total() > 0
+                                ? r.bus_delay_hist.percentile(99.0)
+                                : -1.0},
+        {"alarms_raised", u(r.alarms_raised)},
+        {"alarms_attended", u(r.alarms_attended)},
+        {"alarm_wait_p99_s", r.alarm_wait_hist.total() > 0
+                                 ? r.alarm_wait_hist.percentile(99.0)
+                                 : -1.0},
+        {"interlock_stops", u(r.interlock_stops)},
+        {"nurse_stops", u(r.nurse_stops)},
+        {"rescues", u(r.rescues)},
+        {"deadline_violations", u(r.deadline_violations)},
+        {"severe_desat_patients", u(r.severe_desat_patients)},
+        {"min_spo2_mean", r.min_spo2.mean()},
+        {"min_spo2", r.min_spo2.min()},  // fleet-wide floor, the common key
+        {"drug_mg_mean", r.drug_mg.mean()},
+        {"drug_mg_max", r.drug_mg.max()},
+        {"state_mib",
+         static_cast<double>(r.state_bytes) / (1024.0 * 1024.0)},
+    };
+}
+
 }  // namespace mcps::scenario

@@ -19,6 +19,7 @@
 
 #include "core/pca_scenario.hpp"
 #include "core/xray_scenario.hpp"
+#include "hospital/hospital_engine.hpp"
 
 namespace mcps::scenario {
 
@@ -64,5 +65,22 @@ void apply_alarm_ward_overlay(core::PcaScenarioConfig& cfg);
 /// Flat outcome digest of an X-ray/ventilator run.
 [[nodiscard]] std::vector<std::pair<std::string, double>> xray_outcome(
     const core::XrayScenarioResult& r);
+
+/// The hospital-scale preset ("hospital"): 2000 concurrent patients in
+/// 20 wards (one ICE bus + 4 nurses each), realistic mixed cohort,
+/// pump-local SpO2 interlock, no storm.
+[[nodiscard]] hospital::HospitalConfig canonical_hospital(
+    std::uint64_t seed, mcps::sim::SimDuration duration);
+
+/// The small hospital preset ("hospital-small"): 96 patients in 4
+/// wards, 2 nurses each, a deliberately narrow bus (16 msgs/tick) so
+/// contention effects show up at smoke-test scale.
+[[nodiscard]] hospital::HospitalConfig small_hospital(
+    std::uint64_t seed, mcps::sim::SimDuration duration);
+
+/// Flat outcome digest of a hospital run (deterministic key order;
+/// wall-clock fields excluded; empty-histogram percentiles as -1).
+[[nodiscard]] std::vector<std::pair<std::string, double>> hospital_outcome(
+    const hospital::HospitalReport& r);
 
 }  // namespace mcps::scenario

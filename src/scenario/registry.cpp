@@ -159,6 +159,39 @@ std::vector<KnobInfo> pca_knobs() {
     };
 }
 
+std::vector<KnobInfo> hospital_knobs() {
+    return {
+        count("patients", "concurrent patients in the hospital", 1000000),
+        count("wards", "ward count (each: one ICE bus + nurse pool)", 10000),
+        count("nurses", "nurses per ward", 1000),
+        count("bus-capacity",
+              "messages one ward bus services per simulation tick", 100000),
+        count("jobs",
+              "worker threads (execution only; reports are identical for "
+              "any value)",
+              256),
+        choice("mix", "cohort archetype mix",
+               {"typical", "mixed", "high-risk"}),
+        choice_env("interlock", "SpO2 pump-stop placement",
+                   {"off", "local", "central"}, {"local"}),
+        number_env("monitor-period-s",
+                   "periodic vitals publish period (seconds)", 0.5, 60.0,
+                   0.5, 10.0),
+        number_env("deadline-s", "interlock safety deadline (seconds)", 5.0,
+                   600.0, 30.0, 600.0),
+        number("alarm-threshold", "SpO2 alarm/interlock threshold (percent)",
+               80.0, 95.0),
+        number("demand-per-hour", "mean PCA presses per patient-hour", 0.0,
+               60.0),
+        number("bolus-mg", "per-press PCA bolus (mg)", 0.0, 10.0),
+        number("storm-fraction",
+               "patient fraction hit by the synchronized storm bolus", 0.0,
+               1.0),
+        number("storm-bolus-mg", "storm bolus size (mg)", 0.0, 10.0),
+        number("storm-at-s", "storm injection time (seconds)", 0.0, 36000.0),
+    };
+}
+
 std::vector<KnobInfo> xray_knobs() {
     return {
         choice("mode", "coordination mode", {"manual", "automated"}),
@@ -249,6 +282,53 @@ void apply_xray_knob(core::XrayScenarioConfig& cfg, const ScenarioSpec& spec,
     }
 }
 
+void apply_hospital_knob(hospital::HospitalConfig& cfg,
+                         const ScenarioSpec& spec, const KnobInfo& knob,
+                         std::string_view value) {
+    const std::string_view n = knob.name;
+    if (n == "patients") {
+        cfg.patients =
+            static_cast<std::size_t>(count_value(spec, knob, value));
+    } else if (n == "wards") {
+        cfg.wards = static_cast<std::size_t>(count_value(spec, knob, value));
+    } else if (n == "nurses") {
+        cfg.nurses_per_ward =
+            static_cast<std::size_t>(count_value(spec, knob, value));
+    } else if (n == "bus-capacity") {
+        cfg.bus_capacity_per_tick =
+            static_cast<std::size_t>(count_value(spec, knob, value));
+    } else if (n == "jobs") {
+        cfg.jobs = static_cast<unsigned>(count_value(spec, knob, value));
+    } else if (n == "mix") {
+        cfg.mix = value == "typical"
+                      ? hospital::CohortMix::kTypical
+                      : (value == "high-risk" ? hospital::CohortMix::kHighRisk
+                                              : hospital::CohortMix::kMixed);
+    } else if (n == "interlock") {
+        cfg.interlock =
+            value == "off"
+                ? hospital::InterlockPlacement::kOff
+                : (value == "central" ? hospital::InterlockPlacement::kCentral
+                                      : hospital::InterlockPlacement::kLocal);
+    } else if (n == "monitor-period-s") {
+        cfg.monitor_period_s = number_value(spec, knob, value);
+    } else if (n == "deadline-s") {
+        cfg.interlock_deadline_s = number_value(spec, knob, value);
+    } else if (n == "alarm-threshold") {
+        cfg.spo2_alarm_threshold = number_value(spec, knob, value);
+    } else if (n == "demand-per-hour") {
+        cfg.demand_per_hour = number_value(spec, knob, value);
+    } else if (n == "bolus-mg") {
+        cfg.bolus_mg = number_value(spec, knob, value);
+    } else if (n == "storm-fraction") {
+        cfg.storm_fraction = number_value(spec, knob, value);
+    } else if (n == "storm-bolus-mg") {
+        cfg.storm_bolus_mg = number_value(spec, knob, value);
+    } else if (n == "storm-at-s") {
+        cfg.storm_at_s = number_value(spec, knob, value);
+    }
+}
+
 /// Choice knobs validate here so apply_* can assume well-formed values.
 void check_choice(const ScenarioSpec& spec, const KnobInfo& knob,
                   std::string_view value) {
@@ -316,6 +396,20 @@ RunArtifacts run_xray_family(const ScenarioSpec& spec,
     return art;
 }
 
+RunArtifacts run_hospital_family(const ScenarioSpec& spec,
+                                 const RunOptions& opts) {
+    const hospital::HospitalConfig cfg = make_hospital_config(spec);
+    const hospital::HospitalEngine engine{cfg};
+    const hospital::HospitalReport rep = engine.run();
+
+    RunArtifacts art;
+    art.spec = spec;
+    art.fingerprint = rep.fingerprint;
+    art.outcome = hospital_outcome(rep);
+    fill_metrics(spec, art, opts.metrics);
+    return art;
+}
+
 ScenarioRegistry build_registry() {
     ScenarioRegistry reg;
 
@@ -369,6 +463,26 @@ ScenarioRegistry build_registry() {
     manual.knobs = xray_knobs();
     reg.add(std::move(manual), run_xray_family);
 
+    ScenarioInfo hosp;
+    hosp.name = "hospital";
+    hosp.description =
+        "hospital-scale population: 2000 concurrent PCA patients in 20 "
+        "wards sharing ICE buses and nurse pools, pump-local interlock";
+    hosp.family = ScenarioFamily::kHospital;
+    hosp.default_minutes = 60;
+    hosp.knobs = hospital_knobs();
+    reg.add(std::move(hosp), run_hospital_family);
+
+    ScenarioInfo hosp_small;
+    hosp_small.name = "hospital-small";
+    hosp_small.description =
+        "small hospital: 96 patients in 4 wards with a deliberately "
+        "narrow bus, for smoke tests and contention experiments";
+    hosp_small.family = ScenarioFamily::kHospital;
+    hosp_small.default_minutes = 30;
+    hosp_small.knobs = hospital_knobs();
+    reg.add(std::move(hosp_small), run_hospital_family);
+
     return reg;
 }
 
@@ -378,6 +492,7 @@ std::string_view to_string(ScenarioFamily f) noexcept {
     switch (f) {
         case ScenarioFamily::kPca: return "pca";
         case ScenarioFamily::kXray: return "xray";
+        case ScenarioFamily::kHospital: return "hospital";
     }
     return "?";
 }
@@ -469,6 +584,34 @@ core::PcaScenarioConfig make_pca_config(const ScenarioSpec& spec) {
         }
         check_choice(spec, *knob, value);
         apply_pca_knob(cfg, spec, *knob, value);
+    }
+    return cfg;
+}
+
+hospital::HospitalConfig make_hospital_config(const ScenarioSpec& spec) {
+    const ScenarioInfo& meta = checked_info(spec, ScenarioFamily::kHospital);
+    const SimDuration duration =
+        SimDuration::minutes(static_cast<std::int64_t>(spec.minutes));
+
+    hospital::HospitalConfig cfg = spec.name == "hospital"
+                                       ? canonical_hospital(spec.seed, duration)
+                                       : small_hospital(spec.seed, duration);
+    for (const auto& [key, value] : spec.overrides) {
+        const KnobInfo* knob = meta.find_knob(key);
+        if (knob == nullptr) {
+            throw SpecError{"spec: scenario '" + spec.name +
+                            "' has no knob '" + key + "'"};
+        }
+        check_choice(spec, *knob, value);
+        apply_hospital_knob(cfg, spec, *knob, value);
+    }
+    // Knob values are individually valid but may be jointly inconsistent
+    // (e.g. wards > patients); surface that as a spec error, not an
+    // engine crash.
+    try {
+        cfg.validate();
+    } catch (const hospital::HospitalConfigError& e) {
+        throw SpecError{"spec: scenario '" + spec.name + "': " + e.what()};
     }
     return cfg;
 }

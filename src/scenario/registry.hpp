@@ -32,7 +32,7 @@
 namespace mcps::scenario {
 
 /// Which core harness a scenario resolves to.
-enum class ScenarioFamily { kPca, kXray };
+enum class ScenarioFamily { kPca, kXray, kHospital };
 
 [[nodiscard]] std::string_view to_string(ScenarioFamily f) noexcept;
 
@@ -121,6 +121,10 @@ private:
 
 /// Resolve an x-ray-family spec. \throws SpecError as above.
 [[nodiscard]] core::XrayScenarioConfig make_xray_config(
+    const ScenarioSpec& spec);
+
+/// Resolve a hospital-family spec. \throws SpecError as above.
+[[nodiscard]] hospital::HospitalConfig make_hospital_config(
     const ScenarioSpec& spec);
 
 }  // namespace mcps::scenario

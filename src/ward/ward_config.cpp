@@ -5,18 +5,18 @@
 namespace mcps::ward {
 
 ScenarioMix ScenarioMix::normalized() const {
-    if (pca < 0 || xray < 0 || alarm_ward < 0) {
+    if (pca < 0 || xray < 0 || alarm_ward < 0 || hospital < 0) {
         throw WardConfigError{"ScenarioMix: negative weight"};
     }
-    const double total = pca + xray + alarm_ward;
+    const double total = pca + xray + alarm_ward + hospital;
     if (!(total > 0)) {
         throw WardConfigError{"ScenarioMix: all weights are zero"};
     }
-    return {pca / total, xray / total, alarm_ward / total};
+    return {pca / total, xray / total, alarm_ward / total, hospital / total};
 }
 
 ScenarioMix parse_mix(std::string_view spec) {
-    ScenarioMix mix{0, 0, 0};
+    ScenarioMix mix{0, 0, 0, 0};
     std::size_t pos = 0;
     while (pos <= spec.size()) {
         const std::size_t comma = std::min(spec.find(',', pos), spec.size());
@@ -48,10 +48,13 @@ ScenarioMix parse_mix(std::string_view spec) {
             mix.xray = weight;
         } else if (key == "ward" || key == "alarm_ward") {
             mix.alarm_ward = weight;
+        } else if (key == "hospital") {
+            mix.hospital = weight;
         } else {
             throw WardConfigError{"parse_mix: unknown workload '" +
                                   std::string{key} +
-                                  "' (expected pca, xray, or ward)"};
+                                  "' (expected pca, xray, ward, or "
+                                  "hospital)"};
         }
         if (comma == spec.size()) break;
     }
@@ -60,9 +63,18 @@ ScenarioMix parse_mix(std::string_view spec) {
 
 std::string to_string(const ScenarioMix& mix) {
     const ScenarioMix n = mix.normalized();
-    char buf[96];
-    std::snprintf(buf, sizeof buf, "pca=%.3f,xray=%.3f,ward=%.3f", n.pca,
-                  n.xray, n.alarm_ward);
+    char buf[128];
+    // The hospital weight renders only when present, so the classic
+    // three-workload mix string (pinned by tests and report text) is
+    // unchanged.
+    if (n.hospital > 0) {
+        std::snprintf(buf, sizeof buf,
+                      "pca=%.3f,xray=%.3f,ward=%.3f,hospital=%.3f", n.pca,
+                      n.xray, n.alarm_ward, n.hospital);
+    } else {
+        std::snprintf(buf, sizeof buf, "pca=%.3f,xray=%.3f,ward=%.3f", n.pca,
+                      n.xray, n.alarm_ward);
+    }
     return buf;
 }
 

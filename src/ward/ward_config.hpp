@@ -18,12 +18,16 @@ public:
     using std::runtime_error::runtime_error;
 };
 
-/// Relative weights of the three ward workloads. Weights are normalized
+/// Relative weights of the ward workloads. Weights are normalized
 /// before use; they need not sum to 1.
 struct ScenarioMix {
     double pca = 0.70;         ///< PCA closed-loop (interlock active)
     double xray = 0.15;        ///< X-ray/ventilator sync procedures
     double alarm_ward = 0.15;  ///< smart-alarm ward shift (monitor + fusion)
+    /// Embedded smoke-sized hospital population runs (hospital-small
+    /// preset, single-threaded per run). Off by default so the classic
+    /// three-workload campaigns keep their exact kind sequence.
+    double hospital = 0.0;
 
     /// Normalized copy. \throws WardConfigError if any weight is negative
     /// or all are zero.

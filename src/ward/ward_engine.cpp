@@ -30,6 +30,7 @@ struct ShardAccumulator {
     sim::Histogram dose_hist{0.0, 40.0, 40};
     sim::Histogram latency_hist{0.0, 600.0, 60};
     std::uint64_t pca_runs = 0, xray_runs = 0, alarm_ward_runs = 0;
+    std::uint64_t hospital_runs = 0;
     std::uint64_t demands_denied = 0, interlock_stops = 0;
     std::uint64_t monitor_alarms = 0, smart_alarms = 0, smart_critical = 0;
     std::uint64_t violations = 0, events_dispatched = 0;
@@ -41,9 +42,12 @@ struct ShardAccumulator {
             case WardScenarioKind::kPcaClosedLoop: ++pca_runs; break;
             case WardScenarioKind::kXraySync: ++xray_runs; break;
             case WardScenarioKind::kAlarmWard: ++alarm_ward_runs; break;
+            case WardScenarioKind::kHospital: ++hospital_runs; break;
         }
         min_spo2.add(o.min_spo2);
         if (o.kind != WardScenarioKind::kXraySync) {
+            // Hospital slots contribute their per-patient mean dose, so
+            // the dose distribution stays per-patient-scaled.
             drug_mg.add(o.drug_mg);
             mean_pain.add(o.mean_pain);
             dose_hist.add(o.drug_mg);
@@ -162,6 +166,7 @@ WardReport WardEngine::run(const testkit::InvariantChecker& checker,
         rep.pca_runs += acc.pca_runs;
         rep.xray_runs += acc.xray_runs;
         rep.alarm_ward_runs += acc.alarm_ward_runs;
+        rep.hospital_runs += acc.hospital_runs;
         rep.demands_denied += acc.demands_denied;
         rep.interlock_stops += acc.interlock_stops;
         rep.monitor_alarms += acc.monitor_alarms;
@@ -207,6 +212,7 @@ void WardReport::print(std::ostream& os) const {
     workload.row().cell("pca_closed_loop").cell(pca_runs);
     workload.row().cell("xray_sync").cell(xray_runs);
     workload.row().cell("alarm_ward").cell(alarm_ward_runs);
+    if (hospital_runs > 0) workload.row().cell("hospital").cell(hospital_runs);
     workload.print(os, "workload mix");
     os << '\n';
 
@@ -277,7 +283,8 @@ void WardReport::write_json(std::ostream& os) const {
        << "  \"fault_intensity\": " << fault_intensity << ",\n"
        << "  \"fingerprint\": \"" << fp << "\",\n"
        << "  \"runs\": {\"pca\": " << pca_runs << ", \"xray\": " << xray_runs
-       << ", \"alarm_ward\": " << alarm_ward_runs << "},\n"
+       << ", \"alarm_ward\": " << alarm_ward_runs
+       << ", \"hospital\": " << hospital_runs << "},\n"
        << "  \"stats\": {\n";
     stats_obj("drug_mg", drug_mg);
     os << ",\n";

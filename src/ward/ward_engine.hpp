@@ -55,6 +55,7 @@ struct WardReport {
     std::uint64_t pca_runs = 0;
     std::uint64_t xray_runs = 0;
     std::uint64_t alarm_ward_runs = 0;
+    std::uint64_t hospital_runs = 0;
 
     // Merged statistics (parallel-Welford over shard accumulators).
     sim::RunningStats drug_mg;          ///< per-scenario opioid delivered

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "scenario/presets.hpp"
+#include "scenario/registry.hpp"
 
 namespace mcps::ward {
 
@@ -13,6 +14,7 @@ std::string_view to_string(WardScenarioKind k) noexcept {
         case WardScenarioKind::kPcaClosedLoop: return "pca";
         case WardScenarioKind::kXraySync: return "xray";
         case WardScenarioKind::kAlarmWard: return "alarm_ward";
+        case WardScenarioKind::kHospital: return "hospital";
     }
     return "unknown";
 }
@@ -27,7 +29,15 @@ WardScenarioKind WardScenarioFactory::kind_of(std::uint64_t index) const {
     const double u = rng.uniform();
     if (u < mix_.pca) return WardScenarioKind::kPcaClosedLoop;
     if (u < mix_.pca + mix_.xray) return WardScenarioKind::kXraySync;
-    return WardScenarioKind::kAlarmWard;
+    // With no hospital weight, fall through to alarm_ward exactly as the
+    // three-workload mix always has (the normalized weights sum to 1
+    // only up to rounding, so the guard keeps old kind sequences
+    // bit-stable).
+    if (mix_.hospital <= 0 ||
+        u < mix_.pca + mix_.xray + mix_.alarm_ward) {
+        return WardScenarioKind::kAlarmWard;
+    }
+    return WardScenarioKind::kHospital;
 }
 
 namespace {
@@ -88,6 +98,35 @@ ScenarioOutcome WardScenarioFactory::run(
             out.fingerprint = run.fingerprint;
             out.min_spo2 = run.result.min_spo2;
             out.violations = static_cast<std::uint32_t>(run.violations.size());
+            break;
+        }
+        case WardScenarioKind::kHospital: {
+            // A smoke-sized hospital-small population run: the engine is
+            // itself a fleet, so the campaign slot holds a whole small
+            // hospital, not one patient. Spec content is a pure function
+            // of (seed, index); jobs pinned to 1 because parallelism
+            // lives between campaign scenarios, not inside them.
+            RngStream rng{seed_, "ward/hospital/" + std::to_string(index)};
+            scenario::ScenarioSpec spec =
+                scenario::registry().default_spec("hospital-small");
+            spec.seed = static_cast<std::uint64_t>(
+                rng.uniform_int(1, 1000000));
+            spec.minutes = 2;
+            spec.set("patients", std::to_string(rng.uniform_int(16, 48)));
+            spec.set("wards", "2");
+            spec.set("jobs", "1");
+            const scenario::RunArtifacts art = scenario::registry().run(spec);
+            out.fingerprint = art.fingerprint;
+            out.min_spo2 = art.at("min_spo2");
+            out.drug_mg = art.at("drug_mg_mean");
+            out.interlock_stops =
+                static_cast<std::uint64_t>(art.at("interlock_stops"));
+            out.monitor_alarms =
+                static_cast<std::uint64_t>(art.at("alarms_raised"));
+            out.events_dispatched =
+                static_cast<std::uint64_t>(art.at("patient_steps"));
+            out.violations =
+                static_cast<std::uint32_t>(art.at("deadline_violations"));
             break;
         }
     }

@@ -18,11 +18,13 @@
 
 namespace mcps::ward {
 
-/// The three ward workloads (the paper's three application scenarios).
+/// The ward workloads: the paper's three application scenarios plus an
+/// embedded hospital-population run (PR 9).
 enum class WardScenarioKind : std::uint8_t {
     kPcaClosedLoop = 0,  ///< PCA pump + safety interlock
     kXraySync = 1,       ///< X-ray/ventilator coordination
     kAlarmWard = 2,      ///< smart-alarm shift (monitor + fused alarm)
+    kHospital = 3,       ///< smoke-sized hospital-small population run
 };
 
 [[nodiscard]] std::string_view to_string(WardScenarioKind k) noexcept;

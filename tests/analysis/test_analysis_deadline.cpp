@@ -46,7 +46,7 @@ TEST(AnalysisDeadline, CanonicalPcaBoundMatchesHandDerivation) {
 
 TEST(AnalysisDeadline, AllShippedPresetsAreFeasible) {
     const auto rep = analysis::lint_deadlines();
-    ASSERT_EQ(rep.rows.size(), 5u);
+    ASSERT_EQ(rep.rows.size(), 7u);
     EXPECT_TRUE(rep.findings.empty())
         << (rep.findings.empty() ? "" : rep.findings[0].message);
     for (const auto& row : rep.rows) {
@@ -156,11 +156,84 @@ TEST(AnalysisDeadline, CrossCheckObservedWithinStaticBound) {
     EXPECT_NEAR(cc.xray_bound_s, 33.0, 1e-9);
 }
 
+// ------------------------------------------------ hospital family ----
+
+analysis::HospitalTimingModel canonical_hospital_model() {
+    analysis::HospitalTimingModel m;  // tick 1, monitor [2,2], 100/ward,
+    return m;                         // 4 nurses, 120s service, 4/h
+}
+
+TEST(AnalysisDeadline, HospitalLocalBoundMatchesHandDerivation) {
+    analysis::HospitalTimingModel m = canonical_hospital_model();
+    m.monitor_period_s = {0.5, 10.0};  // the registry's safe envelope
+    const auto b = analysis::hospital_deadline_bound(m);
+    ASSERT_TRUE(b.bounded) << b.why;
+    // Pump-local path: monitor staleness + one engine tick.
+    EXPECT_NEAR(b.total_s.lo, 0.5 + 1.0, 1e-9);
+    EXPECT_NEAR(b.total_s.hi, 10.0 + 1.0, 1e-9);
+    EXPECT_NEAR(b.detect_s, 11.0, 1e-9);
+}
+
+TEST(AnalysisDeadline, HospitalInterlockOffClaimedSafeIsUnbounded) {
+    analysis::HospitalTimingModel m = canonical_hospital_model();
+    m.interlock_off_claimed_safe = true;
+    const auto b = analysis::hospital_deadline_bound(m);
+    EXPECT_FALSE(b.bounded);
+    EXPECT_NE(b.why.find("no "), std::string::npos);
+}
+
+// The seeded defect the TA5 pass exists to catch: a central interlock
+// claimed safe over a nurse pool whose expected alarm load exceeds its
+// service capacity. The queue never drains, so no reaction bound exists.
+TEST(AnalysisDeadline, HospitalNursePoolExhaustionIsUnbounded) {
+    analysis::HospitalTimingModel m = canonical_hospital_model();
+    m.central_claimed_safe = true;
+    m.nurses = 1.0;                          // skeleton night shift
+    m.alarm_rate_per_patient_hour = {4, 40};  // storm-grade alarm load
+    // rho = 100 * 40/3600 * 120 / 1 = 133.3 >> 1.
+    const auto b = analysis::hospital_deadline_bound(m);
+    EXPECT_FALSE(b.bounded);
+    EXPECT_NE(b.why.find("nurse-pool exhaustion"), std::string::npos)
+        << b.why;
+}
+
+TEST(AnalysisDeadline, HospitalStableCentralPoolHasBurstBound) {
+    analysis::HospitalTimingModel m = canonical_hospital_model();
+    m.central_claimed_safe = true;
+    // rho = 100 * 4/3600 * 120 / 4 = 3.33 >= 1: the default pool cannot
+    // absorb central routing. Quadruple it to get under utilization 1.
+    m.nurses = 16.0;
+    const auto b = analysis::hospital_deadline_bound(m);
+    ASSERT_TRUE(b.bounded) << b.why;
+    // central hi = monitor 2 + bus 1024/64 + ceil(100/16)*120 + tick 1
+    //            = 2 + 16 + 840 + 1 = 859.
+    EXPECT_NEAR(b.total_s.hi, 859.0, 1e-9);
+    EXPECT_NEAR(b.transit_s.hi, 16.0, 1e-9);
+    // The local leg still sets the floor.
+    EXPECT_NEAR(b.total_s.lo, 3.0, 1e-9);
+}
+
+TEST(AnalysisDeadline, HospitalRegistryRowsAreFeasibleAndLocal) {
+    const auto rep = analysis::lint_deadlines();
+    std::size_t hospital_rows = 0;
+    for (const auto& row : rep.rows) {
+        if (row.family != "hospital") continue;
+        ++hospital_rows;
+        EXPECT_TRUE(row.engaged_default) << row.preset;
+        EXPECT_TRUE(row.feasible) << row.preset << ": " << row.bound.why;
+        // deadline = deadline-s safe_lo (30) vs bound = monitor safe_hi
+        // (10) + tick (1): the envelope leaves real slack.
+        EXPECT_NEAR(row.deadline_s, 30.0, 1e-9) << row.preset;
+        EXPECT_NEAR(row.bound.total_s.hi, 11.0, 1e-9) << row.preset;
+    }
+    EXPECT_EQ(hospital_rows, 2u);
+}
+
 TEST(AnalysisDeadline, AnalyzerAbsorbsDeadlinePass) {
     analysis::Analyzer an;
     an.check_deadlines();
     EXPECT_TRUE(an.report().clean());
-    EXPECT_EQ(an.deadline_report().rows.size(), 5u);
+    EXPECT_EQ(an.deadline_report().rows.size(), 7u);
     const auto& analyzed = an.report().analyzed;
     EXPECT_TRUE(std::any_of(analyzed.begin(), analyzed.end(),
                             [](const std::string& s) {

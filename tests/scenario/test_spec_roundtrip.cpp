@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 
 #include "scenario/scenario.hpp"
 #include "sim/rng.hpp"
@@ -113,14 +115,27 @@ TEST(SpecRoundTrip, RandomizedSpecsRoundTripAndResolve) {
 
         // Knobs apply in declaration order; "policy" is only legal when
         // an interlock is engaged, which the sampler tracks the same way
-        // the registry validates it.
+        // the registry validates it. The hospital family's one
+        // cross-field constraint (wards <= patients) is tracked the same
+        // way: the sampled ward count is clamped under the effective
+        // patient count (preset default or sampled override).
         bool interlock_engaged = (name == "pca");
+        std::uint64_t patients = 0;
+        if (info.family == scenario::ScenarioFamily::kHospital) {
+            patients = static_cast<std::uint64_t>(
+                scenario::make_hospital_config(reg.default_spec(name))
+                    .patients);
+        }
         for (const KnobInfo& k : info.knobs) {
             if (!rng.bernoulli(0.5)) continue;
             if (k.name == "policy" && !interlock_engaged) continue;
-            const std::string v = sample_value(k, rng);
+            std::string v = sample_value(k, rng);
             if (k.name == "interlock") interlock_engaged = (v != "off");
-            spec.set(k.name, v);
+            if (k.name == "patients") patients = std::stoull(v);
+            if (k.name == "wards" && std::stoull(v) > patients) {
+                v = std::to_string(patients);
+            }
+            spec.set(k.name, std::move(v));
         }
 
         // Both serializations reproduce the spec exactly...
@@ -133,6 +148,9 @@ TEST(SpecRoundTrip, RandomizedSpecsRoundTripAndResolve) {
         // concrete config without complaint (domain sampling is sound).
         if (info.family == scenario::ScenarioFamily::kPca) {
             EXPECT_NO_THROW((void)scenario::make_pca_config(spec))
+                << spec.to_text();
+        } else if (info.family == scenario::ScenarioFamily::kHospital) {
+            EXPECT_NO_THROW((void)scenario::make_hospital_config(spec))
                 << spec.to_text();
         } else {
             EXPECT_NO_THROW((void)scenario::make_xray_config(spec))

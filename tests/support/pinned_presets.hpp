@@ -55,6 +55,8 @@ inline constexpr Pin kPins[] = {
     {"smart-alarm", 0xff9f292c6d94cc68ULL, 0x7ade0f1c9a8e84b1ULL},
     {"xray", 0x3e75b22c6ecccd12ULL, 0x33debf63349bf1c1ULL},
     {"xray-manual", 0xf3962074d1bfb982ULL, 0x68a7c3d7110ec94dULL},
+    {"hospital", 0xd00c39128976a2f1ULL, 0xfd897a696c4e1dbdULL},
+    {"hospital-small", 0xac0c13fcc262e70bULL, 0x61072890084905faULL},
 };
 
 /// The pinned configuration: the preset's default spec at minutes=1.

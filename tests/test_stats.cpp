@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <sstream>
+#include <vector>
 
 #include "sim/stats.hpp"
 #include "sim/table.hpp"
@@ -170,6 +172,49 @@ TEST(Histogram, MergeIsAssociative) {
     EXPECT_EQ(left.overflow(), right.overflow());
     for (std::size_t i = 0; i < left.bins(); ++i) {
         EXPECT_EQ(left.bin_count(i), right.bin_count(i));
+    }
+}
+
+TEST(Histogram, PartitionMergePropertyOverRandomPartitions) {
+    // The hospital engine's contract: samples partitioned arbitrarily
+    // across wards and merged in any grouping must equal the
+    // unpartitioned aggregate EXACTLY — counts, under/overflow, and the
+    // quantiles computed from them. Randomized partitions (deterministic
+    // seeds), including empty parts.
+    std::uint64_t rng_state = 0x9E3779B97F4A7C15ULL;
+    auto next = [&rng_state]() {  // splitmix64: no platform variance
+        rng_state += 0x9E3779B97F4A7C15ULL;
+        std::uint64_t z = rng_state;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    };
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t parts = 1 + next() % 9;
+        std::vector<Histogram> shard(parts, Histogram{50.0, 100.0, 50});
+        Histogram whole{50.0, 100.0, 50};
+        const std::size_t samples = 200 + next() % 800;
+        for (std::size_t s = 0; s < samples; ++s) {
+            // Span underflow, in-range and overflow values.
+            const double v =
+                40.0 + static_cast<double>(next() % 700) / 10.0;
+            whole.add(v);
+            shard[next() % parts].add(v);
+        }
+        Histogram merged{50.0, 100.0, 50};
+        for (const Histogram& h : shard) merged.merge(h);
+        ASSERT_EQ(merged.total(), whole.total());
+        EXPECT_EQ(merged.underflow(), whole.underflow());
+        EXPECT_EQ(merged.overflow(), whole.overflow());
+        for (std::size_t i = 0; i < whole.bins(); ++i) {
+            EXPECT_EQ(merged.bin_count(i), whole.bin_count(i));
+        }
+        // Quantiles are a pure function of the counts, so they must be
+        // bit-equal too (the streaming-aggregation guarantee hospital
+        // reports rely on).
+        for (const double q : {0.5, 0.9, 0.99}) {
+            EXPECT_EQ(merged.quantile(q), whole.quantile(q)) << q;
+        }
     }
 }
 

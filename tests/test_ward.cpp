@@ -122,6 +122,9 @@ TEST(WardScenarioFactory, KindChoiceIsDeterministicAndMixWeighted) {
             case WardScenarioKind::kPcaClosedLoop: ++pca; break;
             case WardScenarioKind::kXraySync: ++xray; break;
             case WardScenarioKind::kAlarmWard: ++alarm; break;
+            case WardScenarioKind::kHospital:
+                FAIL() << "default mix has no hospital weight";
+                break;
         }
     }
     // Default mix is 70/15/15; with 200 draws every kind must appear and
@@ -148,6 +151,7 @@ void expect_reports_identical(const WardReport& s, const WardReport& p) {
     EXPECT_EQ(s.pca_runs, p.pca_runs);
     EXPECT_EQ(s.xray_runs, p.xray_runs);
     EXPECT_EQ(s.alarm_ward_runs, p.alarm_ward_runs);
+    EXPECT_EQ(s.hospital_runs, p.hospital_runs);
     EXPECT_EQ(s.demands_denied, p.demands_denied);
     EXPECT_EQ(s.interlock_stops, p.interlock_stops);
     EXPECT_EQ(s.monitor_alarms, p.monitor_alarms);
@@ -188,6 +192,44 @@ TEST(WardEngine, ParallelRunIsBitIdenticalAcrossMixes) {
         const auto parallel = WardEngine{cfg}.run();
         expect_reports_identical(serial, parallel);
     }
+}
+
+TEST(WardEngine, HospitalWorkloadRunsInMixAndStaysBitIdentical) {
+    // The PR-9 wiring check: campaigns can embed smoke-sized hospital
+    // population runs next to the classic workloads, the kind sequence
+    // draws them, and serial vs parallel reports stay bit-identical.
+    WardConfig cfg;
+    cfg.seed = 9001;
+    cfg.patients = 12;
+    cfg.shards = 6;
+    cfg.mix = {0.25, 0.25, 0.25, 0.25};
+
+    cfg.jobs = 1;
+    const auto serial = WardEngine{cfg}.run();
+    cfg.jobs = 8;
+    const auto parallel = WardEngine{cfg}.run();
+    expect_reports_identical(serial, parallel);
+
+    EXPECT_GT(serial.hospital_runs, 0u);
+    EXPECT_EQ(serial.pca_runs + serial.xray_runs + serial.alarm_ward_runs +
+                  serial.hospital_runs,
+              serial.patients);
+    // Hospital slots run inside the claimed-safe envelope (local
+    // interlock), so they add no invariant violations.
+    EXPECT_EQ(serial.violations, 0u);
+    EXPECT_EQ(to_string(cfg.mix),
+              "pca=0.250,xray=0.250,ward=0.250,hospital=0.250");
+}
+
+TEST(WardConfig, HospitalMixParsesAndRendersOnlyWhenPresent) {
+    const auto mix = parse_mix("pca=1,hospital=1");
+    EXPECT_DOUBLE_EQ(mix.pca, 0.5);
+    EXPECT_DOUBLE_EQ(mix.hospital, 0.5);
+    EXPECT_EQ(to_string(mix), "pca=0.500,xray=0.000,ward=0.000,hospital=0.500");
+    // Without a hospital weight the classic three-key rendering is
+    // byte-stable (pinned report text depends on it).
+    EXPECT_EQ(to_string(parse_mix("pca=2,xray=1,ward=1")),
+              "pca=0.500,xray=0.250,ward=0.250");
 }
 
 TEST(WardEngine, ParallelRunIsBitIdenticalWithFaultPlans) {

@@ -8,7 +8,13 @@
 #      (bench/baselines/micro_kernel_prechange.json) into one
 #      BENCH_<n>.json, computing speedup_vs_reference per metric.
 #
-#   tools/bench_baseline.sh [--quick] [--out FILE]
+#   tools/bench_baseline.sh [--quick] [--out FILE] [--pr N]
+#
+# --pr selects the campaign (default 6, the kernel-speed campaign):
+#   --pr 6   bench_micro_kernel + bench_e10_ward_scale vs the frozen
+#            pre-calendar-queue kernel -> BENCH_6.json
+#   --pr 9   bench_physio_batch (SoA physio stepping + hospital engine)
+#            vs the frozen scalar-stepping reference -> BENCH_9.json
 #
 # --quick shrinks the workloads (smoke mode: validates the flow, the
 # numbers are meaningless — the merged file is written to the build tree
@@ -16,31 +22,110 @@
 # --quick, run on a QUIET machine: the kernel benchmarks are single-core
 # and contention suppresses throughput by 30%+.
 #
-# The checked-in BENCH_6.json at the repo root was produced by this
-# script; see the README "Benchmark trajectory" section for the
-# convention.
+# The checked-in BENCH_6.json / BENCH_9.json at the repo root were
+# produced by this script; see the README "Benchmark trajectory"
+# section for the convention.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 quick=0
 out=""
+pr=6
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --quick) quick=1; shift ;;
         --out) out="$2"; shift 2 ;;
-        *) echo "usage: tools/bench_baseline.sh [--quick] [--out FILE]" >&2
+        --pr) pr="$2"; shift 2 ;;
+        *) echo "usage: tools/bench_baseline.sh [--quick] [--out FILE] [--pr N]" >&2
            exit 2 ;;
     esac
 done
+if [[ "${pr}" != "6" && "${pr}" != "9" ]]; then
+    echo "bench_baseline.sh: unknown campaign --pr ${pr} (know 6, 9)" >&2
+    exit 2
+fi
 
 build="${repo_root}/build"
 scratch="${build}/bench_baseline"
-reference="${repo_root}/bench/baselines/micro_kernel_prechange.json"
 if [[ -z "${out}" ]]; then
     if [[ "${quick}" == "1" ]]; then out="${scratch}/BENCH_quick.json"
-    else out="${repo_root}/BENCH_6.json"; fi
+    else out="${repo_root}/BENCH_${pr}.json"; fi
 fi
+
+quick_flag=()
+[[ "${quick}" == "1" ]] && quick_flag=(--quick)
+
+if [[ "${pr}" == "9" ]]; then
+    reference="${repo_root}/bench/baselines/physio_scalar_pr9_prechange.json"
+    echo "==== build bench_physio_batch ===="
+    cmake -S "${repo_root}" -B "${build}" >/dev/null
+    cmake --build "${build}" -j "${jobs}" \
+        --target bench_physio_batch mcps_trace >/dev/null
+    mkdir -p "${scratch}"
+
+    echo "==== run bench_physio_batch ===="
+    "${build}/bench/bench_physio_batch" "${quick_flag[@]}" \
+        --json "${scratch}/physio_batch.json"
+
+    echo "==== validate report ===="
+    "${build}/tools/mcps_trace" check-bench "${scratch}/physio_batch.json"
+
+    echo "==== merge -> ${out} ===="
+    python3 - "${reference}" "${scratch}/physio_batch.json" "${out}" \
+        "${quick}" <<'PYEOF'
+import json, sys
+
+ref_path, live_path, out_path, quick = sys.argv[1:5]
+ref = json.load(open(ref_path))
+live = json.load(open(live_path))
+
+def by_name(report):
+    return {m["name"]: m["value"] for m in report["metrics"]}
+
+ref_m, live_m = by_name(ref), by_name(live)
+# The frozen reference is the scalar (pre-change) stepping rate; the
+# campaign's headline is the SoA batch measured against it.
+speedup = {}
+if ref_m.get("physio.steps_per_sec", 0) > 0:
+    pre = ref_m["physio.steps_per_sec"]
+    if "physio.batch.steps_per_sec" in live_m:
+        speedup["physio.steps_per_sec"] = round(
+            live_m["physio.batch.steps_per_sec"] / pre, 3)
+    if "physio.scalar.steps_per_sec" in live_m:
+        speedup["physio.scalar.sanity_vs_reference"] = round(
+            live_m["physio.scalar.steps_per_sec"] / pre, 3)
+
+merged = {
+    "bench_set": "physio_batch_campaign",
+    "pr": 9,
+    "generated_by": "tools/bench_baseline.sh --pr 9"
+                    + (" --quick" if quick == "1" else ""),
+    "reference": {"path": "bench/baselines/physio_scalar_pr9_prechange.json",
+                  **ref},
+    "runs": {"physio_batch": live},
+    "speedup_vs_reference": speedup,
+}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+
+for name, ratio in sorted(speedup.items()):
+    print(f"  {name:45s} {ratio:6.2f}x")
+if quick != "1":
+    sane = speedup.get("physio.scalar.sanity_vs_reference", 1.0)
+    if not 0.7 <= sane <= 1.3:
+        print("WARNING: the scalar path drifted "
+              f"{sane}x from the frozen reference — noisy machine or an "
+              "accidental scalar-path change; the batch speedup above is "
+              "not comparable.", file=sys.stderr)
+PYEOF
+
+    echo "baseline written: ${out}"
+    exit 0
+fi
+
+reference="${repo_root}/bench/baselines/micro_kernel_prechange.json"
 
 echo "==== build benches ===="
 cmake -S "${repo_root}" -B "${build}" >/dev/null

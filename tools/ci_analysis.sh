@@ -8,21 +8,26 @@
 #                            + TA5 deadline slack table with the
 #                            static-vs-observed cross-check, then a SARIF
 #                            export validated by the built-in checker
-#   3. analysis/scenario/kernel/serve/obs: per-rule seeded-defect
-#                            fixtures (incl. CONC1/TA5/SARIF + the CFG1
-#                            missing-root exit code), the scenario
-#                            registry/spec suite, the calendar-queue/
-#                            arena differential suite, the service suite
-#                            (protocol fuzz, cache, admission, e2e) and
-#                            the shared-metrics stress suite
+#   3. analysis/scenario/kernel/serve/obs/hospital: per-rule
+#                            seeded-defect fixtures (incl. CONC1/TA5/
+#                            SARIF + the CFG1 missing-root exit code),
+#                            the scenario registry/spec suite, the
+#                            calendar-queue/arena differential suite,
+#                            the service suite (protocol fuzz, cache,
+#                            admission, e2e), the shared-metrics stress
+#                            suite and the hospital-population suite
+#                            (SoA physio differential, jobs invariance,
+#                            alarm storm, hospital fuzz smoke)
 #   4. clang-tidy:           tools/run_tidy.sh (SKIPPED if not installed)
 #   5. bench smoke:          tools/bench_baseline.sh --quick and
 #                            tools/bench_serve.sh --quick (validate the
 #                            --json flows; numbers are not checked)
 #   6. ASan+UBSan:           full test suite under address+undefined
-#   7. TSan:                 ward-engine + kernel + serve + obs suites
-#                            under thread sanitizer (the obs stress test
-#                            is the dynamic complement of CONC1)
+#   7. TSan:                 ward-engine + kernel + serve + obs +
+#                            hospital suites under thread sanitizer (the
+#                            obs stress test is the dynamic complement
+#                            of CONC1; the hospital suite drives the
+#                            parallel-over-wards stepping)
 #
 #   tools/ci_analysis.sh [--fast] [--coverage]
 #
@@ -69,9 +74,9 @@ stage "2/7 model linter (mcps_analyze)"
 "${repo_root}/build-ci-werror/tools/mcps_analyze" \
     --check-sarif "${repo_root}/build-ci-werror/analysis.sarif"
 
-stage "3/7 analysis + scenario + kernel + serve + obs test labels"
+stage "3/7 analysis + scenario + kernel + serve + obs + hospital test labels"
 ctest --test-dir "${repo_root}/build-ci-werror" \
-    -L "analysis|scenario|kernel|serve|obs" --output-on-failure
+    -L "analysis|scenario|kernel|serve|obs|hospital" --output-on-failure
 
 stage "4/7 clang-tidy"
 "${repo_root}/tools/run_tidy.sh" "${repo_root}/build-ci-werror"
@@ -87,6 +92,11 @@ echo "bench baseline smoke: OK"
 "${repo_root}/build-ci-werror/tools/mcps_trace" check-bench \
     "${repo_root}/build-ci-werror/BENCH_serve_smoke.json" >/dev/null
 echo "serve load smoke: OK"
+# Hospital-population smoke: the preset must run end-to-end on the
+# mcps_run surface (96 patients / 4 wards, 2 simulated minutes).
+"${repo_root}/build-ci-werror/tools/mcps_run" run \
+    --spec "hospital-small minutes=2" >/dev/null
+echo "hospital preset smoke: OK"
 
 run_coverage() {
     stage "coverage report (MCPS_COVERAGE=ON)"
@@ -118,12 +128,13 @@ cmake --build "${repo_root}/build-ci-asan" -j "${jobs}" >/dev/null
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir "${repo_root}/build-ci-asan" --output-on-failure
 
-stage "7/7 TSan ward + kernel + serve + obs suites"
+stage "7/7 TSan ward + kernel + serve + obs + hospital suites"
 cmake -S "${repo_root}" -B "${repo_root}/build-ci-tsan" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMCPS_SANITIZE=thread >/dev/null
 cmake --build "${repo_root}/build-ci-tsan" -j "${jobs}" \
     --target mcps_tests mcps_ward_cli mcps_kernel_tests \
-    mcps_serve_tests mcps_obs_tests >/dev/null
+    mcps_serve_tests mcps_obs_tests mcps_hospital_tests \
+    mcps_fuzz >/dev/null
 ctest --test-dir "${repo_root}/build-ci-tsan" \
     -L ward -R 'Ward|ward' --output-on-failure
 # The kernel is single-threaded by contract, but its tests still run
@@ -142,6 +153,12 @@ ctest --test-dir "${repo_root}/build-ci-tsan" \
 # proves the mutex actually covers the access patterns under load.
 ctest --test-dir "${repo_root}/build-ci-tsan" \
     -L obs --output-on-failure
+# Hospital population engine under TSan: the jobs-invariance tests step
+# the same hospital with 1/4/16 ward workers and the SoA differential
+# suite runs alongside — any cross-ward data race in the batched
+# stepping or the mergeable-histogram reduction surfaces here.
+ctest --test-dir "${repo_root}/build-ci-tsan" \
+    -L hospital --output-on-failure
 
 [[ "${coverage}" == "1" ]] && run_coverage
 

@@ -5,6 +5,7 @@
 /// violations found, shrunk, and replayed byte-identically), 1 = the run
 /// did not meet its expectation, 2 = usage or I/O error.
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
@@ -15,6 +16,7 @@
 #include "cli.hpp"
 #include "testkit/testkit.hpp"
 #include "ward/fuzz_driver.hpp"
+#include "ward/hospital_fuzz.hpp"
 
 namespace tk = mcps::testkit;
 using mcps::cli::CliError;
@@ -32,6 +34,11 @@ void usage(std::ostream& os) {
           "                       outcome is identical to --jobs 1\n"
           "  --xray-fraction X    fraction of x-ray workloads (default 0.15)\n"
           "  --weakened           fuzz the weakened-interlock fixture\n"
+          "  --hospital           fuzz the hospital family instead: random\n"
+          "                       cohorts/knobs over the claimed-safe\n"
+          "                       envelope (with --expect-violation:\n"
+          "                       interlock-off storm hazards that must\n"
+          "                       violate and replay byte-identically)\n"
           "  --expect-violation   succeed only if a violation is found,\n"
           "                       replays byte-identically, and shrinks to\n"
           "                       a small fault plan\n"
@@ -68,6 +75,54 @@ int replay_mode(const std::string& path) {
     return result.byte_identical ? 0 : 1;
 }
 
+int hospital_replay_mode(const std::string& path) {
+    const auto r = mcps::ward::replay_hospital_repro(path);
+    char fp[32];
+    std::snprintf(fp, sizeof fp, "0x%016llx",
+                  static_cast<unsigned long long>(r.fingerprint));
+    std::cout << "repro: " << path << "\n"
+              << "  workload:   hospital\n"
+              << "  spec:       " << r.spec.to_text() << "\n"
+              << "  invariant:  " << r.invariant << "\n"
+              << "  fingerprint " << fp << " ("
+              << (r.byte_identical ? "byte-identical" : "MISMATCH") << ")\n"
+              << "  deadline_violations: "
+              << static_cast<std::uint64_t>(r.deadline_violations) << "\n";
+    return r.byte_identical ? 0 : 1;
+}
+
+int hospital_mode(const mcps::ward::HospitalFuzzOptions& opts,
+                  bool expect_violation) {
+    const auto outcome = mcps::ward::run_hospital_fuzz(opts);
+    std::cout << "fuzz: " << outcome.scenarios_run
+              << " hospital scenarios, seed " << opts.seed << ", "
+              << outcome.violating_specs << " violating, "
+              << outcome.failures.size() << " invariant failures\n";
+
+    if (!expect_violation) {
+        if (!outcome.clean()) {
+            std::cout << "FAIL: invariant failures inside the claimed-safe "
+                         "envelope (repro files above replay them)\n";
+            return 1;
+        }
+        std::cout << "OK: no invariant violations\n";
+        return 0;
+    }
+    if (outcome.violating_specs == 0) {
+        std::cout << "FAIL: expected interlock-off storm hazards to "
+                     "violate the deadline, none did\n";
+        return 1;
+    }
+    if (!outcome.clean()) {
+        std::cout << "FAIL: a hazard repro did not replay "
+                     "byte-identically\n";
+        return 1;
+    }
+    std::cout << "OK: violations found and repro files replayed "
+                 "byte-identically\n";
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -75,6 +130,7 @@ int main(int argc, char** argv) {
     opts.repro_dir = "repros";
     unsigned jobs = 1;
     bool expect_violation = false;
+    bool hospital = false;
     bool quiet = false;
     std::string replay_path;
 
@@ -95,6 +151,8 @@ int main(int argc, char** argv) {
                 opts.xray_fraction = parse_double(arg, value());
             } else if (arg == "--weakened") {
                 opts.weakened = true;
+            } else if (arg == "--hospital") {
+                hospital = true;
             } else if (arg == "--expect-violation") {
                 expect_violation = true;
             } else if (arg == "--replay") {
@@ -113,7 +171,27 @@ int main(int argc, char** argv) {
             }
         }
 
-        if (!replay_path.empty()) return replay_mode(replay_path);
+        if (!replay_path.empty()) {
+            return hospital ? hospital_replay_mode(replay_path)
+                            : replay_mode(replay_path);
+        }
+
+        if (hospital) {
+            mcps::ward::HospitalFuzzOptions hopts;
+            hopts.scenarios = opts.scenarios;
+            hopts.seed = opts.seed;
+            hopts.hazard = expect_violation;
+            hopts.repro_dir = opts.repro_dir;
+            if (!quiet) {
+                hopts.log = [](const std::string& line) {
+                    std::cout << line << "\n";
+                };
+            }
+            if (!hopts.repro_dir.empty()) {
+                std::filesystem::create_directories(hopts.repro_dir);
+            }
+            return hospital_mode(hopts, expect_violation);
+        }
 
         if (!opts.repro_dir.empty()) {
             std::filesystem::create_directories(opts.repro_dir);

@@ -35,7 +35,9 @@ void usage(std::ostream& os) {
           "                     merge order, so keep it constant when\n"
           "                     comparing runs)\n"
           "  --mix SPEC         workload weights, e.g. pca=0.7,xray=0.15,\n"
-          "                     ward=0.15 (normalized; default shown)\n"
+          "                     ward=0.15 (normalized; default shown;\n"
+          "                     hospital=X embeds smoke-sized\n"
+          "                     hospital-small population runs)\n"
           "  --seed N           master seed (default 42)\n"
           "  --intensity X      fault-plan intensity for PCA-family\n"
           "                     scenarios (default 0 = no injected faults)\n"
