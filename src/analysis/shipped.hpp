@@ -1,0 +1,27 @@
+/// \file shipped.hpp
+/// \brief The shipped analysis targets, registered in one place.
+///
+/// The repo ships a fixed set of safety models: the TA requirement
+/// monitors (pump lockout, closed loop, 2-pump farm) and the two ICE
+/// assemblies (PCA closed loop, X-ray/ventilator sync). The analyze
+/// CLI and the pipeline's analysis passes both check exactly this set;
+/// keeping the builders here means a new shipped model is added once
+/// and every analysis surface picks it up.
+
+#pragma once
+
+namespace mcps::analysis {
+
+class Analyzer;
+
+/// TA1–TA4 over the shipped timed-automata models. The requirement
+/// monitors' bad states are *meant* to stay unreachable — the expected-
+/// unreachable lists encode that so TA1 verifies instead of flagging.
+void add_shipped_ta_models(Analyzer& a);
+
+/// ICE1 over the shipped assemblies (capability tags match src/devices,
+/// topic contracts match what the devices publish and the apps
+/// subscribe to).
+void add_shipped_assemblies(Analyzer& a);
+
+}  // namespace mcps::analysis

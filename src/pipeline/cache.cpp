@@ -1,0 +1,163 @@
+#include "cache.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace mcps::pipeline {
+
+namespace {
+constexpr std::string_view kSnapshotHeader = "mcps-artifact-cache v1";
+}  // namespace
+
+ArtifactCache::ArtifactCache(std::size_t max_entries,
+                             obs::SharedMetrics* metrics)
+    : max_entries_{max_entries}, metrics_{metrics} {}
+
+std::optional<Artifact> ArtifactCache::lookup(const std::string& key) {
+    std::lock_guard lk{mu_};
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        mirror_locked();
+        return std::nullopt;
+    }
+    ++hits_;
+    mirror_locked();
+    return it->second;
+}
+
+void ArtifactCache::insert(const std::string& key, Artifact artifact) {
+    std::lock_guard lk{mu_};
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        it->second = std::move(artifact);
+    } else {
+        if (max_entries_ != 0 && entries_.size() >= max_entries_) return;
+        entries_.emplace(key, std::move(artifact));
+    }
+    ++inserts_;
+    mirror_locked();
+}
+
+std::size_t ArtifactCache::size() const {
+    std::lock_guard lk{mu_};
+    return entries_.size();
+}
+
+std::uint64_t ArtifactCache::hits() const {
+    std::lock_guard lk{mu_};
+    return hits_;
+}
+
+std::uint64_t ArtifactCache::misses() const {
+    std::lock_guard lk{mu_};
+    return misses_;
+}
+
+std::uint64_t ArtifactCache::inserts() const {
+    std::lock_guard lk{mu_};
+    return inserts_;
+}
+
+void ArtifactCache::clear() {
+    std::lock_guard lk{mu_};
+    entries_.clear();
+    mirror_locked();
+}
+
+void ArtifactCache::mirror_locked() {
+    if (metrics_ == nullptr) return;
+    metrics_->set_gauge("pipeline/cache/entries",
+                        static_cast<double>(entries_.size()));
+    metrics_->set_gauge("pipeline/cache/hits", static_cast<double>(hits_));
+    metrics_->set_gauge("pipeline/cache/misses",
+                        static_cast<double>(misses_));
+}
+
+bool ArtifactCache::save(const std::string& path) const {
+    std::vector<std::pair<std::string, const Artifact*>> sorted;
+    {
+        std::lock_guard lk{mu_};
+        sorted.reserve(entries_.size());
+        for (const auto& [key, art] : entries_) {
+            sorted.emplace_back(key, &art);
+        }
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        // Serialize under the lock: the Artifact pointers stay valid and
+        // the snapshot is a consistent point-in-time view.
+        std::ofstream out{path, std::ios::binary | std::ios::trunc};
+        if (!out) return false;
+        out << kSnapshotHeader << "\n";
+        for (const auto& [key, art] : sorted) {
+            out << key << "\t" << snapshot_escape(art->kind) << "\t"
+                << snapshot_escape(art->payload) << "\n";
+        }
+        return static_cast<bool>(out);
+    }
+}
+
+std::size_t ArtifactCache::load(const std::string& path) {
+    std::ifstream in{path, std::ios::binary};
+    if (!in) return 0;
+    std::string line;
+    if (!std::getline(in, line) || line != kSnapshotHeader) return 0;
+    std::size_t inserted = 0;
+    while (std::getline(in, line)) {
+        const std::size_t t1 = line.find('\t');
+        if (t1 == std::string::npos) continue;
+        const std::size_t t2 = line.find('\t', t1 + 1);
+        if (t2 == std::string::npos) continue;
+        Artifact art;
+        if (!snapshot_unescape(
+                std::string_view{line}.substr(t1 + 1, t2 - t1 - 1),
+                art.kind)) {
+            continue;
+        }
+        if (!snapshot_unescape(std::string_view{line}.substr(t2 + 1),
+                               art.payload)) {
+            continue;
+        }
+        insert(line.substr(0, t1), std::move(art));
+        ++inserted;
+    }
+    return inserted;
+}
+
+std::string snapshot_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '\\': out += "\\\\"; break;
+            case '\t': out += "\\t"; break;
+            case '\n': out += "\\n"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+bool snapshot_unescape(std::string_view s, std::string& out) {
+    out.clear();
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\') {
+            out += s[i];
+            continue;
+        }
+        if (++i >= s.size()) return false;
+        switch (s[i]) {
+            case '\\': out += '\\'; break;
+            case 't': out += '\t'; break;
+            case 'n': out += '\n'; break;
+            default: return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace mcps::pipeline

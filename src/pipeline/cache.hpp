@@ -1,0 +1,94 @@
+/// \file cache.hpp
+/// \brief ArtifactCache: content-keyed store of pass outputs.
+///
+/// The cache maps artifact keys (artifact.hpp: a content hash of the
+/// producing pass + its input digests) to finished Artifacts. A pass
+/// whose every output key hits is *replayed* from the cache without
+/// executing; a key changes exactly when an upstream input changed, so
+/// invalidation is structural — there is nothing to expire by hand.
+///
+/// Follows the serve ResultCache conventions: mutex-guarded and safe to
+/// share across pipeline worker threads; hit/miss/insert counters
+/// mirrored into an optional obs::SharedMetrics under
+/// "pipeline/cache/*"; and a versioned, line-oriented disk snapshot
+/// (`key<TAB>kind<TAB>escaped-payload` per line) whose load() skips
+/// malformed lines so a stale or truncated snapshot degrades to a
+/// smaller cache, never a crash. Unlike the serve cache there is no LRU
+/// bound by default (pipeline artifact sets are small and enumerable);
+/// \p max_entries caps it when a bound is wanted.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "artifact.hpp"
+#include "obs/shared_metrics.hpp"
+#include "sim/guarded.hpp"
+
+namespace mcps::pipeline {
+
+/// mirror_locked() calls into SharedMetrics while holding the cache
+/// mutex — same audited nesting as serve::ResultCache; declared so the
+/// CONC1 lock-order DAG covers the pipeline layer too.
+MCPS_LOCK_ORDER(ArtifactCache::mu_, obs::SharedMetrics::mu_);
+
+class ArtifactCache {
+public:
+    /// \p max_entries of 0 means unbounded. \p metrics may be null;
+    /// when set it must outlive the cache.
+    explicit ArtifactCache(std::size_t max_entries = 0,
+                           obs::SharedMetrics* metrics = nullptr);
+
+    /// Returns the cached artifact, or nullopt on a miss.
+    [[nodiscard]] std::optional<Artifact> lookup(const std::string& key);
+
+    /// Insert (or overwrite) an entry. When a max_entries bound is set
+    /// and reached, further *new* keys are dropped (pipeline keys are
+    /// content hashes: overwriting an existing key stores the same
+    /// bytes, so there is no recency to track).
+    void insert(const std::string& key, Artifact artifact);
+
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::size_t max_entries() const noexcept {
+        return max_entries_;
+    }
+    [[nodiscard]] std::uint64_t hits() const;
+    [[nodiscard]] std::uint64_t misses() const;
+    [[nodiscard]] std::uint64_t inserts() const;
+
+    void clear();
+
+    /// Write a snapshot to \p path (keys in sorted order, so snapshots
+    /// of equal caches are byte-identical). Returns false on I/O error.
+    [[nodiscard]] bool save(const std::string& path) const;
+
+    /// Load a snapshot written by save(), inserting entries (subject to
+    /// the capacity bound; counters are not restored). Malformed lines
+    /// are skipped. Returns the number of entries inserted; 0 when the
+    /// file is missing or unreadable.
+    std::size_t load(const std::string& path);
+
+private:
+    void mirror_locked() MCPS_REQUIRES(mu_);
+
+    const std::size_t max_entries_;
+    obs::SharedMetrics* metrics_;
+
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, Artifact> entries_ MCPS_GUARDED_BY(mu_);
+    std::uint64_t hits_ MCPS_GUARDED_BY(mu_) = 0;
+    std::uint64_t misses_ MCPS_GUARDED_BY(mu_) = 0;
+    std::uint64_t inserts_ MCPS_GUARDED_BY(mu_) = 0;
+};
+
+/// Escape a payload for the one-line snapshot format: backslash,
+/// tab and newline become \\, \t, \n.
+[[nodiscard]] std::string snapshot_escape(std::string_view s);
+/// Inverse of snapshot_escape. Returns false on a dangling backslash
+/// or unknown escape (the malformed-line signal).
+[[nodiscard]] bool snapshot_unescape(std::string_view s, std::string& out);
+
+}  // namespace mcps::pipeline

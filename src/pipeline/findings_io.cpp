@@ -1,0 +1,141 @@
+#include "findings_io.hpp"
+
+#include <charconv>
+#include <vector>
+
+#include "cache.hpp"
+#include "pass.hpp"
+
+namespace mcps::pipeline {
+
+namespace {
+
+constexpr std::string_view kHeader = "mcps-findings v1";
+
+[[noreturn]] void malformed(const std::string& what) {
+    throw PipelineError{"findings artifact: " + what};
+}
+
+std::vector<std::string_view> split_tabs(std::string_view line) {
+    std::vector<std::string_view> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t tab = line.find('\t', start);
+        if (tab == std::string_view::npos) {
+            out.push_back(line.substr(start));
+            return out;
+        }
+        out.push_back(line.substr(start, tab - start));
+        start = tab + 1;
+    }
+}
+
+std::uint64_t parse_count(std::string_view v) {
+    std::uint64_t out = 0;
+    const auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+    if (ec != std::errc{} || p != v.data() + v.size()) {
+        malformed("bad count '" + std::string{v} + "'");
+    }
+    return out;
+}
+
+std::string unescape_field(std::string_view v, const char* what) {
+    std::string out;
+    if (!snapshot_unescape(v, out)) {
+        malformed(std::string{"bad escape in "} + what);
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string write_findings(const analysis::AnalysisReport& report) {
+    std::string out{kHeader};
+    out += '\n';
+    for (const auto& name : report.analyzed) {
+        out += "analyzed\t";
+        out += snapshot_escape(name);
+        out += '\n';
+    }
+    out += "suppressed\t";
+    out += std::to_string(report.suppressed_findings);
+    out += '\n';
+    for (const analysis::Finding& f : report.findings) {
+        out += "finding\t";
+        out += analysis::rule_name(f.rule);
+        out += '\t';
+        out += analysis::to_string(f.severity);
+        out += '\t';
+        out += snapshot_escape(f.entity);
+        out += '\t';
+        out += snapshot_escape(f.file);
+        out += '\t';
+        out += std::to_string(f.line);
+        out += '\t';
+        out += snapshot_escape(f.message);
+        out += '\n';
+    }
+    return out;
+}
+
+analysis::AnalysisReport read_findings(std::string_view text) {
+    analysis::AnalysisReport report;
+    std::size_t pos = 0;
+    bool first = true;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string_view::npos) eol = text.size();
+        const std::string_view line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (first) {
+            if (line != kHeader) malformed("missing header");
+            first = false;
+            continue;
+        }
+        if (line.empty()) continue;
+        const auto fields = split_tabs(line);
+        if (fields[0] == "analyzed") {
+            if (fields.size() != 2) malformed("bad analyzed line");
+            report.analyzed.push_back(
+                unescape_field(fields[1], "analyzed name"));
+        } else if (fields[0] == "suppressed") {
+            if (fields.size() != 2) malformed("bad suppressed line");
+            report.suppressed_findings =
+                static_cast<std::size_t>(parse_count(fields[1]));
+        } else if (fields[0] == "finding") {
+            if (fields.size() != 7) malformed("bad finding line");
+            analysis::Finding f;
+            if (!analysis::parse_rule(fields[1], f.rule)) {
+                malformed("unknown rule '" + std::string{fields[1]} + "'");
+            }
+            if (fields[2] == "error") {
+                f.severity = analysis::FindingSeverity::kError;
+            } else if (fields[2] == "warning") {
+                f.severity = analysis::FindingSeverity::kWarning;
+            } else {
+                malformed("unknown severity '" + std::string{fields[2]} +
+                          "'");
+            }
+            f.entity = unescape_field(fields[3], "entity");
+            f.file = unescape_field(fields[4], "file");
+            f.line = static_cast<std::size_t>(parse_count(fields[5]));
+            f.message = unescape_field(fields[6], "message");
+            report.findings.push_back(std::move(f));
+        } else {
+            malformed("unknown record '" + std::string{fields[0]} + "'");
+        }
+    }
+    if (first) malformed("empty artifact");
+    return report;
+}
+
+void merge_findings(analysis::AnalysisReport& into,
+                    const analysis::AnalysisReport& part) {
+    into.findings.insert(into.findings.end(), part.findings.begin(),
+                         part.findings.end());
+    into.analyzed.insert(into.analyzed.end(), part.analyzed.begin(),
+                         part.analyzed.end());
+    into.suppressed_findings += part.suppressed_findings;
+}
+
+}  // namespace mcps::pipeline

@@ -1,0 +1,42 @@
+/// \file findings_io.hpp
+/// \brief Round-trippable serialization of analysis findings.
+///
+/// Analysis stage passes emit their AnalysisReport as a "findings"
+/// artifact; the merge pass parses the stage artifacts back and
+/// produces the combined JSON + SARIF reports. Because the merge works
+/// from the serialized form, its output bytes are identical whether a
+/// stage executed fresh or was replayed from the ArtifactCache — the
+/// property the cold-vs-warm determinism suite pins.
+///
+/// Format (versioned, line-oriented, tab-separated, snapshot-escaped):
+///
+///   mcps-findings v1
+///   analyzed<TAB>name
+///   suppressed<TAB>count
+///   finding<TAB>RULE<TAB>severity<TAB>entity<TAB>file<TAB>line<TAB>message
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "analysis/finding.hpp"
+
+namespace mcps::pipeline {
+
+/// Serialize \p report (deterministic: preserves finding order).
+[[nodiscard]] std::string write_findings(
+    const analysis::AnalysisReport& report);
+
+/// Parse write_findings() output. \throws PipelineError (pass.hpp) on a
+/// malformed header, unknown rule/severity, or bad field count —
+/// findings artifacts are machine-written, so damage is a bug, not
+/// input noise.
+[[nodiscard]] analysis::AnalysisReport read_findings(std::string_view text);
+
+/// Concatenate \p into += \p part: findings, analyzed names and the
+/// suppressed count accumulate in call order.
+void merge_findings(analysis::AnalysisReport& into,
+                    const analysis::AnalysisReport& part);
+
+}  // namespace mcps::pipeline

@@ -1,0 +1,43 @@
+# Warm-cache replay over a disk snapshot: a cold `mcps pipeline` run
+# saves its artifact cache; a second identical run loads it and must
+# replay every pass (cache_misses == 0 in the --json bench report)
+# while still producing artifacts (cache_hits > 0).
+#
+# Inputs: -DMCPS=..., -DWORK_DIR=...
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+set(graph_args
+    --spec "pca seed=42 minutes=2" --trace
+    --ward "seed=7 patients=4 shards=4"
+    --cache ${WORK_DIR}/artifacts.cache --quiet)
+
+execute_process(
+  COMMAND ${MCPS} pipeline ${graph_args} --json ${WORK_DIR}/cold.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cold run failed (rc ${rc}):\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${MCPS} pipeline ${graph_args} --json ${WORK_DIR}/warm.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm run failed (rc ${rc}):\n${out}\n${err}")
+endif()
+
+file(READ ${WORK_DIR}/cold.json cold_json)
+file(READ ${WORK_DIR}/warm.json warm_json)
+
+if(NOT cold_json MATCHES "\"name\": \"cache_hits\", \"unit\": \"count\", \"value\": 0}")
+  message(FATAL_ERROR "cold run unexpectedly hit the cache:\n${cold_json}")
+endif()
+if(NOT warm_json MATCHES "\"name\": \"cache_misses\", \"unit\": \"count\", \"value\": 0}")
+  message(FATAL_ERROR
+    "warm run re-executed passes despite the cache snapshot:\n${warm_json}")
+endif()
+if(warm_json MATCHES "\"name\": \"cache_hits\", \"unit\": \"count\", \"value\": 0}")
+  message(FATAL_ERROR "warm run reported zero cache hits:\n${warm_json}")
+endif()
+message(STATUS "cache replay: warm run fully served from snapshot")

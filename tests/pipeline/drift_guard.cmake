@@ -1,0 +1,79 @@
+# Drift guard: the unified `mcps` dispatcher and the classic per-tool
+# binaries are thin shims over one driver library (tools/drivers.hpp),
+# so `mcps <cmd> ARGS` and `mcps_<cmd> ARGS` must produce byte-identical
+# stdout and the same exit code. Error-path stderr may differ only in
+# the program-name prefix ("mcps run" vs "mcps_run"), which is
+# normalized before comparison.
+#
+# Inputs: -DMCPS=..., -DMCPS_RUN=..., -DMCPS_ANALYZE=...
+
+function(run_pair label norm_from norm_to)
+  # Everything after the fixed arguments is the argv passed to both
+  # binaries (unified: ${MCPS} <cmd> ARGS; classic: ${CLASSIC} ARGS).
+  set(unified_args ${ARGN})
+  list(GET unified_args 0 cmd)
+  list(REMOVE_AT unified_args 0)
+
+  execute_process(
+    COMMAND ${MCPS} ${cmd} ${unified_args}
+    OUTPUT_VARIABLE unified_out ERROR_VARIABLE unified_err
+    RESULT_VARIABLE unified_rc)
+  execute_process(
+    COMMAND ${CLASSIC} ${unified_args}
+    OUTPUT_VARIABLE classic_out ERROR_VARIABLE classic_err
+    RESULT_VARIABLE classic_rc)
+
+  if(NOT unified_rc STREQUAL classic_rc)
+    message(FATAL_ERROR
+      "${label}: exit codes drifted: mcps ${cmd} -> ${unified_rc}, "
+      "classic -> ${classic_rc}")
+  endif()
+  # stdout: normalize the program-name prefix (describe's "example:"
+  # line echoes it by design), then require byte equality.
+  string(REPLACE "${norm_from}" "${norm_to}" unified_out_norm
+         "${unified_out}")
+  if(NOT unified_out_norm STREQUAL classic_out)
+    message(FATAL_ERROR
+      "${label}: stdout drifted between `mcps ${cmd}` and the classic "
+      "binary (beyond the program-name prefix):\n--- mcps (normalized) "
+      "---\n${unified_out_norm}\n--- classic ---\n${classic_out}")
+  endif()
+  # stderr: normalize the program-name prefix, then require equality.
+  string(REPLACE "${norm_from}" "${norm_to}" unified_err_norm
+         "${unified_err}")
+  if(NOT unified_err_norm STREQUAL classic_err)
+    message(FATAL_ERROR
+      "${label}: stderr drifted (beyond the program-name prefix):\n"
+      "--- mcps (normalized) ---\n${unified_err_norm}\n"
+      "--- classic ---\n${classic_err}")
+  endif()
+  message(STATUS "${label}: OK (rc ${unified_rc})")
+endfunction()
+
+# ---- mcps run vs mcps_run --------------------------------------------
+
+set(CLASSIC ${MCPS_RUN})
+
+# Success paths: registry listing and a short deterministic run.
+run_pair("run list" "mcps run" "mcps_run" run list)
+run_pair("run run" "mcps run" "mcps_run"
+         run run --spec "pca seed=42 minutes=2")
+run_pair("run describe" "mcps run" "mcps_run" run describe pca)
+
+# Error path: unknown subcommand must exit 2 from both shims.
+run_pair("run error" "mcps run" "mcps_run" run bogus-subcommand)
+execute_process(COMMAND ${MCPS} run bogus-subcommand
+                OUTPUT_QUIET ERROR_QUIET RESULT_VARIABLE rc)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "mcps run bogus-subcommand: expected exit 2, got ${rc}")
+endif()
+
+# ---- mcps analyze vs mcps_analyze ------------------------------------
+
+set(CLASSIC ${MCPS_ANALYZE})
+
+# The model-level stages are cwd-independent; --no-scan keeps this true
+# wherever ctest runs the script.
+run_pair("analyze" "mcps analyze" "mcps_analyze" analyze --no-scan --quiet)
+run_pair("analyze error" "mcps analyze" "mcps_analyze"
+         analyze --definitely-not-a-flag)

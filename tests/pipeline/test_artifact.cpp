@@ -1,0 +1,269 @@
+/// \file test_artifact.cpp
+/// \brief Unit tests for the pipeline's content-addressing layer:
+/// Artifact digests, cache keys, the ArtifactCache (counters, bounds,
+/// snapshot round-trip, metrics mirroring) and the findings
+/// serialization that carries analysis reports between passes.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/analysis.hpp"
+#include "obs/shared_metrics.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace pipeline = mcps::pipeline;
+namespace analysis = mcps::analysis;
+
+namespace {
+
+std::string temp_path(const char* stem) {
+    return (std::filesystem::temp_directory_path() /
+            (std::string{"mcps_pipeline_"} + stem))
+        .string();
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in{path, std::ios::binary};
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+TEST(Artifact, DigestCoversKindAndPayload) {
+    const pipeline::Artifact a{"spec", "pca seed=42"};
+    const pipeline::Artifact same{"spec", "pca seed=42"};
+    const pipeline::Artifact other_payload{"spec", "pca seed=43"};
+    const pipeline::Artifact other_kind{"run-json", "pca seed=42"};
+
+    EXPECT_EQ(a.digest(), same.digest());
+    EXPECT_NE(a.digest(), other_payload.digest());
+    EXPECT_NE(a.digest(), other_kind.digest());
+}
+
+TEST(Artifact, FieldSeparatorPreventsBoundarySlides) {
+    // "ab" + "c" must not hash like "a" + "bc".
+    const pipeline::Artifact a{"ab", "c"};
+    const pipeline::Artifact b{"a", "bc"};
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Artifact, DigestHexFormat) {
+    const pipeline::Artifact a{"spec", "x"};
+    const std::string hex = a.digest_hex();
+    ASSERT_EQ(hex.size(), 18u);
+    EXPECT_EQ(hex.substr(0, 2), "0x");
+    EXPECT_EQ(hex, pipeline::hex64(a.digest()));
+}
+
+TEST(ArtifactKey, ChangesWithEveryComponent) {
+    const std::vector<std::uint64_t> inputs{1, 2};
+    const std::string base =
+        pipeline::artifact_key("run:pca", "p=1", inputs, "run/pca/artifacts");
+
+    EXPECT_EQ(base, pipeline::artifact_key("run:pca", "p=1", inputs,
+                                           "run/pca/artifacts"));
+    EXPECT_NE(base, pipeline::artifact_key("run:xray", "p=1", inputs,
+                                           "run/pca/artifacts"));
+    EXPECT_NE(base, pipeline::artifact_key("run:pca", "p=2", inputs,
+                                           "run/pca/artifacts"));
+    EXPECT_NE(base, pipeline::artifact_key("run:pca", "p=1", {1, 3},
+                                           "run/pca/artifacts"));
+    EXPECT_NE(base, pipeline::artifact_key("run:pca", "p=1", {2, 1},
+                                           "run/pca/artifacts"));
+    EXPECT_NE(base, pipeline::artifact_key("run:pca", "p=1", inputs,
+                                           "run/pca/events"));
+    // The output name prefixes the key for debuggability.
+    EXPECT_EQ(base.rfind("run/pca/artifacts@0x", 0), 0u);
+}
+
+TEST(ArtifactCache, HitMissInsertCounters) {
+    pipeline::ArtifactCache cache;
+    EXPECT_FALSE(cache.lookup("k1").has_value());
+    EXPECT_EQ(cache.misses(), 1u);
+
+    cache.insert("k1", {"spec", "payload"});
+    EXPECT_EQ(cache.inserts(), 1u);
+    const auto hit = cache.lookup("k1");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->kind, "spec");
+    EXPECT_EQ(hit->payload, "payload");
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ArtifactCache, BoundDropsNewKeysAtCapacity) {
+    pipeline::ArtifactCache cache{2};
+    cache.insert("a", {"k", "1"});
+    cache.insert("b", {"k", "2"});
+    cache.insert("c", {"k", "3"});  // dropped: at capacity
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_FALSE(cache.lookup("c").has_value());
+    // Overwriting an existing key is always allowed.
+    cache.insert("a", {"k", "1"});
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ArtifactCache, SnapshotRoundTripIsByteIdentical) {
+    const std::string path_a = temp_path("snap_a");
+    const std::string path_b = temp_path("snap_b");
+
+    pipeline::ArtifactCache cache;
+    cache.insert("zkey", {"events-jsonl", "line1\nline2\twith tab\n"});
+    cache.insert("akey", {"spec", "pca seed=42\\minutes=3"});
+    ASSERT_TRUE(cache.save(path_a));
+
+    pipeline::ArtifactCache loaded;
+    EXPECT_EQ(loaded.load(path_a), 2u);
+    const auto z = loaded.lookup("zkey");
+    ASSERT_TRUE(z.has_value());
+    EXPECT_EQ(z->payload, "line1\nline2\twith tab\n");
+    const auto a = loaded.lookup("akey");
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->payload, "pca seed=42\\minutes=3");
+
+    // Snapshots of equal caches are byte-identical (sorted key order).
+    ASSERT_TRUE(loaded.save(path_b));
+    EXPECT_EQ(slurp(path_a), slurp(path_b));
+
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+}
+
+TEST(ArtifactCache, LoadSkipsMalformedLines) {
+    const std::string path = temp_path("snap_malformed");
+    {
+        std::ofstream out{path, std::ios::binary};
+        out << "mcps-artifact-cache v1\n"
+            << "good\tspec\tpayload\n"
+            << "missing-fields\n"
+            << "bad-escape\tspec\ttrailing\\\n"
+            << "also-good\tspec\tok\n";
+    }
+    pipeline::ArtifactCache cache;
+    EXPECT_EQ(cache.load(path), 2u);
+    EXPECT_TRUE(cache.lookup("good").has_value());
+    EXPECT_TRUE(cache.lookup("also-good").has_value());
+    std::remove(path.c_str());
+}
+
+TEST(ArtifactCache, LoadRejectsWrongHeader) {
+    const std::string path = temp_path("snap_header");
+    {
+        std::ofstream out{path, std::ios::binary};
+        out << "some-other-format v9\nk\tspec\tp\n";
+    }
+    pipeline::ArtifactCache cache;
+    EXPECT_EQ(cache.load(path), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(ArtifactCache, MissingSnapshotLoadsNothing) {
+    pipeline::ArtifactCache cache;
+    EXPECT_EQ(cache.load(temp_path("does_not_exist")), 0u);
+}
+
+TEST(ArtifactCache, MirrorsCountersIntoSharedMetrics) {
+    mcps::obs::SharedMetrics metrics;
+    pipeline::ArtifactCache cache{0, &metrics};
+    (void)cache.lookup("absent");
+    cache.insert("k", {"spec", "p"});
+    (void)cache.lookup("k");
+
+    EXPECT_EQ(metrics.gauge_value("pipeline/cache/entries"), 1.0);
+    EXPECT_EQ(metrics.gauge_value("pipeline/cache/hits"), 1.0);
+    EXPECT_EQ(metrics.gauge_value("pipeline/cache/misses"), 1.0);
+}
+
+TEST(SnapshotEscape, RoundTripsControlBytes) {
+    const std::string raw = "a\tb\nc\\d\\te";
+    const std::string escaped = pipeline::snapshot_escape(raw);
+    EXPECT_EQ(escaped.find('\t'), std::string::npos);
+    EXPECT_EQ(escaped.find('\n'), std::string::npos);
+    std::string back;
+    ASSERT_TRUE(pipeline::snapshot_unescape(escaped, back));
+    EXPECT_EQ(back, raw);
+
+    std::string out;
+    EXPECT_FALSE(pipeline::snapshot_unescape("dangling\\", out));
+    EXPECT_FALSE(pipeline::snapshot_unescape("bad\\x", out));
+}
+
+analysis::AnalysisReport sample_report() {
+    analysis::AnalysisReport r;
+    r.analyzed = {"pump_lockout", "name\twith\ttabs"};
+    r.suppressed_findings = 3;
+    analysis::Finding f;
+    f.rule = analysis::RuleId::kTA1;
+    f.severity = analysis::FindingSeverity::kError;
+    f.entity = "pump_lockout";
+    f.file = "src/ta/pump.cpp";
+    f.line = 12;
+    f.message = "state 'Violation' reachable\nsecond line\twith tab";
+    r.findings.push_back(f);
+    analysis::Finding w = f;
+    w.rule = analysis::RuleId::kSIM1;
+    w.severity = analysis::FindingSeverity::kWarning;
+    w.message = "banned construct";
+    r.findings.push_back(w);
+    return r;
+}
+
+TEST(FindingsIo, RoundTripsEveryField) {
+    const analysis::AnalysisReport r = sample_report();
+    const std::string text = pipeline::write_findings(r);
+    const analysis::AnalysisReport back = pipeline::read_findings(text);
+
+    EXPECT_EQ(back.analyzed, r.analyzed);
+    EXPECT_EQ(back.suppressed_findings, r.suppressed_findings);
+    ASSERT_EQ(back.findings.size(), r.findings.size());
+    for (std::size_t i = 0; i < r.findings.size(); ++i) {
+        EXPECT_EQ(back.findings[i].rule, r.findings[i].rule);
+        EXPECT_EQ(back.findings[i].severity, r.findings[i].severity);
+        EXPECT_EQ(back.findings[i].entity, r.findings[i].entity);
+        EXPECT_EQ(back.findings[i].file, r.findings[i].file);
+        EXPECT_EQ(back.findings[i].line, r.findings[i].line);
+        EXPECT_EQ(back.findings[i].message, r.findings[i].message);
+    }
+    // Serialization is deterministic: write(read(write(r))) == write(r).
+    EXPECT_EQ(pipeline::write_findings(back), text);
+}
+
+TEST(FindingsIo, MergeConcatenatesInOrder) {
+    analysis::AnalysisReport a = sample_report();
+    analysis::AnalysisReport b;
+    b.analyzed = {"xray_vent_sync"};
+    b.suppressed_findings = 1;
+
+    analysis::AnalysisReport merged;
+    pipeline::merge_findings(merged, a);
+    pipeline::merge_findings(merged, b);
+    EXPECT_EQ(merged.analyzed.size(), 3u);
+    EXPECT_EQ(merged.analyzed.back(), "xray_vent_sync");
+    EXPECT_EQ(merged.suppressed_findings, 4u);
+    EXPECT_EQ(merged.findings.size(), 2u);
+}
+
+TEST(FindingsIo, RejectsMalformedArtifacts) {
+    EXPECT_THROW((void)pipeline::read_findings(""),
+                 pipeline::PipelineError);
+    EXPECT_THROW((void)pipeline::read_findings("wrong header\n"),
+                 pipeline::PipelineError);
+    EXPECT_THROW((void)pipeline::read_findings(
+                     "mcps-findings v1\nfinding\tNOPE\terror\te\tf\t1\tm\n"),
+                 pipeline::PipelineError);
+    EXPECT_THROW((void)pipeline::read_findings(
+                     "mcps-findings v1\nsuppressed\tnot-a-number\n"),
+                 pipeline::PipelineError);
+    EXPECT_THROW((void)pipeline::read_findings(
+                     "mcps-findings v1\nunknown-record\tx\n"),
+                 pipeline::PipelineError);
+}
+
+}  // namespace

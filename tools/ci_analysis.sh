@@ -8,16 +8,19 @@
 #                            + TA5 deadline slack table with the
 #                            static-vs-observed cross-check, then a SARIF
 #                            export validated by the built-in checker
-#   3. analysis/scenario/kernel/serve/obs/hospital: per-rule
+#   3. analysis/scenario/kernel/serve/obs/hospital/pipeline: per-rule
 #                            seeded-defect fixtures (incl. CONC1/TA5/
 #                            SARIF + the CFG1 missing-root exit code),
 #                            the scenario registry/spec suite, the
 #                            calendar-queue/arena differential suite,
 #                            the service suite (protocol fuzz, cache,
 #                            admission, e2e), the shared-metrics stress
-#                            suite and the hospital-population suite
+#                            suite, the hospital-population suite
 #                            (SoA physio differential, jobs invariance,
-#                            alarm storm, hospital fuzz smoke)
+#                            alarm storm, hospital fuzz smoke) and the
+#                            pipeline suite (artifact cache, graph
+#                            scheduling, cold/warm/parallel determinism,
+#                            knob-edit invalidation, CLI drift guard)
 #   4. clang-tidy:           tools/run_tidy.sh (SKIPPED if not installed)
 #   5. bench smoke:          tools/bench_baseline.sh --quick and
 #                            tools/bench_serve.sh --quick (validate the
@@ -74,9 +77,10 @@ stage "2/7 model linter (mcps_analyze)"
 "${repo_root}/build-ci-werror/tools/mcps_analyze" \
     --check-sarif "${repo_root}/build-ci-werror/analysis.sarif"
 
-stage "3/7 analysis + scenario + kernel + serve + obs + hospital test labels"
+stage "3/7 analysis + scenario + kernel + serve + obs + hospital + pipeline test labels"
 ctest --test-dir "${repo_root}/build-ci-werror" \
-    -L "analysis|scenario|kernel|serve|obs|hospital" --output-on-failure
+    -L "analysis|scenario|kernel|serve|obs|hospital|pipeline" \
+    --output-on-failure
 
 stage "4/7 clang-tidy"
 "${repo_root}/tools/run_tidy.sh" "${repo_root}/build-ci-werror"
@@ -97,6 +101,19 @@ echo "serve load smoke: OK"
 "${repo_root}/build-ci-werror/tools/mcps_run" run \
     --spec "hospital-small minutes=2" >/dev/null
 echo "hospital preset smoke: OK"
+# Pipeline smoke: the unified driver's determinism gate (serial-cold vs
+# parallel-cold vs warm-from-cache manifests) over a mixed graph, plus
+# a bench-schema timing report validated by the built-in checker.
+"${repo_root}/build-ci-werror/tools/mcps" pipeline \
+    --spec "pca seed=42 minutes=2" --trace --analysis \
+    --ward "seed=7 patients=4 shards=4" --jobs 4 --verify --quiet
+"${repo_root}/build-ci-werror/tools/mcps" pipeline \
+    --spec "pca seed=42 minutes=2" \
+    --json "${repo_root}/build-ci-werror/BENCH_pipeline_smoke.json" \
+    --quiet >/dev/null
+"${repo_root}/build-ci-werror/tools/mcps_trace" check-bench \
+    "${repo_root}/build-ci-werror/BENCH_pipeline_smoke.json" >/dev/null
+echo "pipeline smoke: OK"
 
 run_coverage() {
     stage "coverage report (MCPS_COVERAGE=ON)"
@@ -128,12 +145,13 @@ cmake --build "${repo_root}/build-ci-asan" -j "${jobs}" >/dev/null
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir "${repo_root}/build-ci-asan" --output-on-failure
 
-stage "7/7 TSan ward + kernel + serve + obs + hospital suites"
+stage "7/7 TSan ward + kernel + serve + obs + hospital + pipeline suites"
 cmake -S "${repo_root}" -B "${repo_root}/build-ci-tsan" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMCPS_SANITIZE=thread >/dev/null
 cmake --build "${repo_root}/build-ci-tsan" -j "${jobs}" \
     --target mcps_tests mcps_ward_cli mcps_kernel_tests \
     mcps_serve_tests mcps_obs_tests mcps_hospital_tests \
+    mcps_pipeline_tests mcps mcps_run mcps_analyze \
     mcps_fuzz >/dev/null
 ctest --test-dir "${repo_root}/build-ci-tsan" \
     -L ward -R 'Ward|ward' --output-on-failure
@@ -159,6 +177,12 @@ ctest --test-dir "${repo_root}/build-ci-tsan" \
 # stepping or the mergeable-histogram reduction surfaces here.
 ctest --test-dir "${repo_root}/build-ci-tsan" \
     -L hospital --output-on-failure
+# Pipeline scheduler under TSan: the parallel runner's dependency
+# counting, the shared ArtifactCache and the fan-out/join graphs all
+# run instrumented — the dynamic complement of the CONC1 annotations on
+# ArtifactCache::mu_ and ParallelRunner::mu_.
+ctest --test-dir "${repo_root}/build-ci-tsan" \
+    -L pipeline --output-on-failure
 
 [[ "${coverage}" == "1" ]] && run_coverage
 

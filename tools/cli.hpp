@@ -16,6 +16,7 @@
 
 #include <charconv>
 #include <cstdint>
+#include <iostream>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -28,6 +29,30 @@ namespace mcps::cli {
 struct CliError {
     std::string message;
 };
+
+/// The shared driver error contract, factored out of the tools' main()
+/// functions (each carried its own copy of the same catch ladder).
+/// Exact behavior, asserted by the drift-guard test:
+///
+///   CliError        -> "<prog>: <message>" on stderr, usage(stderr), 2
+///   std::exception  -> "<prog>: <what()>"  on stderr,               2
+///   otherwise       -> body's return value
+///
+/// \p prog is the invocation name ("mcps_run" or "mcps run"), \p usage
+/// any callable taking the stream to print usage to.
+template <typename Usage, typename Body>
+int tool_main(std::string_view prog, Usage&& usage, Body&& body) {
+    try {
+        return body();
+    } catch (const CliError& e) {
+        std::cerr << prog << ": " << e.message << "\n";
+        usage(std::cerr);
+        return 2;
+    } catch (const std::exception& e) {
+        std::cerr << prog << ": " << e.what() << "\n";
+        return 2;
+    }
+}
 
 /// Strict base-10 unsigned parse of a flag value.
 inline std::uint64_t parse_u64(std::string_view flag, std::string_view v) {

@@ -1,0 +1,49 @@
+/// \file drivers.hpp
+/// \brief The CLI driver registry: every mcps tool as a callable.
+///
+/// Each driver is the complete implementation of one tool — argument
+/// parsing, execution, output, exit code — parameterized only by the
+/// invocation name \p prog (used in usage text and error prefixes) and
+/// the argument vector (argv without the program name). The unified
+/// `mcps` dispatcher and the five classic single-tool binaries are both
+/// thin shims over this registry, so `mcps run ...` and `mcps_run ...`
+/// execute the same code path and produce byte-identical stdout and
+/// exit codes (the drift-guard test holds them to that).
+///
+/// Exit-code contracts are each driver's own (documented in its .cpp);
+/// all of them reserve 2 for usage errors.
+
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace mcps::drivers {
+
+/// Scenario registry CLI (list/describe/run/selfcheck).
+int run_main(std::string_view prog,
+             const std::vector<std::string_view>& args);
+
+/// Structured-trace CLI (run/inspect/diff/check/check-bench).
+int trace_main(std::string_view prog,
+               const std::vector<std::string_view>& args);
+
+/// Ward campaign CLI (flag-style; --verify-serial/--verify-obs-jobs).
+int ward_main(std::string_view prog,
+              const std::vector<std::string_view>& args);
+
+/// Scenario fuzzer CLI (fuzz/replay/hospital modes).
+int fuzz_main(std::string_view prog,
+              const std::vector<std::string_view>& args);
+
+/// Model-level safety linter CLI.
+int analyze_main(std::string_view prog,
+                 const std::vector<std::string_view>& args);
+
+/// Composable pipeline CLI: build a pass graph from flags, run it
+/// serially or in parallel over an artifact cache, export artifacts,
+/// report per-pass timing and cache traffic.
+int pipeline_main(std::string_view prog,
+                  const std::vector<std::string_view>& args);
+
+}  // namespace mcps::drivers

@@ -1,280 +1,12 @@
 /// \file mcps_analyze.cpp
-/// \brief The model-level safety linter CLI: statically cross-checks
-/// every shipped safety model without executing a simulation tick.
-///
-/// Checks run (see src/analysis/finding.hpp for the rule catalog):
-///   TA1–TA4 on the shipped timed-automata models (pump lockout,
-///           closed-loop response, 2-pump farm),
-///   TA5     deadline feasibility: static worst-case interlock latency
-///           over every registry preset's claimed-safe knob envelope
-///           (optionally cross-checked against observed sim latencies),
-///   ICE1    on the shipped ICE assemblies (PCA closed loop,
-///           X-ray/ventilator sync), plus — per --scan-scenarios root —
-///           the registry-bypass scan over scenario consumers,
-///   AS1     on the GPCA hazard log vs. the GSN case skeleton,
-///   SIM1    banned-construct scan over the source tree,
-///   CONC1   lock-discipline scan (MCPS_GUARDED_BY / MCPS_LOCK_ORDER)
-///           over the --scan-conc roots as one unit,
-///   CFG1    configuration sanity: a missing scan root is an error (the
-///           scan would otherwise silently cover zero files).
-///
-/// Usage:
-///   mcps_analyze [--json <path>] [--sarif <path>] [--suppress R1,R2]
-///                [--src-root <dir>] [--scan-scenarios <dir>]...
-///                [--scan-conc <dir>]... [--no-scan] [--no-deadlines]
-///                [--deadline-table] [--cross-check] [--list-rules]
-///                [--matrix] [--quiet]
-///   mcps_analyze --check-sarif <path>
-///
-/// Exit codes: 0 = clean, 1 = findings, 2 = usage/internal error,
-/// 3 = configuration error (CFG1: a scan root is missing — takes
-/// precedence over 1 so CI can tell "found problems" from "looked at
-/// nothing"). --check-sarif: 0 = valid, 1 = invalid, 2 = unreadable.
-/// CI gate: tools/ci_analysis.sh runs this on every build.
+/// \brief Classic standalone binary for the safety linter driver.
+/// The implementation lives in tools/drivers/analyze_driver.cpp, shared
+/// with `mcps analyze`; the shipped model set is
+/// src/analysis/shipped.hpp.
 
-#include <algorithm>
-#include <fstream>
-#include <iostream>
-#include <sstream>
-#include <string>
-#include <vector>
-
-#include "analysis/analysis.hpp"
-#include "assurance/assurance.hpp"
-#include "ta/ta.hpp"
-
-namespace {
-
-using namespace mcps;
-
-void add_shipped_ta_models(analysis::Analyzer& a) {
-    // The requirement monitors' bad states are *meant* to stay
-    // unreachable — TA1 verifies that instead of flagging them.
-    analysis::TaLintOptions pump_opts;
-    pump_opts.expected_unreachable = {"Violation"};
-    a.check_automaton("pump_lockout", ta::build_pump_lockout_model(),
-                      pump_opts);
-
-    analysis::TaLintOptions loop_opts;
-    loop_opts.expected_unreachable = {"Overdue"};
-    a.check_automaton("closed_loop", ta::build_closed_loop_model(),
-                      loop_opts);
-
-    analysis::TaLintOptions farm_opts;
-    farm_opts.expected_unreachable = {"Violation"};
-    a.check_automaton("pump_farm_2", ta::build_pump_farm(2), farm_opts);
-}
-
-void add_shipped_assemblies(analysis::Analyzer& a) {
-    using devices::DeviceKind;
-
-    // The PCA closed loop as examples/pca_closed_loop.cpp assembles it:
-    // capability tags match src/devices, topic contracts match what the
-    // devices publish and core::PcaInterlock subscribes to.
-    analysis::AssemblySpec pca;
-    pca.name = "pca_closed_loop";
-    pca.devices = {
-        {"pump1", DeviceKind::kInfusionPump,
-         {"analgesia", "bolus", "remote-stop"},
-         {"ack/pump1", "alarm/pump1", "status/pump1"}},
-        {"oxi1", DeviceKind::kPulseOximeter,
-         {"spo2", "pulse_rate"},
-         {"vitals/bed1/spo2", "vitals/bed1/pulse_rate"}},
-        {"cap1", DeviceKind::kCapnometer,
-         {"etco2", "resp_rate"},
-         {"vitals/bed1/etco2", "vitals/bed1/resp_rate"}},
-    };
-    pca.apps = {
-        {"pca_interlock",
-         {{DeviceKind::kInfusionPump, {"remote-stop"}, "pump"},
-          {DeviceKind::kPulseOximeter, {"spo2"}, "oximeter"},
-          {DeviceKind::kCapnometer, {"etco2"}, "capnometer"}},
-         {"vitals/bed1/*", "ack/pump1"}},
-    };
-    a.check_assembly(pca);
-
-    // The X-ray/ventilator sync assembly (examples/xray_vent_sync.cpp).
-    analysis::AssemblySpec xv;
-    xv.name = "xray_vent_sync";
-    xv.devices = {
-        {"vent1", DeviceKind::kVentilator,
-         {"ventilation", "remote-pause"},
-         {"ack/vent1", "alarm/vent1", "status/vent1"}},
-        {"xray1", DeviceKind::kXRay,
-         {"imaging"},
-         {"ack/xray1", "image/xray1", "status/xray1"}},
-    };
-    xv.apps = {
-        {"xray_vent_sync",
-         {{DeviceKind::kVentilator, {"remote-pause"}, "ventilator"},
-          {DeviceKind::kXRay, {"imaging"}, "x-ray"}},
-         {"ack/vent1", "ack/xray1", "image/xray1"}},
-    };
-    a.check_assembly(xv);
-}
-
-int usage(const char* argv0) {
-    std::cerr
-        << "usage: " << argv0
-        << " [--json <path>] [--sarif <path>] [--suppress R1,R2]\n"
-           "       [--src-root <dir>] [--scan-scenarios <dir>]...\n"
-           "       [--scan-conc <dir>]... [--no-scan] [--no-deadlines]\n"
-           "       [--deadline-table] [--cross-check] [--list-rules]\n"
-           "       [--matrix] [--quiet]\n"
-           "       " << argv0 << " --check-sarif <path>\n";
-    return 2;
-}
-
-int check_sarif_file(const std::string& path) {
-    std::ifstream in{path};
-    if (!in) {
-        std::cerr << "mcps_analyze: --check-sarif: cannot read '" << path
-                  << "'\n";
-        return 2;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    std::string error;
-    if (!analysis::validate_sarif_minimal(buf.str(), error)) {
-        std::cerr << "mcps_analyze: " << path << ": invalid SARIF: " << error
-                  << "\n";
-        return 1;
-    }
-    std::cout << path << ": valid SARIF 2.1.0 (structural check)\n";
-    return 0;
-}
-
-}  // namespace
+#include "drivers.hpp"
 
 int main(int argc, char** argv) {
-    std::string json_path;
-    std::string sarif_path;
-    std::string suppress_list;
-    std::string src_root = "src";
-    std::vector<std::string> scenario_roots;
-    std::vector<std::filesystem::path> conc_roots;
-    bool scan = true;
-    bool deadlines = true;
-    bool deadline_table = false;
-    bool cross_check = false;
-    bool quiet = false;
-    bool matrix = false;
-
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&](std::string& out) {
-            if (i + 1 >= argc) {
-                std::cerr << "mcps_analyze: " << arg << ": missing value\n";
-                return false;
-            }
-            out = argv[++i];
-            return true;
-        };
-        if (arg == "--json") {
-            if (!next(json_path)) return 2;
-        } else if (arg == "--sarif") {
-            if (!next(sarif_path)) return 2;
-        } else if (arg == "--check-sarif") {
-            std::string path;
-            if (!next(path)) return 2;
-            return check_sarif_file(path);
-        } else if (arg == "--suppress") {
-            if (!next(suppress_list)) return 2;
-        } else if (arg == "--src-root") {
-            if (!next(src_root)) return 2;
-        } else if (arg == "--scan-scenarios") {
-            std::string root;
-            if (!next(root)) return 2;
-            scenario_roots.push_back(std::move(root));
-        } else if (arg == "--scan-conc") {
-            std::string root;
-            if (!next(root)) return 2;
-            conc_roots.emplace_back(std::move(root));
-        } else if (arg == "--no-scan") {
-            scan = false;
-        } else if (arg == "--no-deadlines") {
-            deadlines = false;
-        } else if (arg == "--deadline-table") {
-            deadline_table = true;
-        } else if (arg == "--cross-check") {
-            cross_check = true;
-        } else if (arg == "--quiet") {
-            quiet = true;
-        } else if (arg == "--matrix") {
-            matrix = true;
-        } else if (arg == "--list-rules") {
-            for (analysis::RuleId r : analysis::all_rules()) {
-                std::cout << analysis::rule_name(r) << "\t"
-                          << analysis::rule_summary(r) << "\n";
-            }
-            return 0;
-        } else {
-            return usage(argv[0]);
-        }
-    }
-
-    analysis::SuppressionSet suppressions;
-    if (!suppress_list.empty() && !suppressions.parse_list(suppress_list)) {
-        std::cerr << "mcps_analyze: --suppress: unknown rule in '"
-                  << suppress_list << "'\n";
-        return 2;
-    }
-
-    analysis::Analyzer analyzer{suppressions};
-    try {
-        add_shipped_ta_models(analyzer);
-        add_shipped_assemblies(analyzer);
-        const auto log = assurance::build_gpca_hazard_log();
-        const auto gsn = assurance::build_gpca_case_skeleton();
-        analyzer.check_hazards(log, &gsn);
-        if (deadlines) analyzer.check_deadlines({}, cross_check);
-        if (scan) analyzer.scan_sources(src_root);
-        for (const std::string& root : scenario_roots) {
-            analyzer.scan_scenario_assembly(root);
-        }
-        if (!conc_roots.empty()) analyzer.scan_concurrency(conc_roots);
-    } catch (const std::exception& e) {
-        std::cerr << "mcps_analyze: " << e.what() << "\n";
-        return 2;
-    }
-
-    const analysis::AnalysisReport& report = analyzer.report();
-    if (!quiet || !report.clean()) {
-        std::cout << report.to_text();
-    }
-    if (matrix) {
-        std::cout << "\nhazard-coverage matrix:\n"
-                  << analyzer.last_coverage().to_text();
-    }
-    if (deadline_table && deadlines) {
-        std::cout << "\nTA5 deadline slack table:\n"
-                  << analyzer.deadline_report().to_text();
-    }
-    if (!json_path.empty()) {
-        std::ofstream out{json_path};
-        if (!out) {
-            std::cerr << "mcps_analyze: --json: cannot open '" << json_path
-                      << "'\n";
-            return 2;
-        }
-        report.write_json(out);
-        if (!quiet) std::cout << "json report: " << json_path << "\n";
-    }
-    if (!sarif_path.empty()) {
-        std::ofstream out{sarif_path};
-        if (!out) {
-            std::cerr << "mcps_analyze: --sarif: cannot open '" << sarif_path
-                      << "'\n";
-            return 2;
-        }
-        analysis::write_sarif(report, out);
-        if (!quiet) std::cout << "sarif report: " << sarif_path << "\n";
-    }
-    const bool config_error = std::any_of(
-        report.findings.begin(), report.findings.end(),
-        [](const analysis::Finding& f) {
-            return f.rule == analysis::RuleId::kCFG1;
-        });
-    if (config_error) return 3;
-    return report.clean() ? 0 : 1;
+    return mcps::drivers::analyze_main("mcps_analyze",
+                                       {argv + 1, argv + argc});
 }
